@@ -1,0 +1,36 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and checks
+its *shape claims* (who drops packets, where queues plateau, which stack
+wins) — absolute runtimes are reported by pytest-benchmark.
+
+Every experiment benchmark runs exactly once (``rounds=1``): these are
+deterministic discrete-event simulations, so repetition only buys
+wall-clock noise, and a single run already simulates 30-90 seconds of
+system time.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) below 1 to shrink simulated
+durations for smoke runs, e.g. ``REPRO_BENCH_SCALE=0.5 pytest benchmarks/``.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(seconds, minimum=20.0):
+    """Scale a simulated duration, keeping enough room for burst times."""
+    return max(minimum, seconds * SCALE)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run ``fn`` exactly once under the benchmark clock."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run

@@ -1,0 +1,38 @@
+"""Fig 12 — throughput vs concurrency: 2000-thread sync vs async.
+
+Regenerates the paper's §V-E table: the synchronous stack with
+2000-thread pools collapses as concurrency grows (1159 -> 374 req/s
+from 100 to 1600 concurrent requests) while the asynchronous stack
+sustains its throughput.
+"""
+
+from repro.experiments import fig12_throughput
+
+from conftest import scaled
+
+
+def test_fig12_throughput_sweep(once, benchmark):
+    sweep = once(
+        fig12_throughput.run,
+        duration=scaled(20.0), warmup=5.0,
+    )
+
+    sync = sweep["synchronous"]
+    async_ = sweep["asynchronous"]
+    benchmark.extra_info["sync"] = {k: round(v) for k, v in sync.items()}
+    benchmark.extra_info["async"] = {k: round(v) for k, v in async_.items()}
+
+    low, high = min(sync), max(sync)
+
+    # shape 1: the sync stack collapses with concurrency (paper keeps
+    # only ~32% of its throughput; we accept anything below 60%)
+    assert sync[high] < 0.6 * sync[low]
+    # shape 2: sync throughput decreases monotonically across the sweep
+    levels = sorted(sync)
+    values = [sync[level] for level in levels]
+    assert all(a >= b * 0.97 for a, b in zip(values, values[1:]))
+    # shape 3: async sustains (>85% retained) and wins big at the end
+    assert async_[high] > 0.85 * async_[low]
+    assert async_[high] > 2.5 * sync[high]
+    # shape 4: at low concurrency the two are comparable (within 15%)
+    assert abs(async_[low] - sync[low]) < 0.15 * sync[low]

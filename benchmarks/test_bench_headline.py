@@ -1,0 +1,44 @@
+"""The abstract's headline numbers.
+
+"[CTQO] can be reproduced consistently at utilization as low as 43%.
+In contrast, when all n-tier servers are replaced by asynchronous
+versions, CTQO and consequent dropped packets remain absent at
+utilization levels as high as 83%, despite the same millibottlenecks."
+"""
+
+from repro.experiments import headline_utilization
+
+from conftest import scaled
+
+
+def test_headline_sync_vs_async_utilization(once, benchmark):
+    points = once(
+        headline_utilization.run,
+        duration=scaled(45.0, minimum=30.0), warmup=5.0,
+    )
+
+    sync_points = {c: p for (nx, c), p in points.items() if nx == 0}
+    async_points = {c: p for (nx, c), p in points.items() if nx == 3}
+
+    benchmark.extra_info["sync"] = {
+        c: {"cpu": round(p["highest_avg_cpu"], 2),
+            "dropped": p["dropped_packets"]}
+        for c, p in sync_points.items()
+    }
+    benchmark.extra_info["async"] = {
+        c: {"cpu": round(p["highest_avg_cpu"], 2),
+            "dropped": p["dropped_packets"]}
+        for c, p in async_points.items()
+    }
+
+    # sync: every workload level drops packets, including the lowest
+    lowest = min(sync_points)
+    assert sync_points[lowest]["dropped_packets"] > 0
+    assert sync_points[lowest]["highest_avg_cpu"] < 0.55  # "as low as 43%"
+    assert all(p["dropped_packets"] > 0 for p in sync_points.values())
+
+    # async: no drops anywhere, up to the highest utilization level
+    assert all(p["dropped_packets"] == 0 for p in async_points.values())
+    assert all(p["vlrt"] == 0 for p in async_points.values())
+    highest = max(async_points)
+    assert async_points[highest]["highest_avg_cpu"] > 0.75  # "as high as 83%"

@@ -1,0 +1,85 @@
+"""Substrate micro-benchmarks: raw speed of the simulation engine.
+
+Not a paper figure — these keep an eye on the cost of the kernel, the
+processor-sharing CPU model and the full-system event rate, so the
+figure benchmarks stay tractable as the library grows.
+"""
+
+from repro.cpu import Host
+from repro.sim import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run throughput of bare kernel callbacks."""
+
+    def run():
+        sim = Simulator(seed=1)
+        count = 200_000
+
+        def tick():
+            pass
+
+        for i in range(count):
+            sim.call_at(i * 1e-6, tick)
+        sim.run()
+        return sim.executed_events
+
+    executed = benchmark(run)
+    assert executed == 200_000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process resume rate (timeout-driven)."""
+
+    def run():
+        sim = Simulator(seed=1)
+        hops = 20_000
+
+        def proc():
+            for _ in range(hops):
+                yield 1e-6
+
+        for _ in range(5):
+            sim.process(proc())
+        sim.run()
+        return sim.executed_events
+
+    executed = benchmark(run)
+    assert executed >= 100_000
+
+
+def test_cpu_model_throughput(benchmark):
+    """Processor-sharing completions per second with a churning job mix."""
+
+    def run():
+        sim = Simulator(seed=1)
+        host = Host(sim, cores=1)
+        vm = host.add_vm("vm")
+        rng = sim.fork_rng("jobs")
+        count = 20_000
+
+        def feeder():
+            for _ in range(count):
+                vm.execute(rng.expovariate(1 / 0.0005))
+                yield rng.expovariate(1000.0)
+
+        sim.process(feeder())
+        sim.run()
+        return vm.jobs_completed
+
+    completed = benchmark(run)
+    assert completed == 20_000
+
+
+def test_full_system_simulation_rate(benchmark):
+    """End-to-end: one simulated second of the paper's WL 7000 system."""
+    from repro.core import Scenario
+    from repro.topology import SystemConfig
+
+    def run():
+        scenario = Scenario(SystemConfig(nx=0), clients=7000,
+                            duration=3.0, warmup=1.0)
+        return scenario.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.log) > 1000

@@ -1,0 +1,105 @@
+"""Figs 3, 5, 7 (+ §V-B), 8, 9, 10, 11 — the timeline experiments.
+
+Each benchmark runs one figure's scenario and asserts its headline
+shape: which server drops packets (or that none does), and where the
+queue plateaus sit relative to MaxSysQDepth.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig03_vm_consolidation,
+    fig05_log_flush,
+    fig07_nx1,
+    fig08_nx2_mysql,
+    fig09_nx2_xtomcat,
+    fig10_nx3_xtomcat,
+    fig11_nx3_xmysql,
+    run_timeline,
+)
+
+from conftest import scaled
+
+TIMELINE_SPECS = [
+    ("fig03", fig03_vm_consolidation.SPEC, 45.0),
+    ("fig05", fig05_log_flush.SPEC, 80.0),
+    ("fig07", fig07_nx1.SPEC, 45.0),
+    ("fig07_mysql", fig07_nx1.SPEC_MYSQL, 45.0),
+    ("fig08", fig08_nx2_mysql.SPEC, 45.0),
+    ("fig09", fig09_nx2_xtomcat.SPEC, 45.0),
+    ("fig10", fig10_nx3_xtomcat.SPEC, 45.0),
+    ("fig11", fig11_nx3_xmysql.SPEC, 80.0),
+]
+
+
+@pytest.mark.parametrize(
+    "name, spec, duration", TIMELINE_SPECS, ids=[t[0] for t in TIMELINE_SPECS]
+)
+def test_timeline_figure(once, benchmark, name, spec, duration):
+    result = once(run_timeline, spec, duration=scaled(duration, minimum=30.0))
+
+    summary = result.summary()
+    benchmark.extra_info["figure"] = spec.figure
+    benchmark.extra_info["throughput_rps"] = round(summary["throughput_rps"], 1)
+    benchmark.extra_info["vlrt"] = summary["vlrt"]
+    benchmark.extra_info["drops"] = {
+        k: v for k, v in result.drops.items() if v
+    }
+    benchmark.extra_info["queue_max"] = result.run.queue_max()
+
+    failures = result.check_claims()
+    assert not failures, f"{spec.figure}: {failures}"
+
+    if spec.expect_no_drops:
+        # the fully asynchronous stack also removes the VLRT tail
+        assert summary["vlrt"] == 0
+    else:
+        assert summary["vlrt"] > 0
+
+
+def test_fig03_queue_plateaus(once, benchmark):
+    """Fig 3(b)'s specific numbers: Tomcat caps at 293; Apache grows
+    from 278 to 428 via the second process."""
+    result = once(run_timeline, fig03_vm_consolidation.SPEC,
+                  duration=scaled(45.0, minimum=30.0))
+    queue_max = result.run.queue_max()
+    benchmark.extra_info["queue_max"] = queue_max
+    apache = result.run.system.servers["web"]
+    tomcat = result.run.system.servers["app"]
+    assert queue_max["tomcat"] == tomcat.max_sys_q_depth == 293
+    assert apache.processes == 2
+    assert queue_max["apache"] == apache.max_sys_q_depth == 428
+
+
+def test_fig08_mysql_plateau(once, benchmark):
+    """Fig 8(b): MySQL's queue caps at exactly 228 = 100 + 128."""
+    result = once(run_timeline, fig08_nx2_mysql.SPEC,
+                  duration=scaled(45.0, minimum=30.0))
+    queue_max = result.run.queue_max()
+    benchmark.extra_info["queue_max"] = queue_max
+    assert queue_max["mysql"] == 228
+    # the async tiers buffer far beyond any sync MaxSysQDepth unharmed
+    assert queue_max["xtomcat"] > 428
+    assert result.drops["nginx"] == 0 and result.drops["xtomcat"] == 0
+
+
+def test_fig02_emergent(once, benchmark):
+    """Fig 2 at full fidelity: a complete second system (SysBursty)
+    consolidated onto the Tomcat host reproduces the Fig 3 phenomenology
+    with *emergent* millibottlenecks — nothing scripted."""
+    from repro.experiments import fig02_full_sysbursty
+
+    result = once(fig02_full_sysbursty.run, scaled(60.0, minimum=45.0))
+    summary = result["summary"]
+    benchmark.extra_info["drops"] = {
+        k: v for k, v in summary["drops_by_server"].items() if v
+    }
+    benchmark.extra_info["bursts"] = [
+        round(t, 1) for t in result["burst_times"]
+    ]
+    assert summary["drops_by_server"]["apache"] > 20
+    assert result["burst_times"], "SysBursty never burst"
+    # the shared-core tenant idles between episodes (the paper's
+    # "negligible amount")
+    monitor = result["monitor"]
+    assert monitor.host_cpu["sysbursty-mysql"].mean() < 0.3

@@ -1,0 +1,69 @@
+"""Migrating tier by tier: the paper's NX=0 -> 3 evaluation as a script.
+
+Run:  python examples/async_migration.py
+
+The paper's central experiment replaces synchronous servers with
+asynchronous counterparts one at a time and asks, at each step, "did
+that fix the long tail?"  The answers form the paper's narrative:
+
+  NX=0  Apache-Tomcat-MySQL    drops at Apache   (upstream CTQO)
+  NX=1  Nginx-Tomcat-MySQL     drops at Tomcat   (yes-and-no: the
+                               problem moved downstream)
+  NX=2  Nginx-XTomcat-MySQL    drops at MySQL    (still downstream)
+  NX=3  Nginx-XTomcat-XMySQL   no drops anywhere
+
+This script runs the sweep under identical workload and identical
+millibottlenecks (CPU bursts on the app-tier host) and prints the
+migration table.
+"""
+
+from repro.core import Scenario, nx_sweep
+from repro.experiments.report import format_table
+from repro.topology import SystemConfig
+
+BURST_TIMES = [12.0, 19.0, 26.0, 33.0]
+
+
+def scenario_for(nx):
+    return (
+        Scenario(SystemConfig(nx=nx), clients=7000, duration=40.0, warmup=5.0)
+        .with_consolidation("app", times=BURST_TIMES)
+    )
+
+
+def main():
+    print("Replacing synchronous servers one by one (identical workload "
+          "and millibottlenecks)...\n")
+    results = nx_sweep(scenario_for)
+
+    rows = []
+    for nx, result in sorted(results.items()):
+        summary = result.summary()
+        drop_sites = [name for name, count in summary["drops_by_server"].items()
+                      if count > 0]
+        rows.append([
+            f"NX={nx}",
+            "-".join(result.names[t] for t in ("web", "app", "db")),
+            f"{summary['throughput_rps']:.0f}",
+            summary["dropped_packets"],
+            ", ".join(drop_sites) or "none",
+            summary["vlrt"],
+            f"{summary['p999_ms']:.0f} ms",
+        ])
+    print(format_table(
+        ["level", "stack", "req/s", "dropped", "drop sites", "VLRT",
+         "p99.9"],
+        rows,
+    ))
+
+    print("\nReading the table:")
+    print("  NX=1 removes Apache's drops but exposes Tomcat (downstream "
+          "CTQO: Nginx keeps forwarding).")
+    print("  NX=2 removes Tomcat's drops but exposes MySQL (both via its "
+          "own millibottlenecks and XTomcat's post-stall batches).")
+    print("  Only NX=3 — every tier asynchronous — removes the long tail, "
+          "the paper's if-and-only-if.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Fig 14: the sync -> async servlet transformation, made executable.
+
+Run:  python examples/servlet_transformation.py
+
+The paper's Appendix A shows a synchronous Java servlet (Fig 14a) next
+to its event-driven equivalent (Fig 14b) and cites Schneider's rules for
+transforming arbitrary synchronous control flow into callbacks.  This
+repository makes the equivalence concrete in three forms:
+
+1. the *generator servlet* — written once, like Fig 14a;
+2. the same generator deployed on a synchronous server (threads block
+   at each ``Call``) and on an asynchronous server (each ``Call`` parks
+   a continuation) — the deployment supplies the blocking semantics;
+3. the *mechanical callback form* produced by
+   :func:`repro.apps.servlet.callback_form` — literally Fig 14b, one
+   event handler per yield.
+"""
+
+from repro.apps.servlet import (
+    Call,
+    Compute,
+    Request,
+    ServletContext,
+    callback_form,
+)
+from repro.sim import Simulator
+from repro.units import ms
+
+
+# ----------------------------------------------------------------------
+# Fig 14(a): the synchronous-looking servlet, written once
+# ----------------------------------------------------------------------
+def do_get(ctx, request):
+    """A two-query servlet, structured exactly like the paper's Fig 14a:
+
+    pre-process -> query1 -> think -> query2 -> post-process -> respond
+    """
+    yield Compute(ms(0.2))                       # ... pre-processing ...
+    result1 = yield Call("db", "query1")         # SyncDBQuery1
+    yield Compute(ms(0.1))                       # ... think about result1 ...
+    result2 = yield Call("db", "query2")         # SyncDBQuery2
+    yield Compute(ms(0.1))                       # ... post-processing ...
+    return {"q1": result1, "q2": result2}        # ... form response ...
+
+
+# ----------------------------------------------------------------------
+# Fig 14(b): the event-handler chain, spelled out by hand
+# ----------------------------------------------------------------------
+def do_get_async(ctx, request, engine, finish):
+    """The same logic as explicit callbacks — what the paper's Fig 14b
+    prints, and what :func:`callback_form` derives mechanically."""
+
+    def start():
+        engine.compute(ms(0.2), issue_query1)
+
+    def issue_query1():
+        engine.invoke(Call("db", "query1"), request, event_handler_1,
+                      _fail)
+
+    def event_handler_1(result1):                 # eventHandler1
+        engine.compute(ms(0.1),
+                       lambda: issue_query2(result1))
+
+    def issue_query2(result1):
+        engine.invoke(Call("db", "query2"), request,
+                      lambda result2: event_handler_2(result1, result2),
+                      _fail)
+
+    def event_handler_2(result1, result2):        # eventHandler2
+        engine.compute(ms(0.1),
+                       lambda: finish({"q1": result1, "q2": result2}))
+
+    def _fail(exc):
+        raise exc
+
+    start()
+
+
+# ----------------------------------------------------------------------
+# a toy engine that timestamps each step on a simulated clock
+# ----------------------------------------------------------------------
+class TracingEngine:
+    def __init__(self, sim, label):
+        self.sim = sim
+        self.label = label
+        self.trace = []
+
+    def compute(self, work, cont):
+        self.trace.append((round(self.sim.now * 1000, 3), "compute",
+                           f"{work * 1000:.1f}ms"))
+        self.sim.call_in(work, cont)
+
+    def invoke(self, call, request, cont, on_error):
+        self.trace.append((round(self.sim.now * 1000, 3), "call",
+                           call.operation))
+        # a pretend database with 0.5 ms latency
+        self.sim.call_in(0.0005, cont, {"rows": 1, "op": call.operation})
+
+
+def run_form(label, starter):
+    sim = Simulator(seed=1)
+    ctx = ServletContext("app", sim, sim.fork_rng("demo"))
+    engine = TracingEngine(sim, label)
+    request = Request("Demo", "Demo", 0.0)
+    results = []
+    starter(ctx, request, engine, results.append)
+    sim.run()
+    return engine.trace, results[0], sim.now
+
+
+def main():
+    print("=== Fig 14: one servlet, three equivalent forms ===\n")
+
+    hand_trace, hand_result, hand_t = run_form(
+        "hand-written callbacks (Fig 14b)", do_get_async)
+    auto_trace, auto_result, auto_t = run_form(
+        "mechanical transformation (Schneider's rules)",
+        callback_form(do_get))
+
+    print("hand-written Fig 14(b) event-handler chain:")
+    for t, kind, detail in hand_trace:
+        print(f"  t={t:7.3f}ms  {kind:8s} {detail}")
+    print(f"  -> {hand_result} at t={hand_t * 1000:.3f}ms\n")
+
+    print("callback_form(do_get) — derived automatically from Fig 14(a):")
+    for t, kind, detail in auto_trace:
+        print(f"  t={t:7.3f}ms  {kind:8s} {detail}")
+    print(f"  -> {auto_result} at t={auto_t * 1000:.3f}ms\n")
+
+    assert hand_trace == auto_trace, "the two forms must be step-identical"
+    assert hand_result == auto_result
+    print("The traces are identical, step for step — the transformation "
+          "is mechanical,\nwhich is why this repository writes every "
+          "servlet once and lets the server\n(threaded or event-driven) "
+          "supply the blocking semantics.")
+
+
+if __name__ == "__main__":
+    main()

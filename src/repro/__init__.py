@@ -1,0 +1,27 @@
+"""repro — reproduction of "A Study of Long-Tail Latency in n-Tier
+Systems: RPC vs. Asynchronous Invocations" (Wang et al., ICDCS 2017).
+
+The package simulates an n-tier web application (clients, web server,
+application server, database) on a deterministic discrete-event substrate
+and reproduces the paper's central phenomenon — Cross-Tier Queue Overflow
+(CTQO): millibottlenecks in one tier overflow the bounded queues
+(thread pool + TCP backlog) of another tier, dropping packets whose
+3-second TCP retransmissions create very-long-response-time requests.
+
+Subpackages
+-----------
+- ``repro.sim`` — discrete-event kernel,
+- ``repro.cpu`` — processor-sharing CPU / VM consolidation model,
+- ``repro.net`` — TCP accept queues, drops, retransmission,
+- ``repro.servers`` — synchronous (RPC) and asynchronous server models,
+- ``repro.apps`` — the RUBBoS-like benchmark application (Fig 14 DSL),
+- ``repro.workload`` — closed-loop clients, burstiness, scripted bursts,
+- ``repro.injectors`` — millibottleneck injectors (co-location, log flush),
+- ``repro.metrics`` — 50 ms samplers and request tracing,
+- ``repro.core`` — the paper's analysis: millibottleneck & CTQO detection,
+  tail statistics, condition models, NX-sweep evaluation,
+- ``repro.topology`` — builders for the paper's configurations,
+- ``repro.experiments`` — one module per figure/table of the evaluation.
+"""
+
+__version__ = "1.0.0"

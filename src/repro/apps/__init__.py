@@ -1,0 +1,45 @@
+"""Benchmark applications: the servlet DSL and the RUBBoS-like app."""
+
+from .interactions import (
+    browse_only_mix,
+    calibrated,
+    full_catalog,
+    read_write_mix,
+)
+from .rubbos import (
+    APP_TIER,
+    DB_TIER,
+    WEB_TIER,
+    InteractionSpec,
+    RubbosApplication,
+    default_mix,
+)
+from .servlet import (
+    Call,
+    Compute,
+    Request,
+    Response,
+    ServletContext,
+    ServletError,
+    callback_form,
+)
+
+__all__ = [
+    "APP_TIER",
+    "browse_only_mix",
+    "calibrated",
+    "full_catalog",
+    "read_write_mix",
+    "Call",
+    "Compute",
+    "DB_TIER",
+    "InteractionSpec",
+    "Request",
+    "Response",
+    "RubbosApplication",
+    "ServletContext",
+    "ServletError",
+    "WEB_TIER",
+    "callback_form",
+    "default_mix",
+]

@@ -1,0 +1,170 @@
+"""The full RUBBoS interaction catalog.
+
+RUBBoS (the bulletin-board benchmark the paper runs) models a
+Slashdot-like site with ~20 user interactions.  The calibrated
+3-interaction mix in :func:`repro.apps.rubbos.default_mix` is the
+workhorse for the figure reproductions (fewer moving parts, exact
+calibration); this module provides the full catalog for users who want
+workload realism:
+
+- :func:`browse_only_mix` — RUBBoS's read-only profile (the paper's
+  experiments use browse-heavy workloads),
+- :func:`read_write_mix` — the submission profile, adding story/comment
+  writes and moderation, whose INSERT-heavy queries are costlier.
+
+Weights are representative of RUBBoS's transition-table equilibrium
+(browsing dominates; searches are rare; writes are a small fraction of
+the read-write profile) rather than a literal Markov-chain solution —
+what matters for CTQO is the per-tier cost profile and the mix's
+aggregate rates, which :func:`calibrated` pins exactly: it rescales all
+service times so the mix's expected app-tier work per request matches a
+target (defaulting to the same 0.77 ms/request the 3-interaction mix is
+calibrated to, so the paper's WL→utilization operating points carry
+over unchanged).
+"""
+
+from __future__ import annotations
+
+from ..units import ms
+from .rubbos import APP_TIER, InteractionSpec, RubbosApplication
+
+__all__ = [
+    "browse_only_mix",
+    "calibrated",
+    "full_catalog",
+    "read_write_mix",
+]
+
+#: the calibration target of the default 3-interaction mix (seconds of
+#: app-tier CPU per client request)
+DEFAULT_APP_WORK = ms(0.77)
+
+
+def _spec(name, weight, web, stages, queries, stochastic=True):
+    return InteractionSpec(
+        name, weight, web_work=ms(web),
+        app_stages=tuple(ms(v) for v in stages),
+        db_queries=tuple(ms(v) for v in queries),
+        stochastic=stochastic,
+    )
+
+
+def full_catalog(stochastic=True):
+    """Every modelled interaction, keyed by name (unweighted)."""
+    specs = [
+        # --- static & front-page ------------------------------------
+        _spec("StaticContent", 1.0, 0.35, (), (), stochastic),
+        _spec("StoriesOfTheDay", 1.0, 0.25, (0.05, 0.6), (0.5,), stochastic),
+        # --- browsing ------------------------------------------------
+        _spec("BrowseCategories", 1.0, 0.2, (0.05, 0.3), (0.3,), stochastic),
+        _spec("BrowseStoriesByCategory", 1.0, 0.25, (0.05, 0.5), (0.45,),
+              stochastic),
+        _spec("OlderStories", 1.0, 0.25, (0.05, 0.5), (0.5,), stochastic),
+        _spec("ViewStory", 1.0, 0.25, (0.05, 0.5, 0.5), (0.5, 0.45),
+              stochastic),
+        _spec("ViewComment", 1.0, 0.2, (0.05, 0.4), (0.5,), stochastic),
+        _spec("ViewUserInfo", 1.0, 0.2, (0.05, 0.3), (0.4,), stochastic),
+        # --- searches (rare, heavier scans) --------------------------
+        _spec("SearchInStories", 1.0, 0.25, (0.05, 0.6), (1.0,), stochastic),
+        _spec("SearchInComments", 1.0, 0.25, (0.05, 0.6), (1.2,), stochastic),
+        _spec("SearchInUsers", 1.0, 0.2, (0.05, 0.4), (0.8,), stochastic),
+        # --- write path (read_write profile only) --------------------
+        _spec("SubmitStory", 1.0, 0.2, (0.05, 0.4), (0.3,), stochastic),
+        _spec("StoreStory", 1.0, 0.2, (0.05, 0.5, 0.3), (1.0, 0.6),
+              stochastic),
+        _spec("SubmitComment", 1.0, 0.2, (0.05, 0.3), (0.4,), stochastic),
+        _spec("StoreComment", 1.0, 0.2, (0.05, 0.4, 0.3), (0.9, 0.6),
+              stochastic),
+        _spec("ModerateComment", 1.0, 0.2, (0.05, 0.3), (0.5,), stochastic),
+        _spec("StoreModerateLog", 1.0, 0.2, (0.05, 0.3, 0.2), (0.7, 0.45),
+              stochastic),
+        _spec("RegisterUser", 1.0, 0.2, (0.05, 0.3), (0.3,), stochastic),
+        _spec("StoreRegisterUser", 1.0, 0.2, (0.05, 0.4, 0.2), (0.8, 0.5),
+              stochastic),
+        # --- author tasks --------------------------------------------
+        _spec("ReviewStories", 1.0, 0.25, (0.05, 0.5), (0.7,), stochastic),
+        _spec("AcceptStory", 1.0, 0.2, (0.05, 0.4, 0.2), (0.7, 0.5),
+              stochastic),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: representative equilibrium weights for the two RUBBoS profiles
+_BROWSE_WEIGHTS = {
+    "StaticContent": 28.0,
+    "StoriesOfTheDay": 12.0,
+    "BrowseCategories": 8.0,
+    "BrowseStoriesByCategory": 10.0,
+    "OlderStories": 6.0,
+    "ViewStory": 18.0,
+    "ViewComment": 10.0,
+    "ViewUserInfo": 4.0,
+    "SearchInStories": 2.0,
+    "SearchInComments": 1.0,
+    "SearchInUsers": 1.0,
+}
+
+_WRITE_EXTRA_WEIGHTS = {
+    "SubmitStory": 1.5,
+    "StoreStory": 1.5,
+    "SubmitComment": 3.0,
+    "StoreComment": 3.0,
+    "ModerateComment": 1.0,
+    "StoreModerateLog": 1.0,
+    "RegisterUser": 0.5,
+    "StoreRegisterUser": 0.5,
+    "ReviewStories": 1.0,
+    "AcceptStory": 1.0,
+}
+
+
+def _weighted(names_to_weights, stochastic):
+    catalog = full_catalog(stochastic)
+    specs = []
+    for name, weight in names_to_weights.items():
+        spec = catalog[name]
+        specs.append(
+            InteractionSpec(
+                spec.name, weight, spec.web_work,
+                app_stages=spec.app_stages, db_queries=spec.db_queries,
+                stochastic=stochastic,
+            )
+        )
+    return specs
+
+
+def browse_only_mix(stochastic=True):
+    """The read-only RUBBoS profile (11 interactions)."""
+    return _weighted(_BROWSE_WEIGHTS, stochastic)
+
+
+def read_write_mix(stochastic=True):
+    """Browse profile plus the submission/moderation interactions."""
+    weights = dict(_BROWSE_WEIGHTS)
+    weights.update(_WRITE_EXTRA_WEIGHTS)
+    return _weighted(weights, stochastic)
+
+
+def calibrated(specs, app_work=DEFAULT_APP_WORK):
+    """Rescale every service time so the mix's expected app-tier CPU
+    per client request equals ``app_work``.
+
+    Ratios between tiers and between interactions are preserved; only
+    the absolute scale moves.  This pins the workload→utilization
+    mapping to the repository's calibration, so WL 7000 still lands at
+    the paper's ~75 % app-tier operating point whichever mix is used.
+    """
+    app = RubbosApplication(specs)
+    current = app.expected_work(APP_TIER)
+    if current <= 0:
+        raise ValueError("mix has no app-tier work to calibrate")
+    factor = app_work / current
+    return [
+        InteractionSpec(
+            spec.name, spec.weight, spec.web_work * factor,
+            app_stages=tuple(v * factor for v in spec.app_stages),
+            db_queries=tuple(v * factor for v in spec.db_queries),
+            stochastic=spec.stochastic,
+        )
+        for spec in specs
+    ]

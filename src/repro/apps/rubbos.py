@@ -1,0 +1,214 @@
+"""A RUBBoS-like 3-tier benchmark application.
+
+RUBBoS (the bulletin-board benchmark the paper runs) mixes cheap static
+content served by the web tier with dynamic interactions that traverse
+web → app → database, issuing one or more queries each.  We model the
+mix with three representative interaction classes whose CPU costs are
+calibrated so that the paper's workload levels land on the paper's
+utilization/throughput operating points (Fig 1):
+
+- WL 7000 clients (7 s mean think time) → ~990 req/s, app-tier CPU ≈ 75 %
+- WL 4000 → ~570 req/s, ≈ 43 %
+- WL 8000 → ~1100 req/s, ≈ 85 %
+
+The important property for CTQO is not the absolute service times but
+that requests are *short* (milliseconds — the paper's static
+condition 3) while the workload is bursty and the tiers tightly coupled.
+"""
+
+from __future__ import annotations
+
+from ..units import ms
+from .servlet import Call, Compute
+
+__all__ = [
+    "InteractionSpec",
+    "RubbosApplication",
+    "default_mix",
+    "WEB_TIER",
+    "APP_TIER",
+    "DB_TIER",
+]
+
+WEB_TIER = "web"
+APP_TIER = "app"
+DB_TIER = "db"
+
+
+class InteractionSpec:
+    """One interaction class of the benchmark.
+
+    Parameters
+    ----------
+    name:
+        Operation name (e.g. ``"ViewStory"``).
+    weight:
+        Relative probability in the request mix.
+    web_work:
+        CPU seconds at the web tier (parsing + response relay).
+    app_stages:
+        CPU seconds at the app tier, one entry per processing stage.
+        Empty for static content that never leaves the web tier.
+    db_queries:
+        CPU seconds at the database, one entry per query; queries are
+        interleaved between consecutive app stages (so there must be
+        exactly ``len(app_stages) - 1`` of them, or 0 stages for static).
+    stochastic:
+        Draw each stage's actual cost from an exponential distribution
+        with the configured mean (workloads are never clockwork); set
+        False for exact costs in unit tests.
+    """
+
+    def __init__(self, name, weight, web_work, app_stages=(), db_queries=(),
+                 stochastic=True):
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        if app_stages and len(db_queries) != len(app_stages) - 1:
+            raise ValueError(
+                f"{name}: need len(app_stages)-1 queries, got "
+                f"{len(db_queries)} for {len(app_stages)} stages"
+            )
+        if not app_stages and db_queries:
+            raise ValueError(f"{name}: db queries without app stages")
+        self.name = name
+        self.weight = weight
+        self.web_work = web_work
+        self.app_stages = tuple(app_stages)
+        self.db_queries = tuple(db_queries)
+        self.stochastic = stochastic
+
+    @property
+    def is_static(self):
+        """True if the interaction is fully served by the web tier."""
+        return not self.app_stages
+
+    def total_app_work(self):
+        return sum(self.app_stages)
+
+    def total_db_work(self):
+        return sum(self.db_queries)
+
+    def __repr__(self):
+        return f"<InteractionSpec {self.name} w={self.weight}>"
+
+
+def default_mix(stochastic=True):
+    """The calibrated RUBBoS-like interaction mix (see module docstring).
+
+    30 % static content, 50 % light dynamic (1 query), 20 % heavy
+    dynamic (3 queries); app-tier cost per dynamic request averages
+    ~1.1 ms, database ~0.7 ms, web ~0.3 ms.
+    """
+    return [
+        InteractionSpec(
+            "StaticContent", 0.30, web_work=ms(0.35), stochastic=stochastic,
+        ),
+        InteractionSpec(
+            "BrowseStories", 0.50, web_work=ms(0.25),
+            app_stages=(ms(0.05), ms(0.85)),
+            db_queries=(ms(0.45),),
+            stochastic=stochastic,
+        ),
+        InteractionSpec(
+            "ViewStory", 0.20, web_work=ms(0.25),
+            app_stages=(ms(0.05), ms(0.5), ms(0.5), ms(0.55)),
+            db_queries=(ms(0.7), ms(0.7), ms(0.6)),
+            stochastic=stochastic,
+        ),
+    ]
+
+
+class RubbosApplication:
+    """The benchmark application: interaction mix + per-tier servlets.
+
+    The servlet bodies below are written once and deployed unchanged on
+    synchronous and asynchronous servers — the paper's Fig 14
+    equivalence, with the server supplying the blocking semantics.
+    """
+
+    def __init__(self, specs=None):
+        self.specs = list(specs) if specs is not None else default_mix()
+        if not self.specs:
+            raise ValueError("application needs at least one interaction")
+        self.by_name = {spec.name: spec for spec in self.specs}
+        self._total_weight = sum(spec.weight for spec in self.specs)
+
+    # ------------------------------------------------------------------
+    # workload-facing API
+    # ------------------------------------------------------------------
+    def sample(self, rng):
+        """Draw an interaction according to the mix weights."""
+        point = rng.random() * self._total_weight
+        for spec in self.specs:
+            point -= spec.weight
+            if point <= 0:
+                return spec
+        return self.specs[-1]
+
+    def dynamic_fraction(self):
+        """Probability that a request leaves the web tier."""
+        dynamic = sum(s.weight for s in self.specs if not s.is_static)
+        return dynamic / self._total_weight
+
+    def expected_work(self, tier):
+        """Mean CPU seconds per *client request* at a tier (for sizing)."""
+        total = 0.0
+        for spec in self.specs:
+            p = spec.weight / self._total_weight
+            if tier == WEB_TIER:
+                total += p * spec.web_work
+            elif tier == APP_TIER:
+                total += p * spec.total_app_work()
+            elif tier == DB_TIER:
+                total += p * spec.total_db_work()
+            else:
+                raise ValueError(f"unknown tier {tier!r}")
+        return total
+
+    # ------------------------------------------------------------------
+    # servlets
+    # ------------------------------------------------------------------
+    def _cost(self, ctx, spec, mean):
+        """One stage's cost draw (exponential unless spec is exact)."""
+        if mean <= 0:
+            return 0.0
+        if spec.stochastic:
+            return ctx.rng.expovariate(1.0 / mean)
+        return mean
+
+    def web_servlet(self, ctx, request):
+        """Web tier: serve static directly, relay dynamic to the app tier."""
+        spec = self.by_name[request.operation]
+        yield Compute(self._cost(ctx, spec, spec.web_work))
+        if spec.is_static:
+            return {"interaction": spec.name, "tier": WEB_TIER}
+        result = yield Call(APP_TIER, spec.name)
+        return result
+
+    def app_servlet(self, ctx, request):
+        """App tier: alternate CPU stages with database queries (Fig 14a)."""
+        spec = self.by_name[request.operation]
+        rows = 0
+        for index, stage in enumerate(spec.app_stages):
+            yield Compute(self._cost(ctx, spec, stage))
+            if index < len(spec.db_queries):
+                cost = self._cost(ctx, spec, spec.db_queries[index])
+                result = yield Call(DB_TIER, f"{spec.name}.q{index}", work_hint=cost)
+                rows += result["rows"]
+        return {"interaction": spec.name, "rows": rows}
+
+    def db_servlet(self, ctx, request):
+        """Database tier: execute one query's worth of work."""
+        work = request.work_hint
+        if work is None:
+            work = ms(0.5)
+        yield Compute(work)
+        return {"rows": 1}
+
+    def handlers(self):
+        """Tier name → servlet, for wiring into a topology."""
+        return {
+            WEB_TIER: self.web_servlet,
+            APP_TIER: self.app_servlet,
+            DB_TIER: self.db_servlet,
+        }

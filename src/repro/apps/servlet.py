@@ -1,0 +1,220 @@
+"""The servlet programming model (the paper's Fig 14).
+
+A *servlet* is a generator function ``fn(ctx, request)`` that yields
+processing steps:
+
+- :class:`Compute` — burn CPU on the server's VM,
+- :class:`Call` — a request to a downstream tier ("app", "db", ...),
+  whose yielded value is the downstream response payload,
+
+and whose ``return`` value becomes the response payload sent upstream.
+
+The same servlet body runs on a synchronous server (a thread blocks at
+each ``Call``, exactly Fig 14a) and on an asynchronous server (the
+``Call`` suspends a continuation that resumes when the response event
+fires, exactly the event-handler chain of Fig 14b).  That is precisely
+Schneider's transformation the paper applies to RUBBoS: the control flow
+is written once, the *blocking semantics* are supplied by the server.
+
+For completeness — and because the paper prints both versions —
+:func:`callback_form` converts a servlet into an explicit
+callback/event-handler chain, which :mod:`examples.servlet_transformation`
+demonstrates side by side.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = [
+    "Call",
+    "Compute",
+    "Request",
+    "Response",
+    "ServletContext",
+    "ServletError",
+    "callback_form",
+]
+
+
+class ServletError(Exception):
+    """A downstream call failed (dropped beyond retries, or error reply).
+
+    Raised inside the servlet generator at the ``yield Call`` that
+    failed; an uncaught ServletError makes the server send an error
+    response upstream, cascading the failure towards the client.
+    """
+
+
+class Compute:
+    """Burn ``work`` seconds of CPU on the executing server's VM."""
+
+    __slots__ = ("work",)
+
+    def __init__(self, work):
+        if work < 0:
+            raise ValueError(f"negative compute work {work!r}")
+        self.work = work
+
+    def __repr__(self):
+        return f"Compute({self.work * 1000:.3f}ms)"
+
+
+class Call:
+    """Invoke a downstream tier and wait for (or be resumed with) its reply.
+
+    Parameters
+    ----------
+    target:
+        Downstream tier name as wired in the topology (e.g. ``"app"``,
+        ``"db"``).
+    operation:
+        Operation name, used by the downstream handler and for traces.
+    work_hint:
+        Optional override of the downstream's nominal service time for
+        this call (seconds); the downstream servlet may consult it.
+    """
+
+    __slots__ = ("target", "operation", "work_hint")
+
+    def __init__(self, target, operation, work_hint=None):
+        self.target = target
+        self.operation = operation
+        self.work_hint = work_hint
+
+    def __repr__(self):
+        return f"Call({self.target}:{self.operation})"
+
+
+_request_ids = itertools.count(1)
+
+
+class Request:
+    """A request travelling through the system.
+
+    The client creates a *root* request; each :class:`Call` spawns a
+    child request pointing back at the same root, so analysis can
+    attribute every packet drop anywhere in the tree to one client
+    request.
+    """
+
+    __slots__ = (
+        "id",
+        "kind",
+        "operation",
+        "work_hint",
+        "created_at",
+        "parent",
+        "root",
+        "trace",
+    )
+
+    def __init__(self, kind, operation, created_at, work_hint=None, parent=None):
+        self.id = next(_request_ids)
+        self.kind = kind
+        self.operation = operation
+        self.work_hint = work_hint
+        self.created_at = created_at
+        self.parent = parent
+        self.root = parent.root if parent is not None else self
+        #: (time, event, detail) tuples appended by servers and fabric.
+        self.trace = []
+
+    def child(self, operation, created_at, work_hint=None):
+        """Create the sub-request for a downstream :class:`Call`."""
+        return Request(
+            self.kind, operation, created_at, work_hint=work_hint, parent=self
+        )
+
+    def record(self, time, event, detail=None):
+        self.root.trace.append((time, event, detail))
+
+    def __repr__(self):
+        return f"<Request #{self.id} {self.kind}:{self.operation}>"
+
+
+class Response:
+    """Envelope for a tier's reply: payload on success, error message
+    (and the originating :class:`ServletError`) on failure."""
+
+    __slots__ = ("ok", "value", "error")
+
+    def __init__(self, ok, value=None, error=None):
+        self.ok = ok
+        self.value = value
+        self.error = error
+
+    @classmethod
+    def success(cls, value=None):
+        return cls(True, value=value)
+
+    @classmethod
+    def failure(cls, error):
+        return cls(False, error=error)
+
+    def __repr__(self):
+        if self.ok:
+            return f"Response.ok({self.value!r})"
+        return f"Response.err({self.error!r})"
+
+
+class ServletContext:
+    """What a servlet body may inspect: the executing server's name,
+    the simulated clock, and a deterministic per-server RNG stream."""
+
+    __slots__ = ("server_name", "sim", "rng")
+
+    def __init__(self, server_name, sim, rng):
+        self.server_name = server_name
+        self.sim = sim
+        self.rng = rng
+
+    @property
+    def now(self):
+        return self.sim.now
+
+
+def callback_form(servlet):
+    """Mechanically convert a servlet into an event-handler chain.
+
+    Returns a function ``start(ctx, request, engine, finish)`` where
+    ``engine`` supplies ``compute(work, cont)`` and
+    ``invoke(call, request, cont)`` primitives and ``finish(result)``
+    receives the servlet's return value.  Each ``yield`` becomes one
+    callback — the transformation of Fig 14(b), applied generically
+    (Schneider's rules handle arbitrary control flow because the
+    generator *is* the reified continuation).
+    """
+
+    def start(ctx, request, engine, finish, on_error=None):
+        gen = servlet(ctx, request)
+
+        def step(send_value=None, throw=None):
+            try:
+                if throw is not None:
+                    item = gen.throw(throw)
+                else:
+                    item = gen.send(send_value)
+            except StopIteration as stop:
+                finish(stop.value)
+                return
+            except ServletError as exc:
+                if on_error is not None:
+                    on_error(exc)
+                    return
+                raise
+            if isinstance(item, Compute):
+                engine.compute(item.work, lambda: step(None))
+            elif isinstance(item, Call):
+                engine.invoke(
+                    item,
+                    request,
+                    lambda value: step(value),
+                    lambda exc: step(throw=exc),
+                )
+            else:
+                raise TypeError(f"servlet yielded {item!r}")
+
+        step()
+
+    return start

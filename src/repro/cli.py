@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show every reproducible experiment.
+``run <experiment> [--duration S] [--out DIR]``
+    Run one experiment (or ``all``) and print its figure as text;
+    ``--out`` additionally writes the raw series/records as CSV+JSON.
+``conditions [--rate R] [--duration S] [--depth N]``
+    Evaluate the paper's §III overflow arithmetic for given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .core.conditions import (
+    minimum_millibottleneck_duration,
+    predicted_overflow,
+)
+from .experiments import (
+    fig01_histograms,
+    fig03_vm_consolidation,
+    fig05_log_flush,
+    fig07_nx1,
+    fig08_nx2_mysql,
+    fig09_nx2_xtomcat,
+    fig10_nx3_xtomcat,
+    fig11_nx3_xmysql,
+    fig12_throughput,
+    headline_utilization,
+)
+from .metrics.export import (
+    request_log_to_csv,
+    run_summary_to_json,
+    timeseries_to_csv,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: timeline experiments share the run()->TimelineResult interface
+_TIMELINES = {
+    "fig03": fig03_vm_consolidation,
+    "fig05": fig05_log_flush,
+    "fig07": fig07_nx1,
+    "fig08": fig08_nx2_mysql,
+    "fig09": fig09_nx2_xtomcat,
+    "fig10": fig10_nx3_xtomcat,
+    "fig11": fig11_nx3_xmysql,
+}
+
+#: experiment name -> one-line description (for ``list``)
+EXPERIMENTS = {
+    "fig01": "response-time histograms at WL 4000/7000/8000 (multi-modal tail)",
+    "fig03": "upstream CTQO from VM consolidation (drops at Apache)",
+    "fig05": "upstream CTQO from log flushing (I/O millibottleneck)",
+    "fig07": "NX=1 Nginx-Tomcat-MySQL (drops move to Tomcat)",
+    "fig08": "NX=2, millibottleneck in MySQL (drops at MySQL, 228)",
+    "fig09": "NX=2, millibottleneck in XTomcat (batch floods MySQL)",
+    "fig10": "NX=3, CPU millibottleneck (no CTQO)",
+    "fig11": "NX=3, I/O millibottleneck (no CTQO)",
+    "fig12": "throughput vs concurrency: 2000 threads vs async",
+    "headline": "the abstract's 43% vs 83% utilization claim",
+}
+
+
+def _run_timeline(name, args):
+    module = _TIMELINES[name]
+    result = module.run(duration=args.duration)
+    print(result.report())
+    if getattr(args, "diagnose", False):
+        from .core.diagnosis import diagnose
+
+        print()
+        print(diagnose(result.run).render())
+    if args.out:
+        _export_timeline(name, result, args.out)
+    return 0 if not result.check_claims() else 1
+
+
+def _export_timeline(name, result, out_dir):
+    os.makedirs(out_dir, exist_ok=True)
+    run = result.run
+    monitor = run.monitor
+    timeseries_to_csv(os.path.join(out_dir, f"{name}_cpu.csv"), monitor.cpu)
+    timeseries_to_csv(os.path.join(out_dir, f"{name}_queues.csv"),
+                      monitor.queues)
+    request_log_to_csv(os.path.join(out_dir, f"{name}_requests.csv"),
+                       run.log)
+    run_summary_to_json(os.path.join(out_dir, f"{name}_summary.json"), run)
+    print(f"\n[raw data written to {out_dir}/]")
+
+
+def _run_fig01(args):
+    duration = args.duration or 90.0
+    panels = fig01_histograms.run(duration=duration)
+    print(fig01_histograms.report(panels))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for clients, panel in panels.items():
+            request_log_to_csv(
+                os.path.join(args.out, f"fig01_wl{clients}_requests.csv"),
+                panel["result"].log,
+            )
+        print(f"\n[raw data written to {args.out}/]")
+    return 0
+
+
+def _run_fig12(args):
+    sweep = fig12_throughput.run(duration=args.duration or 25.0)
+    print(fig12_throughput.report(sweep))
+    return 0
+
+
+def _run_headline(args):
+    points = headline_utilization.run(duration=args.duration or 60.0)
+    print(headline_utilization.report(points))
+    return 0
+
+
+def _cmd_list(_args):
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, description in EXPERIMENTS.items():
+        print(f"{name:<{width}}  {description}")
+    return 0
+
+
+def _cmd_run(args):
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    status = 0
+    for name in names:
+        if name in _TIMELINES:
+            status |= _run_timeline(name, args)
+        elif name == "fig01":
+            status |= _run_fig01(args)
+        elif name == "fig12":
+            status |= _run_fig12(args)
+        elif name == "headline":
+            status |= _run_headline(args)
+        else:
+            print(f"unknown experiment {name!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        print()
+    return status
+
+
+def _cmd_conditions(args):
+    overflow = predicted_overflow(args.rate, args.duration, args.depth,
+                                  drain_rate=args.drain)
+    threshold = minimum_millibottleneck_duration(args.rate, args.depth,
+                                                 drain_rate=args.drain)
+    print(f"arrival rate       : {args.rate:.0f} req/s")
+    print(f"millibottleneck    : {args.duration * 1000:.0f} ms")
+    print(f"MaxSysQDepth       : {args.depth}")
+    print(f"drain during stall : {args.drain:.0f} req/s")
+    print(f"predicted overflow : {overflow:.0f} dropped packets")
+    if threshold == float("inf"):
+        print("minimum stall      : never overflows (drain keeps up)")
+    else:
+        print(f"minimum stall      : {threshold * 1000:.0f} ms before any drop")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Study of Long-Tail Latency in "
+                    "n-Tier Systems: RPC vs. Asynchronous Invocations' "
+                    "(ICDCS 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(
+        handler=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment",
+                            choices=sorted(EXPERIMENTS) + ["all"])
+    run_parser.add_argument("--duration", type=float, default=None,
+                            help="simulated seconds (default: the figure's)")
+    run_parser.add_argument("--out", default=None,
+                            help="directory for raw CSV/JSON export")
+    run_parser.add_argument("--diagnose", action="store_true",
+                            help="append the automated CTQO post-mortem")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    cond_parser = sub.add_parser(
+        "conditions", help="evaluate the §III overflow arithmetic"
+    )
+    cond_parser.add_argument("--rate", type=float, default=1000.0)
+    cond_parser.add_argument("--duration", type=float, default=0.4)
+    cond_parser.add_argument("--depth", type=int, default=278)
+    cond_parser.add_argument("--drain", type=float, default=0.0)
+    cond_parser.set_defaults(handler=_cmd_conditions)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

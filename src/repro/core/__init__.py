@@ -1,0 +1,55 @@
+"""The paper's primary contribution as a library.
+
+- millibottleneck detection from fine-grained utilization data,
+- CTQO detection and upstream/downstream classification,
+- multi-modal tail-latency statistics,
+- the §III static/dynamic condition models,
+- the §V evaluation harness (scenarios and NX sweeps).
+"""
+
+from .conditions import (
+    StaticConditions,
+    max_sys_q_depth,
+    minimum_millibottleneck_duration,
+    predicted_overflow,
+)
+from .ctqo import CtqoAnalyzer, CtqoEvent, OverflowEpisode
+from .diagnosis import Diagnosis, diagnose
+from .evaluation import RunResult, Scenario, nx_sweep
+from .millibottleneck import Millibottleneck, find_all, find_millibottlenecks
+from .queueing import SteadyStateModel, TierDemand, ps_response_time
+from .tail import (
+    is_multimodal,
+    mode_times,
+    multimodal_clusters,
+    percentiles,
+    semilog_histogram,
+    tail_heaviness,
+)
+
+__all__ = [
+    "CtqoAnalyzer",
+    "CtqoEvent",
+    "Diagnosis",
+    "diagnose",
+    "Millibottleneck",
+    "OverflowEpisode",
+    "RunResult",
+    "Scenario",
+    "StaticConditions",
+    "SteadyStateModel",
+    "TierDemand",
+    "ps_response_time",
+    "find_all",
+    "find_millibottlenecks",
+    "is_multimodal",
+    "max_sys_q_depth",
+    "minimum_millibottleneck_duration",
+    "mode_times",
+    "multimodal_clusters",
+    "nx_sweep",
+    "percentiles",
+    "predicted_overflow",
+    "semilog_histogram",
+    "tail_heaviness",
+]

@@ -1,0 +1,229 @@
+"""Cross-Tier Queue Overflow detection and classification.
+
+CTQO is the paper's central phenomenon: a millibottleneck in one tier
+fills the bounded queues (thread pool + TCP backlog) of *another* tier,
+whose overflow drops packets.  Two directions:
+
+- **upstream CTQO** — the dropping server is *upstream* of (closer to
+  the clients than) the millibottleneck.  Mechanism: blocking RPC calls
+  hold the upstream server's threads while the downstream tier stalls
+  (Fig 3: millibottleneck in Tomcat, drops at Apache; Fig 5: in MySQL,
+  drops at Apache after cascading through Tomcat).
+- **downstream CTQO** — the dropping server is at or *downstream* of
+  the millibottleneck.  Mechanism: an asynchronous upstream keeps
+  admitting and forwarding requests that a bounded downstream cannot
+  absorb (Fig 7: millibottleneck in Tomcat, Nginx floods it; Fig 9:
+  millibottleneck in XTomcat whose post-stall batch floods MySQL).
+
+The analyzer correlates three observations — queue-depth series, drop
+records, and detected millibottlenecks — into classified
+:class:`CtqoEvent` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CtqoAnalyzer", "CtqoEvent", "OverflowEpisode"]
+
+
+@dataclass(frozen=True)
+class OverflowEpisode:
+    """A span during which a server's queues sat at/above a threshold."""
+
+    server: str
+    start: float
+    end: float
+    peak_depth: int
+    threshold: int
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass
+class CtqoEvent:
+    """One classified cross-tier queue overflow incident."""
+
+    direction: str               # "upstream" or "downstream"
+    millibottleneck: object      # the triggering Millibottleneck
+    dropping_server: str         # where packets were lost
+    drops: int                   # packets dropped in the window
+    drop_times: list = field(default_factory=list)
+
+    def __str__(self):
+        return (
+            f"{self.direction} CTQO: {self.millibottleneck} -> "
+            f"{self.drops} drops at {self.dropping_server}"
+        )
+
+
+class CtqoAnalyzer:
+    """Correlates millibottlenecks with drops across a tier chain.
+
+    Parameters
+    ----------
+    tier_order:
+        Server names from most-upstream to most-downstream, e.g.
+        ``["apache", "tomcat", "mysql"]``.
+    vm_of:
+        Mapping from VM names (as millibottlenecks report them) to
+        server names in ``tier_order``.  Defaults to the identity with a
+        ``"-vm"`` suffix stripped.
+    window:
+        Seconds after a millibottleneck ends during which drops are
+        still attributed to it (queues drain after the stall clears).
+    """
+
+    def __init__(self, tier_order, vm_of=None, window=1.0):
+        if len(tier_order) < 2:
+            raise ValueError("tier_order needs at least two tiers")
+        self.tier_order = list(tier_order)
+        self._position = {name: i for i, name in enumerate(self.tier_order)}
+        self.vm_of = vm_of
+        self.window = window
+
+    # ------------------------------------------------------------------
+    def server_for_vm(self, vm_name):
+        if self.vm_of is not None:
+            return self.vm_of.get(vm_name, vm_name)
+        if vm_name.endswith("-vm"):
+            return vm_name[: -len("-vm")]
+        return vm_name
+
+    def position(self, server):
+        try:
+            return self._position[server]
+        except KeyError:
+            raise ValueError(
+                f"unknown server {server!r}; tiers are {self.tier_order}"
+            ) from None
+
+    def classify_direction(self, millibottleneck_server, dropping_server):
+        """The paper's rule: drops upstream of the millibottleneck are
+        upstream CTQO; drops at or downstream of it are downstream CTQO."""
+        if self.position(dropping_server) < self.position(millibottleneck_server):
+            return "upstream"
+        return "downstream"
+
+    # ------------------------------------------------------------------
+    def overflow_episodes(self, queue_series, thresholds, slack=0):
+        """Spans where each server's queue reached its MaxSysQDepth.
+
+        ``queue_series`` maps server name to a queue-depth TimeSeries;
+        ``thresholds`` maps server name to its MaxSysQDepth.  ``slack``
+        lowers the detection threshold (queues hover just under the
+        limit between drop batches).
+        """
+        episodes = []
+        for server, series in queue_series.items():
+            limit = thresholds[server] - slack
+            for start, end in series.intervals_above(limit - 1):
+                window = series.slice(start, end + 1e-9)
+                episodes.append(
+                    OverflowEpisode(
+                        server, start, end,
+                        peak_depth=int(window.max()) if len(window) else 0,
+                        threshold=thresholds[server],
+                    )
+                )
+        episodes.sort(key=lambda e: (e.start, e.server))
+        return episodes
+
+    def attribute_drops(self, millibottlenecks, drop_log_by_server):
+        """Build classified CTQO events.
+
+        Parameters
+        ----------
+        millibottlenecks:
+            Episodes from :func:`repro.core.millibottleneck.find_all`.
+        drop_log_by_server:
+            Server name → list of drop times (e.g. from each listener's
+            ``drop_log``).
+
+        Every drop is attributed to the millibottleneck whose
+        ``[start, end + window)`` span covers it (the nearest preceding
+        one if several overlap).  Unattributed drops are returned under
+        a synthetic event with ``millibottleneck=None``.
+        """
+        events = []
+        index = {}
+        unattributed = {}
+        for server, times in drop_log_by_server.items():
+            for when in times:
+                owner = self._owning_millibottleneck(millibottlenecks, when)
+                if owner is None:
+                    unattributed.setdefault(server, []).append(when)
+                    continue
+                key = (id(owner), server)
+                if key not in index:
+                    origin = self.server_for_vm(owner.resource)
+                    if origin in self._position:
+                        direction = self.classify_direction(origin, server)
+                    else:
+                        # millibottleneck observed on a VM outside the tier
+                        # chain (e.g. the co-located antagonist itself) —
+                        # pass a vm_of mapping to resolve it to its victim
+                        direction = "unknown-origin"
+                    event = CtqoEvent(
+                        direction=direction,
+                        millibottleneck=owner,
+                        dropping_server=server,
+                        drops=0,
+                    )
+                    index[key] = event
+                    events.append(event)
+                event = index[key]
+                event.drops += 1
+                event.drop_times.append(when)
+        for server, times in sorted(unattributed.items()):
+            events.append(
+                CtqoEvent(
+                    direction="unattributed",
+                    millibottleneck=None,
+                    dropping_server=server,
+                    drops=len(times),
+                    drop_times=times,
+                )
+            )
+        events.sort(
+            key=lambda e: e.drop_times[0] if e.drop_times else float("inf")
+        )
+        return events
+
+    def _owning_millibottleneck(self, millibottlenecks, when):
+        """The root cause of a drop at ``when``.
+
+        Prefer an episode *active* at the drop; among several (a
+        secondary saturation nested inside its root cause), the one that
+        began first — secondary saturations start later than the
+        millibottleneck that caused them.  If nothing is active, fall
+        back to the most recently ended episode within ``window``
+        (queues keep overflowing briefly while they drain).
+        """
+        active = None
+        for episode in millibottlenecks:
+            if episode.start <= when < episode.end:
+                if active is None or episode.start < active.start:
+                    active = episode
+        if active is not None:
+            return active
+        recent = None
+        for episode in millibottlenecks:
+            if episode.end <= when < episode.end + self.window:
+                if recent is None or episode.end > recent.end:
+                    recent = episode
+        return recent
+
+    # ------------------------------------------------------------------
+    def analyze(self, monitor, system, millibottlenecks):
+        """One-call analysis over a finished run.
+
+        Returns the list of classified :class:`CtqoEvent`.
+        """
+        drop_log = {}
+        for tier, server in system.servers.items():
+            name = system.names[tier]
+            drop_log[name] = [t for t, _ex in server.listener.drop_log]
+        return self.attribute_drops(millibottlenecks, drop_log)

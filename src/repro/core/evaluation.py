@@ -1,0 +1,327 @@
+"""Scenario runner and the NX-sweep evaluation harness.
+
+:class:`Scenario` assembles a complete experiment — system, workload,
+millibottleneck injectors, monitoring — runs it, and returns a
+:class:`RunResult` with everything the paper's figures are drawn from.
+:func:`nx_sweep` repeats one scenario across asynchrony levels
+(NX = 0..3), which is the paper's §V evaluation method: "All the
+experiments use the same workload to produce the same millibottlenecks,
+so we can study and compare the impact of asynchronous messages".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..injectors.colocation import ColocationInjector
+from ..injectors.gcpause import GcPauseInjector
+from ..injectors.logflush import LogFlushInjector
+from ..injectors.netjam import NetworkJamInjector
+from ..topology.builder import build_system
+from ..topology.configs import SystemConfig
+from ..workload.burst import BurstModulator
+from ..workload.generators import ClosedLoopPopulation, ScriptedBurst
+from .ctqo import CtqoAnalyzer
+from .millibottleneck import find_all
+
+__all__ = ["RunResult", "Scenario", "nx_sweep"]
+
+#: Severe-consolidation defaults used across the §V experiments: the
+#: antagonist demands one full second of CPU with dominant scheduler
+#: shares, starving the victim almost completely — matching the paper's
+#: Fig 3(a)/9(a) where the bursting VM grabs ~100 % of the shared core.
+CONSOLIDATION_BURST_CPU = 1.0
+CONSOLIDATION_BURST_JOBS = 400
+CONSOLIDATION_SHARES = 30.0
+
+
+class RunResult:
+    """Everything observable from one finished scenario run."""
+
+    def __init__(self, system, scenario, log, monitor, injectors):
+        self.system = system
+        self.config = system.config
+        self.scenario = scenario
+        self.log = log
+        self.monitor = monitor
+        self.injectors = injectors
+        self.duration = scenario.duration
+        self.warmup = scenario.warmup
+        self.names = system.names
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_duration(self):
+        return self.duration - self.warmup
+
+    @property
+    def drops(self):
+        """Server display name → packets dropped there."""
+        return self.system.drop_counts()
+
+    @property
+    def dropped_packets(self):
+        return self.system.total_drops()
+
+    def summary(self):
+        """Client-side digest over the measured window."""
+        out = self.log.summary(self.measured_duration)
+        out["drops_by_server"] = self.drops
+        out["dropped_packets"] = self.dropped_packets
+        return out
+
+    # figure-oriented accessors ----------------------------------------
+    def cpu_series(self, tier):
+        return self.monitor.cpu[self.names[tier]]
+
+    def iowait_series(self, tier):
+        return self.monitor.iowait[self.names[tier]]
+
+    def queue_series(self, tier):
+        return self.monitor.queues[self.names[tier]]
+
+    def queue_max(self):
+        return {
+            self.names[tier]: int(self.monitor.queues[self.names[tier]].max())
+            for tier in ("web", "app", "db")
+        }
+
+    def cpu_mean(self):
+        """Per-tier run-average utilization, hypervisor view.
+
+        Operating points use granted core-time: the guest view would
+        count every millibottleneck stall as busy time and overstate
+        the steady-state load the paper's "highest average CPU util"
+        annotations describe.
+        """
+        return {
+            self.names[tier]: self.monitor.host_cpu[self.names[tier]].mean()
+            for tier in ("web", "app", "db")
+        }
+
+    def highest_avg_cpu(self):
+        """The paper's "highest average CPU util" figure annotation."""
+        return max(self.cpu_mean().values())
+
+    def vlrt_series(self, window=0.05, threshold=3.0):
+        return self.log.vlrt_time_series(
+            self.duration, window=window, threshold=threshold
+        )
+
+    # analysis ----------------------------------------------------------
+    def millibottlenecks(self, threshold=0.95, min_duration=0.05,
+                         max_duration=2.5):
+        return find_all(
+            self.monitor, threshold=threshold,
+            min_duration=min_duration, max_duration=max_duration,
+        )
+
+    def ctqo_events(self, **kwargs):
+        # map every monitored VM to its server; a consolidation
+        # antagonist maps to the tier it is co-located with, since its
+        # bursts *are* that tier's millibottlenecks
+        vm_of = {self.names[t]: self.names[t] for t in ("web", "app", "db")}
+        for injector in self.injectors:
+            vm = getattr(injector, "vm", None)
+            if vm is None:
+                continue
+            for tier in ("web", "app", "db"):
+                if self.system.hosts[tier] is vm.host:
+                    vm_of[vm.name] = self.names[tier]
+        analyzer = CtqoAnalyzer(
+            [self.names["web"], self.names["app"], self.names["db"]],
+            vm_of=vm_of,
+        )
+        return analyzer.attribute_drops(
+            self.millibottlenecks(**kwargs),
+            {
+                self.names[tier]: [
+                    t for t, _ex in self.system.servers[tier].listener.drop_log
+                ]
+                for tier in ("web", "app", "db")
+            },
+        )
+
+    def __repr__(self):
+        return (
+            f"<RunResult nx={self.config.nx} requests={len(self.log)} "
+            f"drops={self.dropped_packets}>"
+        )
+
+
+class Scenario:
+    """A declarative experiment description.
+
+    Example — the paper's Fig 3 (upstream CTQO from VM consolidation)::
+
+        result = (
+            Scenario(SystemConfig(nx=0), clients=7000, duration=60)
+            .with_consolidation("app", times=[15, 22, 29, 36])
+            .run()
+        )
+
+    ``warmup`` excludes the closed-loop ramp-up from client statistics
+    (the monitor still records the full run).
+    """
+
+    def __init__(self, config=None, clients=7000, think_mean=None,
+                 duration=60.0, warmup=5.0, burst_index=1):
+        self.config = config or SystemConfig()
+        self.clients = clients
+        self.think_mean = (
+            think_mean if think_mean is not None else self.config.think_mean
+        )
+        if duration <= warmup:
+            raise ValueError("duration must exceed warmup")
+        self.duration = duration
+        self.warmup = warmup
+        self.burst_index = burst_index
+        self._injector_specs = []
+        self._scripted_bursts = []
+
+    # ------------------------------------------------------------------
+    # millibottleneck sources
+    # ------------------------------------------------------------------
+    def with_consolidation(self, tier, times=None, period=None,
+                           burst_cpu=CONSOLIDATION_BURST_CPU,
+                           burst_jobs=CONSOLIDATION_BURST_JOBS,
+                           shares=CONSOLIDATION_SHARES):
+        """Consolidate a bursty antagonist VM onto ``tier``'s host."""
+        if (times is None) == (period is None):
+            raise ValueError("give exactly one of times= or period=")
+        self._injector_specs.append(
+            ("consolidation", dict(tier=tier, times=times, period=period,
+                                   burst_cpu=burst_cpu, burst_jobs=burst_jobs,
+                                   shares=shares))
+        )
+        return self
+
+    def with_log_flush(self, tier="db", period=30.0, duration=0.35,
+                       offset=None):
+        """collectl-style periodic I/O freeze of ``tier``'s VM."""
+        self._injector_specs.append(
+            ("logflush", dict(tier=tier, period=period, duration=duration,
+                              offset=offset))
+        )
+        return self
+
+    def with_gc_pauses(self, tier="app", period=20.0, min_pause=0.2,
+                       max_pause=0.8):
+        """Irregular stop-the-world GC pauses on ``tier``'s VM
+        (the memory-class millibottleneck of the paper's §II)."""
+        self._injector_specs.append(
+            ("gc", dict(tier=tier, period=period, min_pause=min_pause,
+                        max_pause=max_pause))
+        )
+        return self
+
+    def with_network_jam(self, tier="app", period=30.0, duration=0.4,
+                         offset=None):
+        """Transient delivery stalls on the link into ``tier``
+        (the network-class millibottleneck)."""
+        self._injector_specs.append(
+            ("netjam", dict(tier=tier, period=period, duration=duration,
+                            offset=offset))
+        )
+        return self
+
+    def with_client_burst(self, times=None, period=None, batch_size=400,
+                          operation="ViewStory"):
+        """Scripted client-side request batches (§V-B style)."""
+        if (times is None) == (period is None):
+            raise ValueError("give exactly one of times= or period=")
+        self._scripted_bursts.append(
+            dict(times=times, period=period, batch_size=batch_size,
+                 operation=operation)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Build, run, and package the experiment."""
+        system = build_system(self.config)
+        sim = system.sim
+        monitor = system.attach_monitor()
+
+        modulator = None
+        if self.burst_index > 1:
+            modulator = BurstModulator.from_index(sim, self.burst_index)
+        population = ClosedLoopPopulation(
+            sim, system.fabric, system.entry, system.app, system.log,
+            clients=self.clients, think_mean=self.think_mean,
+            modulator=modulator,
+        )
+        population.start()
+
+        injectors = []
+        for kind, spec in self._injector_specs:
+            if kind == "consolidation":
+                injector = ColocationInjector(
+                    sim, system.host_of(spec["tier"]),
+                    burst_cpu_seconds=spec["burst_cpu"],
+                    burst_jobs=spec["burst_jobs"],
+                    shares=spec["shares"],
+                )
+                if spec["times"] is not None:
+                    injector.scripted(spec["times"])
+                else:
+                    injector.periodic(spec["period"], self.duration)
+                # show the antagonist's CPU alongside the tiers (the
+                # black/pink pair of Fig 3(a))
+                monitor.watch_vm(injector.vm.name, injector.vm)
+            elif kind == "logflush":
+                injector = LogFlushInjector(
+                    sim, system.vms[spec["tier"]],
+                    period=spec["period"], duration=spec["duration"],
+                    offset=spec["offset"],
+                ).start()
+            elif kind == "gc":
+                injector = GcPauseInjector(
+                    sim, system.vms[spec["tier"]],
+                    period=spec["period"], min_pause=spec["min_pause"],
+                    max_pause=spec["max_pause"],
+                ).start()
+            elif kind == "netjam":
+                injector = NetworkJamInjector(
+                    sim, system.servers[spec["tier"]].listener,
+                    period=spec["period"], duration=spec["duration"],
+                    offset=spec["offset"],
+                ).start()
+            else:  # pragma: no cover - guarded by the with_* methods
+                raise ValueError(f"unknown injector kind {kind!r}")
+            injectors.append(injector)
+
+        for spec in self._scripted_bursts:
+            times = spec["times"]
+            if times is None:
+                burst = ScriptedBurst.periodic(
+                    sim, system.fabric, system.entry, system.app, system.log,
+                    period=spec["period"], until=self.duration,
+                    batch_size=spec["batch_size"], operation=spec["operation"],
+                )
+            else:
+                burst = ScriptedBurst(
+                    sim, system.fabric, system.entry, system.app, system.log,
+                    times=times, batch_size=spec["batch_size"],
+                    operation=spec["operation"],
+                )
+            burst.start()
+
+        sim.run(until=self.duration)
+        log = system.log.after(self.warmup) if self.warmup else system.log
+        return RunResult(system, self, log, monitor, injectors)
+
+
+def nx_sweep(scenario_factory, levels=(0, 1, 2, 3)):
+    """Run the same scenario at several asynchrony levels.
+
+    ``scenario_factory(nx)`` must return a fresh :class:`Scenario` whose
+    config has that ``nx``.  Returns ``{nx: RunResult}``.
+    """
+    results = {}
+    for nx in levels:
+        scenario = scenario_factory(nx)
+        if scenario.config.nx != nx:
+            scenario.config = replace(scenario.config, nx=nx)
+        results[nx] = scenario.run()
+    return results

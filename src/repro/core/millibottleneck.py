@@ -1,0 +1,88 @@
+"""Millibottleneck detection (the paper's §III/§IV trigger events).
+
+A *millibottleneck* is a resource saturation lasting a fraction of a
+second — long enough to overflow bounded queues at ~1000 req/s, short
+enough to vanish in minute-averaged monitoring.  The paper detects them
+from fine-grained (50 ms) utilization data; we do the same over the
+:class:`~repro.metrics.monitor.SystemMonitor` series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Millibottleneck", "find_millibottlenecks", "find_all"]
+
+
+@dataclass(frozen=True)
+class Millibottleneck:
+    """One detected saturation episode."""
+
+    resource: str          # VM name the saturation was observed on
+    kind: str              # "cpu" or "io"
+    start: float
+    end: float
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def overlaps(self, start, end):
+        """True if this episode intersects [start, end)."""
+        return self.start < end and start < self.end
+
+    def __str__(self):
+        return (
+            f"{self.kind}-millibottleneck on {self.resource} "
+            f"[{self.start:.2f}s, {self.end:.2f}s] "
+            f"({self.duration * 1000:.0f} ms)"
+        )
+
+
+def find_millibottlenecks(series, resource, kind="cpu", threshold=0.95,
+                          min_duration=0.05, max_duration=2.5):
+    """Saturation episodes in one utilization time series.
+
+    Parameters
+    ----------
+    series:
+        A :class:`~repro.metrics.timeseries.TimeSeries` of utilization
+        fractions (CPU or iowait), sampled at sub-second granularity.
+    threshold:
+        Utilization above which the resource counts as saturated.
+    min_duration / max_duration:
+        Bounds separating millibottlenecks from noise (shorter) and from
+        persistent bottlenecks (longer).  The paper's defining property
+        is *sub-second* duration; episodes longer than ``max_duration``
+        are reported too but flagging them is the caller's job via
+        :attr:`Millibottleneck.duration`.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    episodes = []
+    for start, end in series.intervals_above(threshold, min_duration):
+        if end - start <= max_duration:
+            episodes.append(Millibottleneck(resource, kind, start, end))
+    return episodes
+
+
+def find_all(monitor, threshold=0.95, min_duration=0.05, max_duration=2.5):
+    """Scan every VM a monitor watches, both CPU and iowait.
+
+    Returns episodes sorted by start time.
+    """
+    episodes = []
+    for name, series in monitor.cpu.items():
+        episodes.extend(
+            find_millibottlenecks(
+                series, name, "cpu", threshold, min_duration, max_duration
+            )
+        )
+    for name, series in monitor.iowait.items():
+        episodes.extend(
+            find_millibottlenecks(
+                series, name, "io", threshold, min_duration, max_duration
+            )
+        )
+    episodes.sort(key=lambda e: (e.start, e.resource))
+    return episodes

@@ -1,0 +1,124 @@
+"""Analytic queueing estimates for the n-tier system.
+
+The paper leans on a qualitative argument from classic queueing theory:
+at ~50 % utilization, *steady-state* queueing cannot explain multi-second
+latencies — so something else (CTQO) must.  This module makes that
+argument quantitative for our calibrated system, and doubles as a
+calibration check: the simulator should agree with the analytics when no
+millibottlenecks are injected, and disagree violently when they are.
+
+Model: each tier is an M/G/1 processor-sharing station (PS is
+insensitive to the service distribution, so M/M/1 formulas apply), fed
+by a closed population of N clients with think time Z.  We solve the
+closed network by fixed-point iteration on the classic MVA-style
+throughput equation ``X = N / (Z + R(X))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.rubbos import APP_TIER, DB_TIER, WEB_TIER
+
+__all__ = ["TierDemand", "SteadyStateModel", "ps_response_time"]
+
+
+def ps_response_time(service, utilization):
+    """M/G/1-PS mean response time: ``S / (1 - rho)``."""
+    if service < 0:
+        raise ValueError(f"service must be >= 0, got {service}")
+    if utilization >= 1.0:
+        return float("inf")
+    return service / (1.0 - utilization)
+
+
+@dataclass(frozen=True)
+class TierDemand:
+    """Per-client-request CPU demand at one tier (seconds) and the
+    tier's parallel capacity in cores."""
+
+    name: str
+    demand: float
+    cores: int = 1
+
+    def utilization(self, throughput):
+        return throughput * self.demand / self.cores
+
+
+class SteadyStateModel:
+    """Closed-network steady-state predictions for a built application.
+
+    Parameters
+    ----------
+    app:
+        A :class:`~repro.apps.rubbos.RubbosApplication` (its mix defines
+        the per-tier demands).
+    think_mean:
+        Client think time Z in seconds.
+    app_cores:
+        vcpus of the app tier (Fig 5 scales Tomcat to 4).
+    """
+
+    def __init__(self, app, think_mean=7.0, app_cores=1):
+        if think_mean <= 0:
+            raise ValueError(f"think_mean must be positive, got {think_mean}")
+        self.app = app
+        self.think_mean = think_mean
+        self.tiers = [
+            TierDemand(WEB_TIER, app.expected_work(WEB_TIER)),
+            TierDemand(APP_TIER, app.expected_work(APP_TIER), cores=app_cores),
+            TierDemand(DB_TIER, app.expected_work(DB_TIER)),
+        ]
+
+    # ------------------------------------------------------------------
+    def capacity(self):
+        """Saturation throughput: the bottleneck tier's service rate."""
+        return min(t.cores / t.demand for t in self.tiers if t.demand > 0)
+
+    def response_time(self, throughput):
+        """Mean per-request residence across tiers at ``throughput``."""
+        total = 0.0
+        for tier in self.tiers:
+            rho = tier.utilization(throughput)
+            total += ps_response_time(tier.demand, rho)
+        return total
+
+    def solve(self, clients, tolerance=1e-9, max_iterations=10_000):
+        """Fixed point of ``X = N / (Z + R(X))``.
+
+        Returns a dict with throughput, mean response time, and per-tier
+        utilization — the numbers a millibottleneck-free run should hit.
+        """
+        if clients < 1:
+            raise ValueError(f"clients must be >= 1, got {clients}")
+        cap = self.capacity()
+        x = min(clients / self.think_mean, 0.999 * cap)
+        for _ in range(max_iterations):
+            r = self.response_time(x)
+            proposal = clients / (self.think_mean + r)
+            proposal = min(proposal, 0.9999 * cap)
+            if abs(proposal - x) < tolerance:
+                x = proposal
+                break
+            # damped update keeps the iteration stable near saturation
+            x = 0.5 * x + 0.5 * proposal
+        r = self.response_time(x)
+        return {
+            "throughput_rps": x,
+            "response_time_s": r,
+            "utilization": {
+                tier.name: tier.utilization(x) for tier in self.tiers
+            },
+            "bottleneck": max(
+                self.tiers, key=lambda t: t.utilization(x)
+            ).name,
+        }
+
+    def explains_seconds_of_latency(self, clients):
+        """The paper's §III sanity check: can steady-state queueing at
+        this load produce multi-second responses?  (Spoiler: no.)"""
+        return self.solve(clients)["response_time_s"] >= 1.0
+
+    def __repr__(self):
+        demands = {t.name: round(t.demand * 1000, 3) for t in self.tiers}
+        return f"<SteadyStateModel Z={self.think_mean}s demands_ms={demands}>"

@@ -1,0 +1,107 @@
+"""Tail-latency statistics and the multi-modal signature of Fig 1.
+
+The CTQO class of long-tail latency has a distinctive fingerprint: the
+response-time distribution is *multi-modal*, with the bulk of requests
+at milliseconds and extra clusters at ~3, ~6 and ~9 seconds — one per
+TCP retransmission a dropped request suffered.  These helpers quantify
+that fingerprint on raw response-time arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "multimodal_clusters",
+    "is_multimodal",
+    "mode_times",
+    "percentiles",
+    "semilog_histogram",
+    "tail_heaviness",
+]
+
+
+def multimodal_clusters(response_times, spacing=3.0, tolerance=0.5):
+    """Count requests near each retransmission mode.
+
+    Returns ``{0: bulk, 1: near spacing, 2: near 2*spacing, ...}`` for
+    as many modes as the data reaches.  Requests that fall between
+    modes (rare: genuine queueing of 1-2 s) are assigned to mode 0.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    if not 0 < tolerance < spacing / 2:
+        raise ValueError("tolerance must be in (0, spacing/2)")
+    times = np.asarray(list(response_times), dtype=float)
+    if times.size == 0:
+        return {0: 0}
+    max_mode = int(np.max(times) / spacing + 0.5)
+    clusters = {k: 0 for k in range(max_mode + 1)}
+    for rt in times:
+        mode = int(round(rt / spacing))
+        if mode > 0 and abs(rt - mode * spacing) > tolerance:
+            mode = 0
+        clusters[mode] += 1
+    return clusters
+
+
+def is_multimodal(response_times, spacing=3.0, tolerance=0.5,
+                  min_cluster=3):
+    """True when at least one retransmission mode beyond the bulk holds
+    ``min_cluster`` or more requests — the CTQO fingerprint."""
+    clusters = multimodal_clusters(response_times, spacing, tolerance)
+    return any(
+        count >= min_cluster for mode, count in clusters.items() if mode > 0
+    )
+
+
+def mode_times(response_times, spacing=3.0, tolerance=0.5):
+    """Mean response time of each non-empty mode (mode → seconds).
+
+    Verifies the modes sit where retransmission theory says: mode k at
+    ~``k * spacing`` plus the request's intrinsic service time.
+    """
+    sums = {}
+    counts = {}
+    for rt in response_times:
+        mode = int(round(rt / spacing))
+        if mode > 0 and abs(rt - mode * spacing) > tolerance:
+            mode = 0
+        sums[mode] = sums.get(mode, 0.0) + rt
+        counts[mode] = counts.get(mode, 0) + 1
+    return {mode: sums[mode] / counts[mode] for mode in sums}
+
+
+def percentiles(response_times, qs=(50, 90, 95, 99, 99.9)):
+    """Named percentiles of a response-time array (seconds)."""
+    times = np.asarray(list(response_times), dtype=float)
+    if times.size == 0:
+        return {q: 0.0 for q in qs}
+    return {q: float(np.percentile(times, q)) for q in qs}
+
+
+def tail_heaviness(response_times):
+    """p99.9 / p50 — a scale-free indicator of long-tail severity.
+
+    Near 1-20 for healthy systems; in the hundreds when 3-second
+    retransmission modes exist against a millisecond median.
+    """
+    stats = percentiles(response_times, qs=(50, 99.9))
+    if stats[50] <= 0:
+        return 0.0
+    return stats[99.9] / stats[50]
+
+
+def semilog_histogram(response_times, bin_width=0.1, max_time=10.0):
+    """The Fig 1 presentation: (bin_start_seconds, count) rows.
+
+    Bins are linear; the *figure* plots counts on a log axis, which is a
+    rendering choice — we return raw counts.  Values beyond ``max_time``
+    are clamped into the last bin.
+    """
+    if bin_width <= 0 or max_time <= 0:
+        raise ValueError("bin_width and max_time must be positive")
+    times = np.clip(np.asarray(list(response_times), dtype=float), 0.0, max_time)
+    edges = np.arange(0.0, max_time + bin_width, bin_width)
+    counts, _ = np.histogram(times, bins=edges)
+    return list(zip(edges[:-1].tolist(), counts.tolist()))

@@ -1,0 +1,87 @@
+"""Concurrency-overhead models for thread-based servers.
+
+Section V-E of the paper (and Fig 12) shows why "just add threads" is not
+a fix for CTQO: a synchronous 3-tier system configured with 2000-thread
+pools collapses from 1159 req/s at 100 concurrent requests to 374 req/s
+at 1600, because context switching, last-level-cache misses and JVM
+garbage collection eat the CPU as the number of *active* threads grows.
+
+We model this as a multiplicative efficiency applied to a VM's work
+completion rate: the VM still consumes its full physical-CPU allocation
+(utilization stays high), but only ``efficiency(n)`` of it turns into
+useful request processing when ``n`` threads are runnable.
+
+The default coefficients are calibrated in
+``repro.experiments.fig12_throughput`` against the paper's endpoints:
+roughly 1159 -> 374 req/s over 100 -> 1600 concurrency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EfficiencyModel", "PerfectEfficiency", "ThreadOverheadModel"]
+
+
+class EfficiencyModel:
+    """Interface: map a runnable-thread count to a (0, 1] efficiency."""
+
+    def __call__(self, active_jobs):
+        raise NotImplementedError
+
+
+class PerfectEfficiency(EfficiencyModel):
+    """No concurrency overhead — used for event-driven servers.
+
+    An event loop keeps the runnable set tiny (one loop, a few workers)
+    no matter how many requests are parked in its lightweight queue, so
+    its efficiency does not degrade with admitted requests.
+    """
+
+    def __call__(self, active_jobs):
+        return 1.0
+
+    def __repr__(self):
+        return "PerfectEfficiency()"
+
+
+class ThreadOverheadModel(EfficiencyModel):
+    """Context-switch + cache + GC overhead for thread-per-request VMs.
+
+    ``efficiency(n) = 1 / (1 + switch_cost*(n-free) + gc_cost*(n-free)^2)``
+    for ``n`` runnable threads above a ``free_threads`` grace count.
+
+    The linear term models scheduler/context-switch and cache-pollution
+    cost (each extra runnable thread adds a roughly constant tax); the
+    quadratic term models JVM garbage collection, whose cost the paper
+    notes grows *non-linearly* with thread count because every thread
+    pins stack and session memory.
+
+    Parameters
+    ----------
+    switch_cost:
+        Linear overhead per runnable thread above ``free_threads``.
+    gc_cost:
+        Quadratic overhead coefficient.
+    free_threads:
+        Threads that come "for free" (the OS handles a small runnable
+        set with negligible overhead).
+    """
+
+    def __init__(self, switch_cost=6e-4, gc_cost=6e-7, free_threads=64):
+        if switch_cost < 0 or gc_cost < 0:
+            raise ValueError("overhead coefficients must be >= 0")
+        if free_threads < 0:
+            raise ValueError("free_threads must be >= 0")
+        self.switch_cost = switch_cost
+        self.gc_cost = gc_cost
+        self.free_threads = free_threads
+
+    def __call__(self, active_jobs):
+        extra = max(0, active_jobs - self.free_threads)
+        overhead = self.switch_cost * extra + self.gc_cost * extra * extra
+        return 1.0 / (1.0 + overhead)
+
+    def __repr__(self):
+        return (
+            f"ThreadOverheadModel(switch_cost={self.switch_cost}, "
+            f"gc_cost={self.gc_cost}, free_threads={self.free_threads})"
+        )

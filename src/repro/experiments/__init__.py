@@ -1,0 +1,65 @@
+"""One module per figure/table of the paper's evaluation.
+
+========================  =============================================
+Module                    Reproduces
+========================  =============================================
+fig01_histograms          Fig 1 — multi-modal response-time histograms
+fig02_full_sysbursty      Fig 2 — full two-system consolidation (emergent)
+fig03_vm_consolidation    Fig 3 — upstream CTQO (CPU millibottleneck)
+fig05_log_flush           Fig 5 — upstream CTQO (I/O millibottleneck)
+fig07_nx1                 Fig 7 + §V-B — NX=1 yes-and-no
+fig08_nx2_mysql           Fig 8 — NX=2, downstream CTQO at MySQL
+fig09_nx2_xtomcat         Fig 9 — NX=2, XTomcat's batch floods MySQL
+fig10_nx3_xtomcat         Fig 10 — NX=3, no CTQO (CPU millibottleneck)
+fig11_nx3_xmysql          Fig 11 — NX=3, no CTQO (I/O millibottleneck)
+fig12_throughput          Fig 12 — 2000 threads vs async throughput
+deep_chain                extension — multi-hop CTQO in 4/5-tier chains
+replication               extension — replicas dilute but keep CTQO
+validation                substrate check — simulator vs queueing theory
+cause_variety             §III — CPU/disk/GC/network causes, same CTQO
+headline_utilization      abstract — 43 % sync vs 83 % async claim
+========================  =============================================
+
+Each module exposes ``run(...)`` (returns structured results, scalable
+down for tests) and ``main()`` (prints the figure as text).
+"""
+
+from . import (  # noqa: F401
+    cause_variety,
+    deep_chain,
+    replication,
+    validation,
+    fig01_histograms,
+    fig02_full_sysbursty,
+    fig03_vm_consolidation,
+    fig05_log_flush,
+    fig07_nx1,
+    fig08_nx2_mysql,
+    fig09_nx2_xtomcat,
+    fig10_nx3_xtomcat,
+    fig11_nx3_xmysql,
+    fig12_throughput,
+    headline_utilization,
+)
+from .timeline import TimelineResult, TimelineSpec, run_timeline
+
+__all__ = [
+    "TimelineResult",
+    "TimelineSpec",
+    "cause_variety",
+    "deep_chain",
+    "replication",
+    "validation",
+    "fig01_histograms",
+    "fig02_full_sysbursty",
+    "fig03_vm_consolidation",
+    "fig05_log_flush",
+    "fig07_nx1",
+    "fig08_nx2_mysql",
+    "fig09_nx2_xtomcat",
+    "fig10_nx3_xtomcat",
+    "fig11_nx3_xmysql",
+    "fig12_throughput",
+    "headline_utilization",
+    "run_timeline",
+]

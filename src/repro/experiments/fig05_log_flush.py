@@ -1,0 +1,43 @@
+"""Fig 5 — upstream CTQO from an I/O millibottleneck (log flushing).
+
+The synchronous stack with Tomcat scaled to four cores (so Tomcat is no
+longer the first bottleneck) and collectl flushing its measurement log
+on the MySQL node every 30 seconds.  Each flush freezes MySQL at 100 %
+I/O wait; queued queries exceed the Tomcat-side connection pool, Tomcat
+fills to MaxSysQDepth(Tomcat), Apache fills to MaxSysQDepth(Apache),
+and Apache drops packets — a two-hop upstream CTQO cascade.
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "run", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 5",
+    title="upstream CTQO, I/O millibottleneck in MySQL (collectl log flush)",
+    nx=0,
+    bottleneck_kind="logflush",
+    bottleneck_tier="db",
+    duration=80.0,
+    flush_period=30.0,
+    flush_duration=0.5,
+    flush_offset=10.0,
+    app_vcpus=4,
+    expect_drops_at=("apache",),
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def main():
+    result = run()
+    print(result.report())
+    return result
+
+
+if __name__ == "__main__":
+    main()

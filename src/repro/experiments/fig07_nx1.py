@@ -1,0 +1,60 @@
+"""Fig 7 (and the §V-B MySQL variant) — NX=1, Nginx-Tomcat-MySQL.
+
+Replacing Apache with Nginx removes the *upstream* CTQO — Nginx never
+drops packets because its lightweight queue holds ~65535 requests.  The
+answer to "does one async tier fix it?" is the paper's yes-and-no:
+
+- millibottlenecks in Tomcat (this figure): Nginx keeps forwarding, so
+  more packets than MaxSysQDepth(Tomcat)=293 arrive during the stall
+  and **Tomcat** drops them — downstream CTQO;
+- millibottlenecks in MySQL (§V-B text, :data:`SPEC_MYSQL`): the still-
+  synchronous Tomcat blocks on its 50-connection pool, fills up, and
+  **Tomcat** drops packets — upstream CTQO between MySQL and Tomcat.
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "SPEC_MYSQL", "run", "run_mysql_variant", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 7",
+    title="NX=1, downstream CTQO at Tomcat (millibottleneck in Tomcat)",
+    nx=1,
+    bottleneck_kind="consolidation",
+    bottleneck_tier="app",
+    expect_drops_at=("tomcat",),
+)
+
+SPEC_MYSQL = TimelineSpec(
+    figure="§V-B",
+    title="NX=1, upstream CTQO at Tomcat (millibottleneck in MySQL)",
+    nx=1,
+    bottleneck_kind="consolidation",
+    bottleneck_tier="db",
+    expect_drops_at=("tomcat",),
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def run_mysql_variant(duration=None, clients=None, seed=None):
+    return run_timeline(
+        SPEC_MYSQL, duration=duration, clients=clients, seed=seed
+    )
+
+
+def main():
+    result = run()
+    print(result.report())
+    print()
+    variant = run_mysql_variant()
+    print(variant.report())
+    return result, variant
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Fig 8 — NX=2, Nginx-XTomcat-MySQL, millibottleneck in MySQL.
+
+With the web and app tiers asynchronous, neither of them ever
+experiences CTQO: waiting requests cost lightweight-queue slots, not
+threads.  But the continuous inflow they forward overwhelms the still-
+synchronous MySQL during its own millibottleneck — queued queries reach
+MaxSysQDepth(MySQL) = 100 threads + 128 backlog = 228 and **MySQL**
+drops packets (downstream CTQO).
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "run", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 8",
+    title="NX=2, downstream CTQO at MySQL (millibottleneck in MySQL)",
+    nx=2,
+    bottleneck_kind="consolidation",
+    bottleneck_tier="db",
+    expect_drops_at=("mysql",),
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def main():
+    result = run()
+    print(result.report())
+    mysql = result.run.system.servers["db"]
+    print(f"\nMaxSysQDepth(MySQL) = {mysql.max_sys_q_depth}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

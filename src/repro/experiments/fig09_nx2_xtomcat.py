@@ -1,0 +1,39 @@
+"""Fig 9 — NX=2, Nginx-XTomcat-MySQL, millibottleneck in XTomcat.
+
+The subtle case: the millibottleneck is in an *asynchronous* tier.
+XTomcat itself never drops — arriving requests park in its lightweight
+queue (up to LiteQDepth) while its CPU is starved.  But the moment the
+millibottleneck ends, XTomcat races through the parked requests' cheap
+pre-query stages and fires their database queries *in a batch*; the
+batch exceeds MaxSysQDepth(MySQL)=228 and **MySQL** drops packets.
+Buffering in an async tier converts its own stall into downstream CTQO.
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "run", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 9",
+    title="NX=2, downstream CTQO at MySQL (millibottleneck in XTomcat)",
+    nx=2,
+    bottleneck_kind="consolidation",
+    bottleneck_tier="app",
+    expect_drops_at=("mysql",),
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def main():
+    result = run()
+    print(result.report())
+    return result
+
+
+if __name__ == "__main__":
+    main()

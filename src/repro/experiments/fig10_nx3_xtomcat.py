@@ -1,0 +1,37 @@
+"""Fig 10 — NX=3, Nginx-XTomcat-XMySQL, millibottleneck in XTomcat.
+
+The fully asynchronous stack under the same CPU millibottleneck as
+Fig 9.  XTomcat's post-stall batch now lands in XMySQL's lightweight
+queue (InnoDB's 8 executor threads + a 2000-entry wait queue), which
+absorbs it entirely: no queue in any tier reaches a drop threshold, no
+packets are lost, and no VLRT requests appear.
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "run", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 10",
+    title="NX=3, no CTQO despite millibottleneck in XTomcat",
+    nx=3,
+    bottleneck_kind="consolidation",
+    bottleneck_tier="app",
+    expect_no_drops=True,
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def main():
+    result = run()
+    print(result.report())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Fig 11 — NX=3, Nginx-XTomcat-XMySQL, I/O millibottleneck in XMySQL.
+
+The fully asynchronous stack under the Fig 5 log-flush freeze, now
+hitting XMySQL.  During each freeze all three tiers buffer requests in
+their lightweight queues (similar depths in every tier — the paper's
+signature of *no* cross-tier amplification), and nothing is dropped.
+"""
+
+from __future__ import annotations
+
+from .timeline import TimelineSpec, run_timeline
+
+__all__ = ["SPEC", "run", "main"]
+
+SPEC = TimelineSpec(
+    figure="Fig 11",
+    title="NX=3, no CTQO despite I/O millibottleneck in XMySQL",
+    nx=3,
+    bottleneck_kind="logflush",
+    bottleneck_tier="db",
+    duration=80.0,
+    flush_period=30.0,
+    flush_duration=0.5,
+    flush_offset=10.0,
+    expect_no_drops=True,
+)
+
+
+def run(duration=None, clients=None, seed=None):
+    return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def main():
+    result = run()
+    print(result.report())
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+"""Run the complete evaluation and record paper-vs-measured results.
+
+``python -m repro.experiments.record [output.md]`` executes every
+experiment at full scale and writes a Markdown record — this is how the
+repository's ``EXPERIMENTS.md`` is produced, so the numbers there are
+always regenerable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import (
+    fig01_histograms,
+    fig03_vm_consolidation,
+    fig05_log_flush,
+    fig07_nx1,
+    fig08_nx2_mysql,
+    fig09_nx2_xtomcat,
+    fig10_nx3_xtomcat,
+    fig11_nx3_xmysql,
+    fig12_throughput,
+    headline_utilization,
+    run_timeline,
+)
+
+__all__ = ["record_all", "main"]
+
+#: (figure id, paper claim, paper numbers) for the timeline experiments
+_TIMELINE_ROWS = [
+    (fig03_vm_consolidation.SPEC, "drops at Apache; Tomcat queue caps at "
+     "293; Apache plateau 278 then 428 via second process"),
+    (fig05_log_flush.SPEC, "I/O freeze in MySQL cascades to Apache drops"),
+    (fig07_nx1.SPEC, "no drops at Nginx; Tomcat drops at 293"),
+    (fig07_nx1.SPEC_MYSQL, "MySQL millibottleneck still drops at Tomcat "
+     "(upstream CTQO through the JDBC pool)"),
+    (fig08_nx2_mysql.SPEC, "MySQL drops; queue caps at 228 = 100+128"),
+    (fig09_nx2_xtomcat.SPEC, "XTomcat's post-stall batch floods MySQL"),
+    (fig10_nx3_xtomcat.SPEC, "no drops, no VLRT despite the same "
+     "millibottlenecks"),
+    (fig11_nx3_xmysql.SPEC, "no drops, no VLRT despite the I/O freezes"),
+]
+
+
+def _timeline_section(lines):
+    lines.append("## Timeline figures (3, 5, 7, 8, 9, 10, 11)\n")
+    lines.append("| Figure | Paper claim | Measured | Status |")
+    lines.append("|---|---|---|---|")
+    ok = True
+    for spec, claim in _TIMELINE_ROWS:
+        result = run_timeline(spec)
+        summary = result.summary()
+        drops = ", ".join(
+            f"{name}:{count}"
+            for name, count in summary["drops_by_server"].items() if count
+        ) or "none"
+        queue_max = result.run.queue_max()
+        failures = result.check_claims()
+        ok &= not failures
+        measured = (
+            f"drops {drops}; queue max {queue_max}; "
+            f"VLRT {summary['vlrt']}; "
+            f"{summary['throughput_rps']:.0f} req/s"
+        )
+        status = "reproduced" if not failures else f"MISMATCH: {failures}"
+        lines.append(f"| {spec.figure} | {claim} | {measured} | {status} |")
+    lines.append("")
+    return ok
+
+
+def _fig01_section(lines):
+    lines.append("## Fig 1 — multi-modal response-time histograms\n")
+    panels = fig01_histograms.run(duration=120.0)
+    lines.append("| Workload | Paper | Measured | Mode clusters |")
+    lines.append("|---|---|---|---|")
+    paper = {4000: "572 req/s @ 43 %", 7000: "990 req/s @ 75 %",
+             8000: "1103 req/s @ 85 %"}
+    ok = True
+    for clients, panel in sorted(panels.items()):
+        modes = {k: v for k, v in sorted(panel["modes"].items()) if v}
+        measured = (f"{panel['throughput_rps']:.0f} req/s @ "
+                    f"{panel['highest_avg_cpu'] * 100:.0f} %")
+        lines.append(
+            f"| WL {clients} | {paper[clients]} | {measured} | {modes} |"
+        )
+        ok &= panel["vlrt"] > 0
+    lines.append("")
+    lines.append("Every workload level shows the long-tail clusters near "
+                 "multiples of 3 s (one per TCP retransmission), including "
+                 "the lowest (the paper's \"as low as 43 %\").\n")
+    return ok
+
+
+def _fig12_section(lines):
+    lines.append("## Fig 12 — throughput vs workload concurrency\n")
+    sweep = fig12_throughput.run()
+    lines.append("| Concurrency | sync 2000-thread (paper) | sync (measured)"
+                 " | async (measured) |")
+    lines.append("|---|---|---|---|")
+    paper = {100: 1159, 200: "—", 400: "—", 800: "—", 1600: 374}
+    for level in sorted(sweep["synchronous"]):
+        lines.append(
+            f"| {level} | {paper.get(level, '—')} | "
+            f"{sweep['synchronous'][level]:.0f} | "
+            f"{sweep['asynchronous'][level]:.0f} |"
+        )
+    low, high = min(sweep["synchronous"]), max(sweep["synchronous"])
+    retained = sweep["synchronous"][high] / sweep["synchronous"][low]
+    lines.append("")
+    lines.append(f"Synchronous stack retains {retained * 100:.0f} % of its "
+                 "low-concurrency throughput at 1600 concurrent requests "
+                 "(paper: 32 %); the asynchronous stack sustains its "
+                 "throughput throughout.\n")
+    return retained < 0.6
+
+
+def _headline_section(lines):
+    lines.append("## Headline claim (abstract)\n")
+    points = headline_utilization.run()
+    lines.append("| Stack | Workload | Throughput | Top avg CPU | Dropped |"
+                 " VLRT |")
+    lines.append("|---|---|---|---|---|---|")
+    for (nx, clients), point in sorted(points.items(),
+                                       key=lambda kv: (kv[0][1], kv[0][0])):
+        lines.append(
+            f"| {'sync' if nx == 0 else 'async'} | WL {clients} | "
+            f"{point['throughput_rps']:.0f} req/s | "
+            f"{point['highest_avg_cpu'] * 100:.0f} % | "
+            f"{point['dropped_packets']} | {point['vlrt']} |"
+        )
+    sync_cpu = [p["highest_avg_cpu"] for (nx, _c), p in points.items()
+                if nx == 0 and p["dropped_packets"] > 0]
+    async_clean = [p["highest_avg_cpu"] for (nx, _c), p in points.items()
+                   if nx == 3 and p["dropped_packets"] == 0]
+    lines.append("")
+    lines.append(
+        f"Synchronous stack drops packets at utilization as low as "
+        f"{min(sync_cpu) * 100:.0f} % (paper: 43 %); the asynchronous stack "
+        f"stays drop-free up to {max(async_clean) * 100:.0f} % "
+        f"(paper: 83 %).\n"
+    )
+    return bool(sync_cpu) and bool(async_clean)
+
+
+def record_all(path="EXPERIMENTS.md"):
+    """Run everything; write the Markdown record; return overall success."""
+    started = time.time()
+    lines = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Generated by `python -m repro.experiments.record`; every number",
+        "below comes from an actual run of this repository's simulator",
+        "(deterministic — rerunning reproduces it exactly).  Absolute",
+        "values differ from the authors' ESXi testbed; the reproduction",
+        "targets are the *shapes*: who drops packets, at which queue",
+        "bound, and how the sync/async contrast behaves.",
+        "",
+    ]
+    ok = True
+    ok &= _fig01_section(lines)
+    ok &= _timeline_section(lines)
+    ok &= _fig12_section(lines)
+    ok &= _headline_section(lines)
+    lines.append("## Conditions model (§III)\n")
+    lines.append("The paper's arithmetic — 1000 req/s x 0.4 s against "
+                 "MaxSysQDepth 278 ⇒ 122 dropped packets — is implemented "
+                 "in `repro.core.conditions` and validated in unit tests; "
+                 "`python -m repro conditions` evaluates it for arbitrary "
+                 "parameters.\n")
+    lines.append("## Substrate validation and extensions\n")
+    lines.append("With no millibottleneck source, the simulator matches "
+                 "the analytic closed-network model within ~2 % on "
+                 "throughput and ~1 pp on utilization "
+                 "(`python -m repro.experiments.validation`).  Results "
+                 "beyond the paper — the emergent two-system Fig 2 "
+                 "(`fig02_full_sysbursty`), deep chains (`deep_chain`), "
+                 "replication (`replication`), downstream pacing and the "
+                 "other ablations — are asserted and recorded by "
+                 "`pytest benchmarks/ --benchmark-only` "
+                 "(see `bench_output.txt`).\n")
+    elapsed = time.time() - started
+    lines.append(f"_Total regeneration time: {elapsed / 60:.1f} minutes "
+                 "(pure-Python simulation on one core)._")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return ok
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    ok = record_all(path)
+    print(f"wrote {path} ({'all claims reproduced' if ok else 'MISMATCHES'})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Text rendering for experiment results (tables, ASCII timelines).
+
+The paper's figures are line plots over time; benchmarks in this
+repository regenerate the underlying series and render them as compact
+ASCII charts plus the headline numbers, so a terminal run can be checked
+against the paper's shapes directly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ascii_timeline", "format_table", "histogram_rows", "indent"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_timeline(series, width=72, height=1, label=None, vmax=None):
+    """Render a TimeSeries as a block-character sparkline.
+
+    Downsamples by taking the max in each horizontal cell (peaks are the
+    signal in millibottleneck plots — means would erase them).
+    """
+    if len(series) == 0:
+        return f"{label or series.name}: (no samples)"
+    times, values = series.times, series.values
+    t0, t1 = times[0], times[-1]
+    span = max(t1 - t0, 1e-9)
+    cells = [0.0] * width
+    for t, v in zip(times, values):
+        index = min(width - 1, int((t - t0) / span * width))
+        if v > cells[index]:
+            cells[index] = v
+    top = vmax if vmax is not None else (max(cells) or 1.0)
+    top = top or 1.0
+    line = "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int(v / top * (len(_BLOCKS) - 1) + 1e-9))]
+        if v > 0 else _BLOCKS[0]
+        for v in cells
+    )
+    name = label or series.name
+    return f"{name:>16s} |{line}| max={max(values):g}"
+
+
+def format_table(headers, rows, sep="  "):
+    """Plain-text table with right-padded columns."""
+    headers = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        sep.join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in text_rows:
+        lines.append(sep.join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def histogram_rows(pairs, log_marker="#", width=40):
+    """Render (bin_start, count) pairs as a semi-log bar chart à la Fig 1.
+
+    Bar length is proportional to log10(count + 1), which is how the
+    paper's semi-log frequency axis reads visually.
+    """
+    import math
+
+    lines = []
+    nonzero = [count for _t, count in pairs if count > 0]
+    top = math.log10(max(nonzero) + 1) if nonzero else 1.0
+    for start, count in pairs:
+        if count == 0:
+            continue
+        bar = log_marker * max(1, int(math.log10(count + 1) / top * width))
+        lines.append(f"{start:7.2f}s  {count:>8d}  {bar}")
+    return "\n".join(lines) if lines else "(empty histogram)"
+
+
+def indent(text, prefix="    "):
+    return "\n".join(prefix + line for line in text.splitlines())

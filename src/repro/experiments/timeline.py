@@ -1,0 +1,220 @@
+"""Shared machinery for the timeline figures (Fig 3, 5, 7, 8, 9, 10, 11).
+
+Each of those figures is the same three-panel story told under a
+different configuration:
+
+  (a) fine-grained CPU (or iowait) utilization showing millibottlenecks,
+  (b) per-server queue depths showing where MaxSysQDepth is reached,
+  (c) VLRT requests per 50 ms window showing the dropped packets.
+
+:class:`TimelineSpec` captures a figure's parameters;
+:func:`run_timeline` executes it and returns a :class:`TimelineResult`
+that knows how to check the figure's headline claims and render the
+three panels as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.evaluation import Scenario
+from ..topology.configs import SystemConfig
+from .report import ascii_timeline, format_table
+
+__all__ = ["TimelineSpec", "TimelineResult", "run_timeline"]
+
+#: burst instants used by the consolidation timelines (a 45 s run),
+#: mirroring the paper's irregular marks (e.g. 2/5/9/15 s in Fig 3).
+DEFAULT_BURST_TIMES = (15.0, 22.0, 29.0, 36.0)
+
+
+@dataclass
+class TimelineSpec:
+    """One timeline experiment's parameters."""
+
+    figure: str
+    title: str
+    nx: int
+    bottleneck_kind: str          # "consolidation" or "logflush"
+    bottleneck_tier: str          # "web" | "app" | "db"
+    clients: int = 7000
+    duration: float = 45.0
+    warmup: float = 5.0
+    burst_times: tuple = DEFAULT_BURST_TIMES
+    flush_period: float = 30.0
+    flush_duration: float = 0.5
+    flush_offset: float = 10.0
+    app_vcpus: int = 1
+    seed: int = 42
+    expect_drops_at: tuple = ()   # server display names
+    expect_no_drops: bool = False
+    config_overrides: dict = field(default_factory=dict)
+
+    def build_config(self):
+        return SystemConfig(
+            nx=self.nx, seed=self.seed, app_vcpus=self.app_vcpus,
+            **self.config_overrides,
+        )
+
+    def scaled(self, duration=None, clients=None, seed=None):
+        """A copy resized for quick tests or benchmark budgets."""
+        out = replace(self)
+        if duration is not None:
+            out.duration = duration
+            out.burst_times = tuple(
+                t for t in self.burst_times if t < duration - 2.0
+            )
+        if clients is not None:
+            out.clients = clients
+        if seed is not None:
+            out.seed = seed
+        return out
+
+
+class TimelineResult:
+    """A finished timeline run plus its figure-shaped views."""
+
+    def __init__(self, spec, run):
+        self.spec = spec
+        self.run = run
+
+    # convenience passthroughs ------------------------------------------
+    @property
+    def names(self):
+        return self.run.names
+
+    @property
+    def drops(self):
+        return self.run.drops
+
+    def summary(self):
+        return self.run.summary()
+
+    # the figure's three panels -----------------------------------------
+    def panel_a(self):
+        """(label, TimeSeries) pairs: utilization of the relevant VMs."""
+        rows = []
+        for tier in ("web", "app", "db"):
+            rows.append((self.names[tier], self.run.cpu_series(tier)))
+        if self.spec.bottleneck_kind == "logflush":
+            tier = self.spec.bottleneck_tier
+            rows.append(
+                (f"{self.names[tier]}-iowait", self.run.iowait_series(tier))
+            )
+        else:
+            for injector in self.run.injectors:
+                vm = getattr(injector, "vm", None)
+                if vm is not None and vm.name in self.run.monitor.cpu:
+                    rows.append((vm.name, self.run.monitor.cpu[vm.name]))
+        return rows
+
+    def panel_b(self):
+        """(label, TimeSeries, MaxSysQDepth) triples: queue depths."""
+        rows = []
+        for tier in ("web", "app", "db"):
+            server = self.run.system.servers[tier]
+            rows.append(
+                (self.names[tier], self.run.queue_series(tier),
+                 server.max_sys_q_depth)
+            )
+        return rows
+
+    def panel_c(self, window=0.05):
+        """VLRT-per-window TimeSeries (Fig x(c))."""
+        return self.run.vlrt_series(window=window)
+
+    # claim checking ------------------------------------------------------
+    def check_claims(self):
+        """Compare observed drop sites against the figure's claims.
+
+        Returns a list of failure strings (empty = the shape holds).
+        """
+        failures = []
+        drops = self.drops
+        if self.spec.expect_no_drops:
+            if any(drops.values()):
+                failures.append(f"expected no drops, saw {drops}")
+        for name in self.spec.expect_drops_at:
+            if drops.get(name, 0) == 0:
+                failures.append(f"expected drops at {name}, saw {drops}")
+        unexpected = [
+            name for name, count in drops.items()
+            if count > 0 and name not in self.spec.expect_drops_at
+        ]
+        if not self.spec.expect_no_drops and self.spec.expect_drops_at:
+            # secondary drop sites are tolerated if small relative to the
+            # primary site (the paper's figures show minor companion drops)
+            primary = max(drops.get(n, 0) for n in self.spec.expect_drops_at)
+            for name in unexpected:
+                if drops[name] > max(10, 0.2 * primary):
+                    failures.append(
+                        f"unexpectedly large drops at {name}: {drops}"
+                    )
+        return failures
+
+    def report(self):
+        """Render the whole figure as text."""
+        spec = self.spec
+        lines = [
+            f"=== {spec.figure}: {spec.title} ===",
+            f"stack: {'-'.join(self.names[t] for t in ('web', 'app', 'db'))}"
+            f"   WL {spec.clients} clients, {spec.duration:.0f}s run",
+            "",
+            "(a) CPU utilization",
+        ]
+        for label, series in self.panel_a():
+            lines.append(ascii_timeline(series, label=label, vmax=1.0))
+        lines.append("")
+        lines.append("(b) queued requests (threshold = MaxSysQDepth)")
+        for label, series, threshold in self.panel_b():
+            lines.append(
+                ascii_timeline(series, label=f"{label}({threshold})")
+            )
+        lines.append("")
+        lines.append("(c) VLRT requests per 50 ms")
+        lines.append(ascii_timeline(self.panel_c(), label="VLRT"))
+        lines.append("")
+        summary = self.summary()
+        lines.append(
+            format_table(
+                ["requests", "throughput", "VLRT", "dropped", "drop sites"],
+                [[
+                    summary["requests"],
+                    f"{summary['throughput_rps']:.0f} req/s",
+                    summary["vlrt"],
+                    summary["dropped_packets"],
+                    ", ".join(
+                        f"{k}:{v}" for k, v in summary["drops_by_server"].items()
+                        if v
+                    ) or "none",
+                ]],
+            )
+        )
+        failures = self.check_claims()
+        lines.append("")
+        if failures:
+            lines.append("CLAIM CHECK: FAILED")
+            lines.extend(f"  - {f}" for f in failures)
+        else:
+            lines.append("CLAIM CHECK: ok — drop sites match the paper")
+        return "\n".join(lines)
+
+
+def run_timeline(spec, duration=None, clients=None, seed=None):
+    """Execute a timeline spec (optionally rescaled) and wrap the result."""
+    spec = spec.scaled(duration=duration, clients=clients, seed=seed)
+    scenario = Scenario(
+        spec.build_config(), clients=spec.clients,
+        duration=spec.duration, warmup=spec.warmup,
+    )
+    if spec.bottleneck_kind == "consolidation":
+        scenario.with_consolidation(spec.bottleneck_tier,
+                                    times=list(spec.burst_times))
+    elif spec.bottleneck_kind == "logflush":
+        scenario.with_log_flush(
+            spec.bottleneck_tier, period=spec.flush_period,
+            duration=spec.flush_duration, offset=spec.flush_offset,
+        )
+    else:
+        raise ValueError(f"unknown bottleneck kind {spec.bottleneck_kind!r}")
+    return TimelineResult(spec, scenario.run())

@@ -1,0 +1,69 @@
+"""Memory millibottlenecks: garbage-collection pauses.
+
+The paper's predecessor study ([32], cited in §II) traced VLRT requests
+to Java garbage collectors; GC pauses are the canonical *memory*-class
+millibottleneck.  A major collection stops the JVM's mutator threads —
+for the queueing model that is a VM freeze, like the log-flush case but
+with different timing statistics: pauses recur irregularly (allocation
+pressure, not a cron-like schedule) and their length varies.
+
+We model inter-pause gaps as exponential around ``period`` and pause
+lengths as uniform in ``[min_pause, max_pause]``, drawn from a
+dedicated deterministic stream.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GcPauseInjector"]
+
+
+class GcPauseInjector:
+    """Irregular stop-the-world pauses of one VM.
+
+    Parameters
+    ----------
+    vm:
+        The VM whose JVM pauses (Tomcat in [32]).
+    period:
+        Mean seconds between pause starts.
+    min_pause / max_pause:
+        Bounds of the uniform pause-length distribution.
+    """
+
+    def __init__(self, sim, vm, period=20.0, min_pause=0.2, max_pause=0.8,
+                 rng=None):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0 < min_pause <= max_pause:
+            raise ValueError("need 0 < min_pause <= max_pause")
+        if max_pause >= period:
+            raise ValueError("pauses must be shorter than the mean period")
+        self.sim = sim
+        self.vm = vm
+        self.period = period
+        self.min_pause = min_pause
+        self.max_pause = max_pause
+        self.rng = rng or sim.fork_rng(f"gc/{vm.name}")
+        #: (start_time, duration) of every pause, for analysis/tests.
+        self.pauses = []
+        self._started = False
+
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        self.sim.process(self._loop(), name=f"gc:{self.vm.name}")
+        return self
+
+    def _loop(self):
+        while True:
+            yield self.rng.expovariate(1.0 / self.period)
+            duration = self.rng.uniform(self.min_pause, self.max_pause)
+            self.pauses.append((self.sim.now, duration))
+            self.vm.freeze(duration)
+
+    def __repr__(self):
+        return (
+            f"<GcPauseInjector vm={self.vm.name} ~every {self.period}s, "
+            f"{self.min_pause * 1000:.0f}-{self.max_pause * 1000:.0f}ms>"
+        )

@@ -1,0 +1,66 @@
+"""I/O millibottlenecks via monitoring-log flushes (the paper's §IV-B).
+
+The second millibottleneck source in the paper is its own monitoring
+tool: every 30 seconds ``collectl`` flushes its fine-grained measurement
+log from memory to disk, driving the MySQL node to 100 % I/O wait for a
+few hundred milliseconds and stalling every MySQL thread.
+
+We model a log flush as a VM freeze (zero CPU allocation, time counted
+as iowait) of ``duration`` seconds every ``period`` seconds.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LogFlushInjector"]
+
+
+class LogFlushInjector:
+    """Periodic I/O freezes of one VM.
+
+    Parameters
+    ----------
+    vm:
+        The VM whose disk the flush saturates (MySQL in the paper).
+    period:
+        Seconds between flushes (collectl's 30 s).
+    duration:
+        Freeze length per flush (a few hundred ms).
+    offset:
+        Time of the first flush (defaults to one period in).
+    """
+
+    def __init__(self, sim, vm, period=30.0, duration=0.35, offset=None):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if duration >= period:
+            raise ValueError("flush duration must be shorter than the period")
+        self.sim = sim
+        self.vm = vm
+        self.period = period
+        self.duration = duration
+        self.offset = offset if offset is not None else period
+        #: flush start times, for analysis/tests.
+        self.flush_times = []
+        self._started = False
+
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        self.sim.process(self._loop(), name=f"logflush:{self.vm.name}")
+        return self
+
+    def _loop(self):
+        yield self.offset
+        while True:
+            self.flush_times.append(self.sim.now)
+            self.vm.freeze(self.duration)
+            yield self.period
+
+    def __repr__(self):
+        return (
+            f"<LogFlushInjector vm={self.vm.name} period={self.period}s "
+            f"duration={self.duration * 1000:.0f}ms>"
+        )

@@ -1,0 +1,86 @@
+"""Network millibottlenecks: transient delivery stalls on a link.
+
+The paper's §II notes millibottlenecks "can arise from contention of
+any hardware or software resources, including CPU, memory, network,
+disk".  This injector models the network case: for a sub-second window,
+packets addressed to one listener are held (switch buffer pause, NIC
+interrupt storm, hypervisor vSwitch stall) and then released together.
+
+The release is itself interesting: the held packets arrive as a batch —
+a network stall *creates* the burst that overflows `MaxSysQDepth`, so
+even a tier whose own resources never saturate can exhibit downstream
+CTQO purely from the network.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NetworkJamInjector"]
+
+
+class NetworkJamInjector:
+    """Periodically stall deliveries to one listener.
+
+    Works by wrapping the listener's ``deliver``: during a jam, packets
+    are parked; at jam end they are re-delivered in arrival order (any
+    that then overflow the queues drop normally and retransmit).
+    """
+
+    def __init__(self, sim, listener, period=30.0, duration=0.4,
+                 offset=None):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if duration >= period:
+            raise ValueError("jam duration must be shorter than the period")
+        self.sim = sim
+        self.listener = listener
+        self.period = period
+        self.duration = duration
+        self.offset = offset if offset is not None else period
+        self.jam_times = []
+        self._held = []
+        self._jammed = False
+        self._started = False
+        self._original_deliver = listener.deliver
+        listener.deliver = self._deliver
+
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        self.sim.process(self._loop(), name=f"netjam:{self.listener.name}")
+        return self
+
+    @property
+    def held_packets(self):
+        """Packets currently parked by an active jam."""
+        return len(self._held)
+
+    # ------------------------------------------------------------------
+    def _deliver(self, exchange):
+        if self._jammed:
+            self._held.append(exchange)
+            return True  # in flight on the wire, neither queued nor lost
+        return self._original_deliver(exchange)
+
+    def _loop(self):
+        yield self.offset
+        while True:
+            self.jam_times.append(self.sim.now)
+            self._jammed = True
+            yield self.duration
+            self._jammed = False
+            held, self._held = self._held, []
+            for exchange in held:
+                # route through the fabric's arrival logic so a packet
+                # that overflows on release is dropped *and retransmitted*
+                # like any other (not silently lost)
+                exchange.fabric._arrive(exchange)
+            yield self.period - self.duration
+
+    def __repr__(self):
+        return (
+            f"<NetworkJamInjector {self.listener.name} "
+            f"period={self.period}s duration={self.duration * 1000:.0f}ms>"
+        )

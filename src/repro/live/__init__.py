@@ -1,0 +1,19 @@
+"""A live asyncio implementation of the n-tier testbed.
+
+Real sockets on localhost, same queueing semantics as the simulator:
+thread-pool tiers that hold slots across downstream calls vs
+event-driven tiers with lightweight queues.  See ``repro.live.demo``.
+"""
+
+from .client import LiveClient, LiveRecord
+from .protocol import Dropped
+from .servers import AsyncTier, LiveTier, SyncTier
+
+__all__ = [
+    "AsyncTier",
+    "Dropped",
+    "LiveClient",
+    "LiveRecord",
+    "LiveTier",
+    "SyncTier",
+]

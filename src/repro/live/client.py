@@ -1,0 +1,116 @@
+"""Load generator for the live asyncio testbed.
+
+Mirrors the simulated client: open-loop arrivals, and a drop is retried
+after ``rto`` seconds (a scaled-down stand-in for the kernel's 3 s SYN
+retransmission, so demo runs stay short).  Response times therefore
+show the same multi-modal signature: a fast bulk plus clusters near
+``k * rto``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+
+from .protocol import Dropped, read_message, write_message
+
+__all__ = ["LiveClient", "LiveRecord"]
+
+
+class LiveRecord:
+    """Outcome of one live request."""
+
+    __slots__ = ("start", "end", "attempts", "failed")
+
+    def __init__(self, start, end, attempts, failed):
+        self.start = start
+        self.end = end
+        self.attempts = attempts
+        self.failed = failed
+
+    @property
+    def response_time(self):
+        return self.end - self.start
+
+    @property
+    def was_dropped(self):
+        return self.attempts > 1 or self.failed
+
+
+class LiveClient:
+    """Open-loop Poisson-ish load with drop retransmission."""
+
+    def __init__(self, address, rate, rto=0.5, max_retries=3,
+                 request_timeout=5.0):
+        self.address = address
+        self.rate = rate
+        self.rto = rto
+        self.max_retries = max_retries
+        self.request_timeout = request_timeout
+        self.records = []
+        self._tasks = []
+
+    async def _attempt(self, payload):
+        host, port = self.address
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await write_message(writer, payload)
+            return await asyncio.wait_for(read_message(reader),
+                                          self.request_timeout)
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _one_request(self, index):
+        start = time.monotonic()
+        attempts = 0
+        failed = True
+        while attempts <= self.max_retries:
+            attempts += 1
+            try:
+                response = await self._attempt({"id": index})
+                failed = not response.get("ok", False)
+                break
+            except (Dropped, ConnectionError, OSError, asyncio.TimeoutError):
+                if attempts > self.max_retries:
+                    break
+                await asyncio.sleep(self.rto)
+        self.records.append(
+            LiveRecord(start, time.monotonic(), attempts, failed)
+        )
+
+    async def run(self, duration):
+        """Generate load for ``duration`` seconds; returns the records."""
+        import random
+
+        rng = random.Random(1234)
+        deadline = time.monotonic() + duration
+        index = 0
+        while time.monotonic() < deadline:
+            await asyncio.sleep(rng.expovariate(self.rate))
+            index += 1
+            self._tasks.append(
+                asyncio.ensure_future(self._one_request(index))
+            )
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+        return self.records
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        records = self.records
+        completed = [r for r in records if not r.failed]
+        dropped = [r for r in records if r.was_dropped]
+        times = sorted(r.response_time for r in completed)
+        p = lambda q: times[min(len(times) - 1, int(q * len(times)))] if times else 0.0
+        return {
+            "requests": len(records),
+            "completed": len(completed),
+            "failed": len(records) - len(completed),
+            "dropped_or_retried": len(dropped),
+            "p50_ms": 1000 * p(0.50),
+            "p99_ms": 1000 * p(0.99),
+            "max_ms": 1000 * (times[-1] if times else 0.0),
+        }

@@ -1,0 +1,39 @@
+"""Wire protocol for the live (asyncio) n-tier testbed.
+
+Newline-delimited JSON over TCP: one request line in, one response line
+out per connection (HTTP/1.0-style, connection per request — matching
+the simulator's one-exchange-per-request model and keeping accept-queue
+semantics visible).
+
+A *drop* is modelled at application level: a server whose queues are
+full closes the connection without replying.  The client treats both an
+abrupt close and a connect failure as a dropped packet and retransmits
+after ``rto`` seconds, exactly like its simulated counterpart (real
+kernel SYN drops are not portable to reproduce inside a container, so
+the userspace equivalent keeps the causal chain intact — see
+DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["read_message", "write_message", "Dropped"]
+
+
+class Dropped(Exception):
+    """The peer closed without replying — the userspace packet drop."""
+
+
+async def read_message(reader):
+    """Read one JSON message; raises :class:`Dropped` on abrupt close."""
+    line = await reader.readline()
+    if not line:
+        raise Dropped("connection closed without a reply")
+    return json.loads(line)
+
+
+async def write_message(writer, payload):
+    """Write one JSON message and flush."""
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()

@@ -1,0 +1,214 @@
+"""Live asyncio tiers: thread-pool (RPC) vs event-driven semantics.
+
+The simulator is the repository's primary instrument (deterministic,
+ms-exact); this module is its executable companion — real sockets, real
+concurrency, the same queueing semantics:
+
+- :class:`SyncTier` models a thread-per-request server: a bounded pool
+  of worker slots, each **held for the request's entire lifetime
+  including downstream calls**; a bounded accept queue in front of the
+  pool; arrivals beyond both are dropped (connection closed unreplied).
+- :class:`AsyncTier` models an event-driven server: a large lightweight
+  queue admits everything; loop workers execute service stages but
+  release between downstream call and response.
+
+Service times are emulated with ``asyncio.sleep`` rather than burning
+CPU: the phenomenon under study is *queueing*, and sleeping keeps the
+demo deterministic-ish and container-friendly (the GIL makes real
+CPU-burning multi-tier timing measurements unreliable in Python — the
+reason the primary reproduction is a simulator).
+
+Millibottlenecks are injected with :meth:`LiveTier.stall`: the tier
+stops draining work for a duration, exactly like a VM freeze.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from .protocol import Dropped, read_message, write_message
+
+__all__ = ["AsyncTier", "LiveTier", "SyncTier"]
+
+
+class LiveTier:
+    """Common machinery: listener, downstream wiring, stall injection."""
+
+    def __init__(self, name, service_time=0.002, downstream=None,
+                 calls_to_next=1):
+        self.name = name
+        self.service_time = service_time
+        self.downstream = downstream  # (host, port) or None
+        self.calls_to_next = calls_to_next
+        self.port = None
+        self.server = None
+        self.drops = 0
+        self.served = 0
+        self.peak_queue = 0
+        self._stalled = asyncio.Event()
+        self._stalled.set()  # set = running
+
+    # ------------------------------------------------------------------
+    async def start(self, host="127.0.0.1", port=0):
+        self.server = await asyncio.start_server(self._on_connect, host,
+                                                 port)
+        self.port = self.server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self):
+        if self.server is not None:
+            self.server.close()
+            await self.server.wait_closed()
+
+    def address(self):
+        return ("127.0.0.1", self.port)
+
+    # ------------------------------------------------------------------
+    def stall(self, duration):
+        """Freeze request processing for ``duration`` seconds."""
+
+        async def _stall():
+            self._stalled.clear()
+            await asyncio.sleep(duration)
+            self._stalled.set()
+
+        return asyncio.ensure_future(_stall())
+
+    async def _wait_if_stalled(self):
+        await self._stalled.wait()
+
+    # ------------------------------------------------------------------
+    async def _call_downstream(self, payload):
+        """One request/response to the next tier; raises Dropped."""
+        host, port = self.downstream
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError as exc:
+            raise Dropped(f"connect to {self.name} downstream: {exc}")
+        try:
+            await write_message(writer, payload)
+            return await read_message(reader)
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _service(self, request):
+        """The tier's work: stall-aware sleep plus downstream calls."""
+        await self._wait_if_stalled()
+        await asyncio.sleep(self.service_time)
+        hops = [self.name]
+        if self.downstream is not None:
+            for _ in range(self.calls_to_next):
+                response = await self._call_downstream(request)
+                hops = response.get("hops", []) + hops
+        return {"ok": True, "hops": hops}
+
+    def _note_queue(self, depth):
+        if depth > self.peak_queue:
+            self.peak_queue = depth
+
+    async def _drop(self, writer):
+        self.drops += 1
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+    async def _on_connect(self, reader, writer):
+        raise NotImplementedError
+
+
+class SyncTier(LiveTier):
+    """Thread-per-request semantics: bounded pool + bounded accept queue.
+
+    ``threads`` worker slots are held across downstream calls (the RPC
+    coupling); up to ``backlog`` further requests wait in the accept
+    queue; beyond that, connections are closed unreplied (the drop).
+    """
+
+    def __init__(self, name, threads=8, backlog=8, **kwargs):
+        super().__init__(name, **kwargs)
+        if threads < 1 or backlog < 0:
+            raise ValueError("threads >= 1 and backlog >= 0 required")
+        self.threads = threads
+        self.backlog = backlog
+        self._busy = 0
+        self._waiting = 0
+        self._slot_free = asyncio.Condition()
+
+    @property
+    def max_sys_q_depth(self):
+        return self.threads + self.backlog
+
+    def queue_depth(self):
+        return self._busy + self._waiting
+
+    async def _on_connect(self, reader, writer):
+        if self._busy + self._waiting >= self.max_sys_q_depth:
+            await self._drop(writer)
+            return
+        self._waiting += 1
+        self._note_queue(self.queue_depth())
+        async with self._slot_free:
+            await self._slot_free.wait_for(lambda: self._busy < self.threads)
+            self._waiting -= 1
+            self._busy += 1  # the slot is held from here to the reply
+        try:
+            request = await read_message(reader)
+            try:
+                response = await self._service(request)
+            except Dropped:
+                # downstream dropped us beyond retry: fail upstream
+                response = {"ok": False, "error": "downstream drop"}
+            await write_message(writer, response)
+            self.served += 1
+        except (Dropped, ConnectionError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            async with self._slot_free:
+                self._busy -= 1
+                self._slot_free.notify_all()
+
+
+class AsyncTier(LiveTier):
+    """Event-driven semantics: a big lightweight queue in front of the
+    event loop itself (asyncio's loop plays the Nginx worker); nothing
+    bounded is held across downstream calls."""
+
+    def __init__(self, name, lite_q_depth=10_000, **kwargs):
+        super().__init__(name, **kwargs)
+        if lite_q_depth < 1:
+            raise ValueError("lite_q_depth must be >= 1")
+        self.lite_q_depth = lite_q_depth
+        self.inflight = 0
+
+    def queue_depth(self):
+        return self.inflight
+
+    async def _on_connect(self, reader, writer):
+        if self.inflight >= self.lite_q_depth:
+            await self._drop(writer)
+            return
+        self.inflight += 1
+        self._note_queue(self.inflight)
+        try:
+            request = await read_message(reader)
+            # the "worker" executes stages; awaiting the downstream call
+            # yields the loop — nothing bounded is held meanwhile.
+            try:
+                response = await self._service(request)
+            except Dropped:
+                response = {"ok": False, "error": "downstream drop"}
+            await write_message(writer, response)
+            self.served += 1
+        except (Dropped, ConnectionError):
+            pass
+        finally:
+            self.inflight -= 1
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()

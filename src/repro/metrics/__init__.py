@@ -1,0 +1,22 @@
+"""Measurement: 50 ms samplers, request logs, time series."""
+
+from .export import request_log_to_csv, run_summary_to_json, timeseries_to_csv
+from .monitor import SystemMonitor
+from .spans import Span, narrate, retransmission_gaps, server_spans
+from .timeseries import TimeSeries
+from .trace import VLRT_THRESHOLD, RequestLog, RequestRecord
+
+__all__ = [
+    "RequestLog",
+    "RequestRecord",
+    "Span",
+    "SystemMonitor",
+    "TimeSeries",
+    "VLRT_THRESHOLD",
+    "narrate",
+    "request_log_to_csv",
+    "retransmission_gaps",
+    "run_summary_to_json",
+    "server_spans",
+    "timeseries_to_csv",
+]

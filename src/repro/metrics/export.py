@@ -1,0 +1,117 @@
+"""Exporters: time series and request logs to CSV / JSON.
+
+Experiments in this repository print their figures as text, but a
+downstream user replotting with their own tooling needs the raw data.
+These helpers write exactly what the figures are drawn from:
+
+- one CSV per time-series bundle (a column per series, aligned on the
+  shared sampling grid),
+- one CSV of per-request records,
+- one JSON document per run summary.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+
+__all__ = [
+    "request_log_to_csv",
+    "run_summary_to_json",
+    "timeseries_to_csv",
+]
+
+
+def timeseries_to_csv(path, series_by_name):
+    """Write aligned time-series columns to ``path``.
+
+    All series must share a sampling grid (which SystemMonitor series
+    do); series with diverging time bases are rejected rather than
+    silently resampled.
+    """
+    names = sorted(series_by_name)
+    if not names:
+        raise ValueError("no series given")
+    base = series_by_name[names[0]]
+    for name in names[1:]:
+        other = series_by_name[name]
+        if len(other) != len(base) or any(
+            abs(a - b) > 1e-9 for a, b in zip(other.times, base.times)
+        ):
+            raise ValueError(
+                f"series {name!r} is not aligned with {names[0]!r}; "
+                "export them separately"
+            )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s"] + names)
+        for index, time in enumerate(base.times):
+            writer.writerow(
+                [f"{time:.6f}"]
+                + [series_by_name[name].values[index] for name in names]
+            )
+    return path
+
+
+def request_log_to_csv(path, log):
+    """Write one row per request record to ``path``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "request_id", "kind", "start_s", "end_s", "response_time_s",
+            "attempts", "drops", "drop_sites", "failed", "error",
+        ])
+        for record in log.records:
+            writer.writerow([
+                record.request_id,
+                record.kind,
+                f"{record.start:.6f}",
+                f"{record.end:.6f}",
+                f"{record.response_time:.6f}",
+                record.attempts,
+                len(record.drops),
+                ";".join(site for _t, site in record.drops),
+                int(record.failed),
+                record.error or "",
+            ])
+    return path
+
+
+def run_summary_to_json(path, result):
+    """Write a RunResult's summary (plus config echo) as JSON."""
+    config = result.config
+    payload = {
+        "config": {
+            "nx": config.nx,
+            "seed": config.seed,
+            "stack": result.names,
+            "web_max_sys_q_depth": config.web_max_sys_q_depth,
+            "app_max_sys_q_depth": config.app_max_sys_q_depth,
+            "db_max_sys_q_depth": config.db_max_sys_q_depth,
+        },
+        "duration_s": result.duration,
+        "warmup_s": result.warmup,
+        "summary": result.summary(),
+        "queue_max": result.queue_max(),
+        "cpu_mean": {k: round(v, 4) for k, v in result.cpu_mean().items()},
+        "millibottlenecks": [
+            {
+                "resource": e.resource,
+                "kind": e.kind,
+                "start_s": round(e.start, 3),
+                "duration_ms": round(e.duration * 1000, 1),
+            }
+            for e in result.millibottlenecks()
+        ],
+        "ctqo_events": [
+            {
+                "direction": e.direction,
+                "dropping_server": e.dropping_server,
+                "drops": e.drops,
+            }
+            for e in result.ctqo_events()
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

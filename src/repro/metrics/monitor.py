@@ -1,0 +1,117 @@
+"""Fine-grained resource monitoring (the paper's collectl at 50 ms).
+
+The paper's micro-level event analysis rests on sampling CPU
+utilization and queue depths at sub-second granularity — coarser
+monitoring averages millibottlenecks away entirely.  The
+:class:`SystemMonitor` samples every ``interval`` seconds (default
+50 ms, matching the paper) and records:
+
+- per-VM CPU utilization, in two views:
+
+  - ``cpu`` — the *guest's* perspective: demand counts as busy even
+    when the hypervisor starves the VM, which is how collectl inside a
+    consolidated VM reads 100 % during a millibottleneck (Fig 3a);
+  - ``host_cpu`` — the hypervisor's perspective: physical core-time
+    actually granted.  Use this for steady-state operating points
+    (the paper's "highest average CPU util" annotations);
+
+- per-VM I/O wait fraction (freeze time in the window),
+- per-server queue depth (busy threads/admitted requests + backlog).
+"""
+
+from __future__ import annotations
+
+from .timeseries import TimeSeries
+
+__all__ = ["SystemMonitor"]
+
+
+class SystemMonitor:
+    """Windowed sampler over VMs and servers.
+
+    Usage::
+
+        monitor = SystemMonitor(sim, interval=0.05)
+        monitor.watch_vm("tomcat", tomcat_vm)
+        monitor.watch_server("apache", apache_server)
+        monitor.start()
+        sim.run(until=60)
+        monitor.cpu["tomcat"].intervals_above(0.95)
+    """
+
+    def __init__(self, sim, interval=0.05):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.cpu = {}
+        self.host_cpu = {}
+        self.iowait = {}
+        self.queues = {}
+        self._vms = {}
+        self._servers = {}
+        self._last_runnable = {}
+        self._last_consumed = {}
+        self._last_iowait = {}
+        self._hosts = set()
+        self._process = None
+
+    # ------------------------------------------------------------------
+    def watch_vm(self, name, vm):
+        """Record CPU utilization and iowait for ``vm`` as ``name``."""
+        self._vms[name] = vm
+        self._hosts.add(vm.host)
+        self.cpu[name] = TimeSeries(f"cpu:{name}")
+        self.host_cpu[name] = TimeSeries(f"host_cpu:{name}")
+        self.iowait[name] = TimeSeries(f"iowait:{name}")
+        self._last_runnable[name] = vm.runnable
+        self._last_consumed[name] = vm.consumed
+        self._last_iowait[name] = vm.iowait
+        return self
+
+    def watch_server(self, name, server):
+        """Record queue depth for ``server`` as ``name``."""
+        self._servers[name] = server
+        self.queues[name] = TimeSeries(f"queue:{name}")
+        return self
+
+    def start(self):
+        """Begin sampling; call before ``sim.run``."""
+        if self._process is None:
+            self._process = self.sim.process(self._sample_loop(), name="monitor")
+        return self
+
+    # ------------------------------------------------------------------
+    def _sample_loop(self):
+        while True:
+            yield self.interval
+            self.sample()
+
+    def sample(self):
+        """Take one sample now (also usable manually in tests)."""
+        now = self.sim.now
+        for host in self._hosts:
+            host.settle()
+        for name, vm in self._vms.items():
+            runnable = vm.runnable  # guest view: starved demand is "busy"
+            util = (runnable - self._last_runnable[name]) / self.interval / vm.vcpus
+            self._last_runnable[name] = runnable
+            self.cpu[name].append(now, min(1.0, util))
+            consumed = vm.consumed  # hypervisor view: granted core-time
+            granted = (consumed - self._last_consumed[name]) / self.interval / vm.vcpus
+            self._last_consumed[name] = consumed
+            self.host_cpu[name].append(now, min(1.0, granted))
+            waited = vm.iowait
+            frac = (waited - self._last_iowait[name]) / self.interval
+            self._last_iowait[name] = waited
+            self.iowait[name].append(now, min(1.0, frac))
+        for name, server in self._servers.items():
+            depth = server.queue_depth()
+            server._note_queue_depth()
+            self.queues[name].append(now, depth)
+
+    def __repr__(self):
+        return (
+            f"<SystemMonitor interval={self.interval} vms={list(self._vms)} "
+            f"servers={list(self._servers)}>"
+        )

@@ -1,0 +1,116 @@
+"""Per-request micro-level event analysis.
+
+The paper's methodology timestamps every message between servers at
+millisecond resolution and reconstructs what happened to individual
+VLRT requests.  Servers and the network fabric record events onto each
+root request's trace; this module turns a trace into:
+
+- :func:`server_spans` — the time the request (or its sub-requests)
+  spent inside each server, visit by visit;
+- :func:`retransmission_gaps` — the dead time between a packet drop
+  and its next (re)transmission arriving somewhere;
+- :func:`narrate` — a human-readable timeline, the textual analogue of
+  the paper's Fig 4 walk-through.
+
+Traces are kept per-request only when a workload generator is built
+with ``keep_traces`` (kept for VLRT requests by default), so the
+overhead on the millions of fast requests is one list that gets
+garbage-collected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Span", "narrate", "retransmission_gaps", "server_spans"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One visit of the request (or a sub-request) to one server."""
+
+    server: str
+    start: float
+    end: float
+    outcome: str  # "reply" or "error"
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+def server_spans(trace):
+    """Pair each server's ``start`` with its ``reply``/``error``.
+
+    A request may visit the same server several times (a multi-query
+    servlet calls the database once per query); visits are paired in
+    FIFO order per server, which is exact because a single request's
+    calls to one tier never overlap in either server model.
+    """
+    open_visits = {}
+    spans = []
+    for time, event, detail in sorted(trace, key=lambda e: e[0]):
+        if event == "start":
+            open_visits.setdefault(detail, []).append(time)
+        elif event in ("reply", "error"):
+            server = detail.split(":", 1)[0] if event == "error" else detail
+            starts = open_visits.get(server)
+            if starts:
+                spans.append(Span(server, starts.pop(0), time, event))
+    spans.sort(key=lambda s: s.start)
+    return spans
+
+
+def retransmission_gaps(trace):
+    """(drop_time, resume_time, listener) for every dropped packet.
+
+    ``resume_time`` is the next trace event after the drop — normally
+    the retransmitted packet reaching a server ~RTO later.  The gap is
+    the dead time TCP retransmission added to the request.
+    """
+    events = sorted(trace, key=lambda e: e[0])
+    gaps = []
+    for index, (time, event, detail) in enumerate(events):
+        if event != "drop":
+            continue
+        resume = None
+        for later_time, later_event, _d in events[index + 1:]:
+            if later_event != "drop":
+                resume = later_time
+                break
+        gaps.append((time, resume, detail))
+    return gaps
+
+
+def narrate(record):
+    """Render one request's life as text (requires a kept trace)."""
+    if record.trace is None:
+        return f"request #{record.request_id}: no trace kept"
+    origin = record.start
+    lines = [
+        f"request #{record.request_id} {record.kind}: "
+        f"{record.response_time * 1000:.1f} ms total"
+        + (", FAILED" if record.failed else "")
+    ]
+    for time, event, detail in sorted(record.trace, key=lambda e: e[0]):
+        offset = (time - origin) * 1000
+        if event == "drop":
+            lines.append(f"  +{offset:9.2f} ms  PACKET DROPPED at {detail}")
+        else:
+            lines.append(f"  +{offset:9.2f} ms  {event:6s} {detail}")
+    gaps = retransmission_gaps(record.trace)
+    dead = sum(
+        (resume - drop) for drop, resume, _l in gaps if resume is not None
+    )
+    if gaps:
+        lines.append(
+            f"  retransmission dead time: {dead * 1000:.0f} ms across "
+            f"{len(gaps)} drop(s)"
+        )
+    spans = server_spans(record.trace)
+    for span in spans:
+        lines.append(
+            f"  in {span.server}: {span.duration * 1000:.2f} ms "
+            f"({span.outcome})"
+        )
+    return "\n".join(lines)

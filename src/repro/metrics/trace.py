@@ -1,0 +1,215 @@
+"""Client-side request records and tail-latency bookkeeping.
+
+Every client request ends up as one :class:`RequestRecord` in a
+:class:`RequestLog` — including requests that failed after exhausting
+TCP retransmissions.  The log provides the analyses the paper's figures
+are built from: response-time histograms (Fig 1), windowed VLRT counts
+(Fig 3c/5c/7c/8c/9c), throughput, percentiles and drop attribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .timeseries import TimeSeries
+
+__all__ = ["RequestLog", "RequestRecord", "VLRT_THRESHOLD"]
+
+#: the paper's VLRT threshold: one TCP retransmission interval.
+VLRT_THRESHOLD = 3.0
+
+
+class RequestRecord:
+    """Outcome of one client request."""
+
+    __slots__ = (
+        "request_id",
+        "kind",
+        "start",
+        "end",
+        "attempts",
+        "drops",
+        "failed",
+        "error",
+        "trace",
+    )
+
+    def __init__(self, request_id, kind, start, end, attempts=1, drops=(),
+                 failed=False, error=None, trace=None):
+        self.request_id = request_id
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.attempts = attempts
+        #: (time, listener_name) per dropped packet anywhere in the tree.
+        self.drops = list(drops)
+        self.failed = failed
+        self.error = error
+        #: full event trace, kept only when the workload generator's
+        #: ``keep_traces`` policy says so (see repro.metrics.spans).
+        self.trace = trace
+
+    @property
+    def response_time(self):
+        return self.end - self.start
+
+    @property
+    def was_dropped(self):
+        return bool(self.drops)
+
+    @property
+    def first_drop_time(self):
+        return self.drops[0][0] if self.drops else None
+
+    def __repr__(self):
+        flag = "FAILED" if self.failed else f"{self.response_time * 1000:.1f}ms"
+        return f"<RequestRecord #{self.request_id} {self.kind} {flag}>"
+
+
+class RequestLog:
+    """All request outcomes of a run, with figure-ready analyses."""
+
+    def __init__(self):
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def after(self, start_time):
+        """New log with only the requests issued at/after ``start_time``
+        (used to discard warm-up transients)."""
+        out = RequestLog()
+        out.records = [r for r in self.records if r.start >= start_time]
+        return out
+
+    # ------------------------------------------------------------------
+    # basic aggregates
+    # ------------------------------------------------------------------
+    @property
+    def completed(self):
+        return [r for r in self.records if not r.failed]
+
+    @property
+    def failures(self):
+        return [r for r in self.records if r.failed]
+
+    def response_times(self, include_failures=False):
+        """Response times in seconds (failures excluded by default)."""
+        return [
+            r.response_time
+            for r in self.records
+            if include_failures or not r.failed
+        ]
+
+    def throughput(self, duration):
+        """Completed requests per second over ``duration``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        return len(self.completed) / duration
+
+    def percentile(self, q):
+        """q-th percentile (0-100) of completed response times."""
+        times = self.response_times()
+        if not times:
+            return 0.0
+        return float(np.percentile(times, q))
+
+    # ------------------------------------------------------------------
+    # tail analyses
+    # ------------------------------------------------------------------
+    def vlrt(self, threshold=VLRT_THRESHOLD):
+        """Requests slower than ``threshold`` (failures count too —
+        a request dropped four times is the longest tail there is)."""
+        return [
+            r
+            for r in self.records
+            if r.response_time > threshold or r.failed
+        ]
+
+    def vlrt_fraction(self, threshold=VLRT_THRESHOLD):
+        if not self.records:
+            return 0.0
+        return len(self.vlrt(threshold)) / len(self.records)
+
+    def vlrt_time_series(self, until, window=0.05, threshold=VLRT_THRESHOLD):
+        """VLRT count per time window — Fig 3(c) and friends.
+
+        Each VLRT request is bucketed at the moment its first packet was
+        dropped (that is when the millibottleneck bit it); VLRT requests
+        without a drop record fall back to their start time.
+        """
+        edges = np.arange(0.0, until + window, window)
+        counts = np.zeros(len(edges), dtype=int)
+        for record in self.vlrt(threshold):
+            when = record.first_drop_time
+            if when is None:
+                when = record.start
+            index = int(when / window)
+            if 0 <= index < len(counts):
+                counts[index] += 1
+        series = TimeSeries("vlrt")
+        for edge, count in zip(edges, counts):
+            series.append(float(edge), int(count))
+        return series
+
+    def histogram(self, bin_width=0.1, max_time=10.0, include_failures=True):
+        """(bin_edges, counts) of response times — Fig 1's semi-log data.
+
+        Failed requests (all retransmissions dropped) are binned at
+        their total elapsed time, like the timeout the user would see.
+        """
+        times = self.response_times(include_failures=include_failures)
+        edges = np.arange(0.0, max_time + bin_width, bin_width)
+        counts, _ = np.histogram(np.clip(times, 0.0, max_time), bins=edges)
+        return edges[:-1], counts
+
+    def modes(self, spacing=3.0, tolerance=0.5, max_mode=3):
+        """Count requests near each retransmission mode.
+
+        Returns ``{0: n_fast, 1: n_near_3s, 2: n_near_6s, ...}`` —
+        the multi-modal signature of Fig 1 (peaks at 0/3/6/9 s).
+        """
+        out = {k: 0 for k in range(max_mode + 1)}
+        for rt in self.response_times(include_failures=True):
+            mode = int(round(rt / spacing))
+            mode = min(max(mode, 0), max_mode)
+            if abs(rt - mode * spacing) <= tolerance or mode == max_mode:
+                out[mode] += 1
+            else:
+                out[0] += 1  # off-mode but fast-ish: count as bulk
+        return out
+
+    def drop_sites(self):
+        """Counter of listener names where this log's packets dropped."""
+        sites = Counter()
+        for record in self.records:
+            for _time, name in record.drops:
+                sites[name] += 1
+        return sites
+
+    def dropped_requests(self):
+        return [r for r in self.records if r.was_dropped]
+
+    def summary(self, duration):
+        """One-dict digest used by experiment reports."""
+        times = self.response_times()
+        return {
+            "requests": len(self.records),
+            "completed": len(self.completed),
+            "failed": len(self.failures),
+            "throughput_rps": self.throughput(duration) if self.records else 0.0,
+            "mean_ms": 1000.0 * float(np.mean(times)) if times else 0.0,
+            "p50_ms": 1000.0 * self.percentile(50),
+            "p99_ms": 1000.0 * self.percentile(99),
+            "p999_ms": 1000.0 * self.percentile(99.9),
+            "max_ms": 1000.0 * max(times) if times else 0.0,
+            "vlrt": len(self.vlrt()),
+            "vlrt_fraction": self.vlrt_fraction(),
+            "dropped_requests": len(self.dropped_requests()),
+            "drop_sites": dict(self.drop_sites()),
+        }

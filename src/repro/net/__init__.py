@@ -1,0 +1,5 @@
+"""Network substrate: listeners (accept queues), drops, retransmission."""
+
+from .tcp import ConnectionTimeout, Exchange, Listener, NetworkFabric
+
+__all__ = ["ConnectionTimeout", "Exchange", "Listener", "NetworkFabric"]

@@ -1,0 +1,13 @@
+"""Server models: synchronous (RPC) and asynchronous (event-driven)."""
+
+from .async_server import DEFAULT_LITE_Q_DEPTH, AsyncServer
+from .base import BaseServer, ServerStats
+from .sync_server import SyncServer
+
+__all__ = [
+    "AsyncServer",
+    "BaseServer",
+    "DEFAULT_LITE_Q_DEPTH",
+    "ServerStats",
+    "SyncServer",
+]

@@ -1,0 +1,230 @@
+"""Common machinery shared by synchronous and asynchronous servers.
+
+A server owns a listening socket, a VM to burn CPU on, a servlet handler
+and wiring to its downstream tiers.  The *servlet driver* below
+interprets the application's :class:`~repro.apps.servlet.Compute` /
+:class:`~repro.apps.servlet.Call` steps; what differs between server
+types is purely *who executes the driver*:
+
+- a :class:`~repro.servers.sync_server.SyncServer` runs it on one of a
+  bounded pool of threads, which therefore **block** during downstream
+  calls (RPC semantics — the paper's Apache/Tomcat/MySQL), while
+- an :class:`~repro.servers.async_server.AsyncServer` runs each request
+  as a continuation with no thread held across calls (event-driven
+  semantics — Nginx/XTomcat/XMySQL).
+"""
+
+from __future__ import annotations
+
+from ..apps.servlet import Call, Compute, Response, ServletContext, ServletError
+from ..net.tcp import ConnectionTimeout
+from ..sim.resources import Resource
+
+__all__ = ["BaseServer", "ServerStats"]
+
+
+class ServerStats:
+    """Cumulative per-server counters (cheap; sampled by monitors)."""
+
+    __slots__ = (
+        "arrivals",
+        "completed",
+        "failed",
+        "downstream_calls",
+        "downstream_failures",
+        "peak_queue_depth",
+    )
+
+    def __init__(self):
+        self.arrivals = 0
+        self.completed = 0
+        self.failed = 0
+        self.downstream_calls = 0
+        self.downstream_failures = 0
+        self.peak_queue_depth = 0
+
+    def snapshot(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _RoundRobin:
+    """Round-robin selector over one or more replica listeners."""
+
+    __slots__ = ("listeners", "_index")
+
+    def __init__(self, listeners):
+        self.listeners = listeners
+        self._index = 0
+
+    def next(self):
+        listener = self.listeners[self._index]
+        self._index = (self._index + 1) % len(self.listeners)
+        return listener
+
+    def __len__(self):
+        return len(self.listeners)
+
+    def __repr__(self):
+        names = [listener.name for listener in self.listeners]
+        return f"<RoundRobin {names}>"
+
+
+class BaseServer:
+    """Wiring and the servlet driver; see module docstring.
+
+    Parameters
+    ----------
+    sim, fabric:
+        The kernel and the network fabric.
+    name:
+        Server name (also the listener name — drop attribution uses it).
+    vm:
+        The :class:`repro.cpu.Vm` this server's work runs on.
+    handler:
+        Servlet generator function ``fn(ctx, request)``.
+    backlog:
+        TCP accept-queue size of this server's listener (the kernel
+        backlog, 128 on the paper's testbed).
+    """
+
+    def __init__(self, sim, fabric, name, vm, handler, backlog=128):
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.vm = vm
+        self.handler = handler
+        self.listener = fabric.listener(name, backlog=backlog)
+        self.listener.observer = self._note_queue_depth
+        self.ctx = ServletContext(name, sim, sim.fork_rng(f"server/{name}"))
+        self.downstream = {}
+        self.pools = {}
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(self, target, listener, pool_size=None):
+        """Route :class:`Call` steps naming ``target`` to ``listener``.
+
+        ``listener`` may also be a list of listeners — replicas of the
+        downstream tier — which are used round-robin per call.
+
+        ``pool_size`` installs a caller-side connection pool (the
+        Tomcat→MySQL JDBC pool of 50): at most that many outstanding
+        calls to the target; further callers queue *inside this server*,
+        which is exactly how MySQL's effective ``MaxSysQDepth`` seen
+        from a synchronous Tomcat becomes ~50 in the paper.  With
+        replicas the pool covers the whole group.
+        """
+        if isinstance(listener, (list, tuple)):
+            listeners = list(listener)
+            if not listeners:
+                raise ValueError(f"{self.name}->{target}: empty replica list")
+            self.downstream[target] = _RoundRobin(listeners)
+        else:
+            self.downstream[target] = _RoundRobin([listener])
+        if pool_size is not None:
+            self.pools[target] = Resource(
+                self.sim, pool_size, name=f"{self.name}->{target}.pool"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # queue depth — the quantity plotted in every figure of the paper
+    # ------------------------------------------------------------------
+    def queue_depth(self):
+        """Requests inside this server plus its TCP accept queue."""
+        raise NotImplementedError
+
+    @property
+    def max_sys_q_depth(self):
+        """The overflow threshold this server type exposes."""
+        raise NotImplementedError
+
+    def _note_queue_depth(self):
+        depth = self.queue_depth()
+        if depth > self.stats.peak_queue_depth:
+            self.stats.peak_queue_depth = depth
+
+    # ------------------------------------------------------------------
+    # the servlet driver
+    # ------------------------------------------------------------------
+    def _drive(self, exchange):
+        """Generator running one request's servlet to completion.
+
+        Yields kernel events (CPU completions, downstream responses);
+        both server types delegate here, differing only in what resource
+        is held while the driver runs.
+        """
+        request = exchange.payload
+        request.record(self.sim.now, "start", self.name)
+        gen = self.handler(self.ctx, request)
+        to_send = None
+        to_throw = None
+        while True:
+            try:
+                if to_throw is not None:
+                    step = gen.throw(to_throw)
+                else:
+                    step = gen.send(to_send)
+            except StopIteration as stop:
+                request.record(self.sim.now, "reply", self.name)
+                exchange.reply(Response.success(stop.value))
+                self.stats.completed += 1
+                return
+            except ServletError as exc:
+                request.record(self.sim.now, "error", f"{self.name}: {exc}")
+                exchange.reply(Response.failure(str(exc)))
+                self.stats.failed += 1
+                return
+            to_send = None
+            to_throw = None
+            if isinstance(step, Compute):
+                yield self.vm.execute(step.work)
+            elif isinstance(step, Call):
+                try:
+                    to_send = yield from self._invoke(step, request)
+                except ServletError as exc:
+                    to_throw = exc
+            else:
+                raise TypeError(
+                    f"{self.name}: servlet yielded {step!r}, expected "
+                    "Compute or Call"
+                )
+
+    def _invoke(self, step, request):
+        """Issue one downstream call; returns the response payload.
+
+        Raises :class:`ServletError` if the call times out (dropped
+        packets exhausted retransmissions) or the downstream replied
+        with an error.
+        """
+        try:
+            target_listener = self.downstream[step.target].next()
+        except KeyError:
+            raise ServletError(
+                f"{self.name} has no route to tier {step.target!r}"
+            ) from None
+        pool = self.pools.get(step.target)
+        self.stats.downstream_calls += 1
+        if pool is not None:
+            yield pool.acquire()
+        try:
+            sub = request.child(step.operation, self.sim.now, work_hint=step.work_hint)
+            sub.record(self.sim.now, "call", f"{self.name}->{step.target}")
+            exchange = self.fabric.send(target_listener, sub)
+            try:
+                response = yield exchange.response
+            except ConnectionTimeout as exc:
+                self.stats.downstream_failures += 1
+                raise ServletError(str(exc)) from exc
+            if not response.ok:
+                self.stats.downstream_failures += 1
+                raise ServletError(response.error)
+            return response.value
+        finally:
+            if pool is not None:
+                pool.release()
+
+    def __repr__(self):
+        return f"<{self.__class__.__name__} {self.name} depth={self.queue_depth()}>"

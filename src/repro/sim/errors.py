@@ -1,0 +1,29 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class StaleEventError(SimulationError):
+    """An event was triggered (succeeded or failed) more than once."""
+
+
+class ProcessInterrupt(SimulationError):
+    """Thrown into a process by :meth:`repro.sim.process.Process.interrupt`.
+
+    The ``cause`` attribute carries whatever object the interrupter passed,
+    so the interrupted process can decide how to react.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimulationDeadlock(SimulationError):
+    """``run(until=...)`` ran out of events before reaching the target time.
+
+    Raised only when the caller explicitly asked to be notified about
+    starvation; by default running out of events simply ends the run.
+    """

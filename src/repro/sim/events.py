@@ -1,0 +1,190 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot future living inside a single
+:class:`~repro.sim.kernel.Simulator`.  It starts *pending*, is triggered
+exactly once with either a value (``succeed``) or an exception (``fail``),
+and then notifies its callbacks in registration order during the same
+simulated instant.
+
+Events are the only synchronization primitive the kernel knows about;
+timeouts, process termination, resource grants and condition variables are
+all expressed as events.
+"""
+
+from __future__ import annotations
+
+from .errors import StaleEventError
+
+__all__ = ["Event", "Timeout", "AnyOf", "AllOf"]
+
+_PENDING = 0
+_SUCCEEDED = 1
+_FAILED = 2
+
+
+class Event:
+    """A one-shot future bound to a simulator.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.kernel.Simulator`.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "_state", "_value", "callbacks")
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self.name = name
+        self._state = _PENDING
+        self._value = None
+        #: list of ``fn(event)`` invoked, in order, when the event triggers.
+        self.callbacks = []
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self):
+        """True once the event has succeeded or failed."""
+        return self._state != _PENDING
+
+    @property
+    def ok(self):
+        """True if the event succeeded (False while pending)."""
+        return self._state == _SUCCEEDED
+
+    @property
+    def failed(self):
+        """True if the event failed with an exception."""
+        return self._state == _FAILED
+
+    @property
+    def value(self):
+        """The success value or the failure exception.
+
+        Reading the value of a pending event is a programming error.
+        """
+        if self._state == _PENDING:
+            raise StaleEventError(f"{self!r} has no value yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value=None):
+        """Trigger the event successfully and run callbacks immediately."""
+        self._trigger(_SUCCEEDED, value)
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside any process waiting on the event.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(_FAILED, exception)
+        return self
+
+    def _trigger(self, state, value):
+        if self._state != _PENDING:
+            raise StaleEventError(f"{self!r} triggered twice")
+        self._state = state
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # subscription
+    # ------------------------------------------------------------------
+    def add_callback(self, callback):
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback runs synchronously.
+        """
+        if self._state == _PENDING:
+            self.callbacks.append(callback)
+        else:
+            callback(self)
+        return self
+
+    def __repr__(self):
+        state = {_PENDING: "pending", _SUCCEEDED: "ok", _FAILED: "failed"}[
+            self._state
+        ]
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim, delay, value=None, name=None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=name or f"Timeout({delay})")
+        self.delay = delay
+        sim.call_in(delay, self.succeed, value)
+
+
+class _Composite(Event):
+    """Common machinery for AnyOf / AllOf."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim, events, name=None):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        self._pending_count = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event):
+        raise NotImplementedError
+
+
+class AnyOf(_Composite):
+    """Succeeds as soon as any child event triggers.
+
+    The value is a dict mapping the triggered event to its value.  A child
+    failure fails the composite with the child's exception.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+        else:
+            self.succeed({event: event.value})
+
+
+class AllOf(_Composite):
+    """Succeeds when all child events have succeeded.
+
+    The value is a dict mapping every event to its value, in the original
+    order.  The first child failure fails the composite.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed({ev: ev.value for ev in self.events})

@@ -1,0 +1,121 @@
+"""Generator-based simulated processes.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel
+something to wait for:
+
+``Event``
+    resume when the event triggers (with its value, or raising its
+    exception inside the generator);
+``int`` / ``float``
+    shorthand for ``sim.timeout(delay)``;
+``Process``
+    join: resume when the other process terminates.
+
+A :class:`Process` is itself an :class:`~repro.sim.events.Event` that
+succeeds with the generator's return value (or fails with its uncaught
+exception), so processes compose: one process can wait for another, or be
+combined with ``any_of`` / ``all_of``.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+
+from .errors import ProcessInterrupt
+from .events import Event
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulated process.  Create via ``sim.process(gen)``."""
+
+    __slots__ = ("generator", "_waiting_on")
+
+    def __init__(self, sim, generator, name=None):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"sim.process() needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(sim, name=name or generator.__name__)
+        self.generator = generator
+        self._waiting_on = None
+        # Start on a fresh kernel tick so creation order does not matter
+        # within an instant.
+        sim.call_in(0.0, self._resume, None)
+
+    @property
+    def is_alive(self):
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause=None):
+        """Throw :class:`ProcessInterrupt` into the process.
+
+        The process stops waiting on whatever it was waiting on (the event
+        itself is unaffected and may still trigger later; its value is then
+        discarded).  Interrupting a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        self.sim.call_in(0.0, self._throw, ProcessInterrupt(cause))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resume(self, event):
+        """Advance the generator with the value of the triggered event."""
+        if self.triggered:
+            return  # interrupted while a stale wakeup was in flight
+        if event is not None and event is not self._waiting_on:
+            return  # stale wakeup from an abandoned wait
+        self._waiting_on = None
+        if event is not None and event.failed:
+            self._throw(event.value)
+            return
+        value = event.value if event is not None else None
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:
+            # An uncaught exception terminates the process; it surfaces as
+            # a failure of the process event so waiters can react to it.
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exception):
+        """Throw an exception into the generator at its current yield."""
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target):
+        """Interpret a yielded value and arrange the next wakeup."""
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(target)
+        if not isinstance(target, Event):
+            self._throw(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; expected an "
+                    "Event, a Process, or a numeric delay"
+                )
+            )
+            return
+        if target is self:
+            self._throw(ValueError(f"process {self.name!r} waiting on itself"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,203 @@
+"""Queued resources for simulated processes.
+
+Two primitives cover everything the server models need:
+
+:class:`Resource`
+    A counting semaphore with a FIFO wait queue — thread pools and
+    connection pools are resources.
+:class:`Store`
+    A FIFO queue of items with optional capacity — TCP accept queues and
+    lightweight queues are stores.
+
+Both hand out grants as events, so they compose with timeouts via
+``sim.any_of`` (e.g. "acquire a connection or give up after 500 ms").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .events import Event
+
+__all__ = ["Resource", "Store", "Gauge"]
+
+
+class Resource:
+    """A counting semaphore with FIFO granting.
+
+    ``acquire()`` returns an event that succeeds when a unit is granted.
+    The holder must call ``release()`` exactly once per grant.
+
+    >>> res = Resource(sim, capacity=2)
+    >>> def worker():
+    ...     yield res.acquire()
+    ...     yield 1.0         # hold for a second of simulated time
+    ...     res.release()
+    """
+
+    def __init__(self, sim, capacity, name=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "resource"
+        self.in_use = 0
+        self._waiters = deque()
+
+    @property
+    def available(self):
+        """Units currently free."""
+        return self.capacity - self.in_use
+
+    @property
+    def queue_length(self):
+        """Number of pending acquire requests."""
+        return len(self._waiters)
+
+    def acquire(self):
+        """Request a unit; the returned event succeeds when granted."""
+        grant = Event(self.sim, name=f"{self.name}.acquire")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def try_acquire(self):
+        """Non-blocking acquire: True and hold a unit, or False."""
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            return True
+        return False
+
+    def release(self):
+        """Return a unit, granting the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise RuntimeError(f"{self.name}: release() without acquire()")
+        if self._waiters:
+            grant = self._waiters.popleft()
+            grant.succeed(self)  # unit moves directly to the waiter
+        else:
+            self.in_use -= 1
+
+    def cancel(self, grant):
+        """Withdraw a pending acquire (e.g. its timeout fired first)."""
+        try:
+            self._waiters.remove(grant)
+            return True
+        except ValueError:
+            return False
+
+    def grow(self, extra):
+        """Add capacity at runtime (Apache spawning a second process)."""
+        if extra < 0:
+            raise ValueError("grow() takes a non-negative amount")
+        self.capacity += extra
+        while self._waiters and self.in_use < self.capacity:
+            self.in_use += 1
+            self._waiters.popleft().succeed(self)
+
+    def __repr__(self):
+        return (
+            f"<Resource {self.name} {self.in_use}/{self.capacity} "
+            f"waiting={len(self._waiters)}>"
+        )
+
+
+class Store:
+    """A FIFO item queue with optional capacity.
+
+    ``put`` is non-blocking and returns False when the store is full
+    (that is exactly a TCP backlog dropping a SYN).  ``get`` returns an
+    event that succeeds with the oldest item once one is available.
+    """
+
+    def __init__(self, sim, capacity=None, name=None):
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name or "store"
+        self.items = deque()
+        self._getters = deque()
+
+    def __len__(self):
+        return len(self.items)
+
+    @property
+    def is_full(self):
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item):
+        """Append an item; False if the store is at capacity."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self):
+        """Event that succeeds with the next item (FIFO among getters)."""
+        grant = Event(self.sim, name=f"{self.name}.get")
+        if self.items:
+            grant.succeed(self.items.popleft())
+        else:
+            self._getters.append(grant)
+        return grant
+
+    def try_get(self):
+        """Pop the oldest item immediately, or return None."""
+        if self.items:
+            return self.items.popleft()
+        return None
+
+    def cancel(self, grant):
+        """Withdraw a pending get (e.g. its waiter was interrupted).
+
+        Without cancellation, an item put later would be handed to the
+        abandoned getter and silently lost.
+        """
+        try:
+            self._getters.remove(grant)
+            return True
+        except ValueError:
+            return False
+
+    def __repr__(self):
+        cap = "inf" if self.capacity is None else self.capacity
+        return f"<Store {self.name} {len(self.items)}/{cap}>"
+
+
+class Gauge:
+    """A watchable numeric level (used for queue-depth thresholds).
+
+    Cheap synchronous observer list; observers are called as
+    ``fn(gauge, old, new)`` whenever :meth:`set` or :meth:`add` changes
+    the value.
+    """
+
+    def __init__(self, value=0, name=None):
+        self.value = value
+        self.name = name or "gauge"
+        self._observers = []
+
+    def watch(self, fn):
+        self._observers.append(fn)
+        return fn
+
+    def set(self, new):
+        old = self.value
+        if new == old:
+            return
+        self.value = new
+        for fn in self._observers:
+            fn(self, old, new)
+
+    def add(self, delta):
+        self.set(self.value + delta)
+
+    def __repr__(self):
+        return f"<Gauge {self.name}={self.value}>"

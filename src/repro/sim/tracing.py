@@ -1,0 +1,93 @@
+"""Kernel-level tracing for debugging simulations.
+
+When a model misbehaves (a process that never wakes, a queue that
+drains in the wrong order), the question is always "what did the kernel
+actually execute around time T?".  :class:`KernelTracer` hooks a
+simulator and keeps a bounded ring buffer of executed callbacks with
+timestamps and human-readable labels, plus optional user annotations.
+
+Tracing is opt-in and zero-cost when not attached (the kernel has no
+tracing branches; the tracer wraps ``Simulator.step``).
+
+Usage::
+
+    tracer = KernelTracer(sim, capacity=500)
+    ... sim.run(...) ...
+    print(tracer.render(last=30))
+    tracer.detach()
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["KernelTracer"]
+
+
+class KernelTracer:
+    """Ring-buffer trace of executed kernel callbacks."""
+
+    def __init__(self, sim, capacity=1000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.events = deque(maxlen=capacity)
+        self.executed = 0
+        self._original_step = sim.step
+        sim.step = self._traced_step
+        self._attached = True
+
+    # ------------------------------------------------------------------
+    def _label_of(self):
+        """Human-readable label of the next heap entry."""
+        entry = self.sim._heap[0]
+        callback = entry[3]
+        bound_self = getattr(callback, "__self__", None)
+        name = getattr(callback, "__qualname__",
+                       getattr(callback, "__name__", repr(callback)))
+        if bound_self is not None:
+            owner = getattr(bound_self, "name", None)
+            if owner:
+                return f"{name}[{owner}]"
+        return name
+
+    def _traced_step(self):
+        label = self._label_of()
+        when = self._original_step()
+        self.executed += 1
+        self.events.append((when, label))
+        return when
+
+    # ------------------------------------------------------------------
+    def annotate(self, message):
+        """Insert a user marker at the current simulated time."""
+        self.events.append((self.sim.now, f"# {message}"))
+
+    def detach(self):
+        """Restore the un-traced kernel step."""
+        if self._attached:
+            self.sim.step = self._original_step
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    def window(self, start, end):
+        """Events with ``start <= t < end`` (oldest first)."""
+        return [(t, label) for t, label in self.events if start <= t < end]
+
+    def render(self, last=25):
+        """The most recent ``last`` events as text."""
+        tail = list(self.events)[-last:]
+        if not tail:
+            return "(no kernel events traced)"
+        lines = [f"kernel trace (last {len(tail)} of {self.executed}):"]
+        for when, label in tail:
+            lines.append(f"  t={when:12.6f}  {label}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        state = "attached" if self._attached else "detached"
+        return (
+            f"<KernelTracer {state} captured={len(self.events)}/"
+            f"{self.capacity} executed={self.executed}>"
+        )

@@ -1,0 +1,24 @@
+"""Topology builders for the paper's n-tier configurations."""
+
+from .builder import NTierSystem, build_system
+from .chain import ChainSystem, TierSpec, build_chain, uniform_chain
+from .configs import SystemConfig, server_names
+from .consolidation import (
+    ConsolidatedPair,
+    build_consolidated_pair,
+    sysbursty_mix,
+)
+
+__all__ = [
+    "ChainSystem",
+    "ConsolidatedPair",
+    "TierSpec",
+    "build_chain",
+    "uniform_chain",
+    "NTierSystem",
+    "SystemConfig",
+    "build_consolidated_pair",
+    "build_system",
+    "server_names",
+    "sysbursty_mix",
+]

@@ -1,0 +1,212 @@
+"""Build the paper's n-tier systems from a :class:`SystemConfig`.
+
+The standard RUBBoS 1/1/1 topology: one web server, one application
+server, one database server, each on its own VM on its own physical
+host (Fig 13).  Millibottleneck injectors later consolidate an
+antagonist VM onto one of these hosts (Fig 2) or freeze a VM's disk.
+"""
+
+from __future__ import annotations
+
+from ..apps.rubbos import APP_TIER, DB_TIER, WEB_TIER, RubbosApplication
+from ..cpu.host import Host
+from ..cpu.overhead import ThreadOverheadModel
+from ..metrics.monitor import SystemMonitor
+from ..metrics.trace import RequestLog
+from ..net.tcp import NetworkFabric
+from ..servers.async_server import AsyncServer
+from ..servers.sync_server import SyncServer
+from ..sim.kernel import Simulator
+from .configs import SystemConfig, server_names
+
+__all__ = ["NTierSystem", "build_system"]
+
+
+class NTierSystem:
+    """A built system: kernel, fabric, hosts, VMs, servers, app, log.
+
+    ``servers`` and ``vms`` are keyed by tier ("web"/"app"/"db");
+    ``names`` maps tiers to the display names used in the figures
+    (apache/nginx, tomcat/xtomcat, mysql/xmysql), with ``name_prefix``
+    applied when several systems share one simulation (Fig 2's
+    SysSteady/SysBursty pair).
+    """
+
+    def __init__(self, sim, config, name_prefix=""):
+        self.sim = sim
+        self.config = config
+        self.name_prefix = name_prefix
+        self.names = {
+            tier: name_prefix + name
+            for tier, name in server_names(config).items()
+        }
+        self.fabric = NetworkFabric(
+            sim,
+            latency=config.net_latency,
+            rto=config.tcp_rto,
+            max_retransmits=config.max_retransmits,
+        )
+        self.app = RubbosApplication(config.interaction_specs)
+        self.log = RequestLog()
+        self.hosts = {}
+        self.vms = {}
+        self.servers = {}
+        self.monitor = None
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self):
+        """The listener clients send to (the web tier)."""
+        return self.servers[WEB_TIER].listener
+
+    def host_of(self, tier):
+        return self.hosts[tier]
+
+    def attach_monitor(self, interval=None):
+        """Create and start a SystemMonitor over every VM and server."""
+        if self.monitor is None:
+            self.monitor = SystemMonitor(
+                self.sim, interval=interval or self.config.monitor_interval
+            )
+            for tier in (WEB_TIER, APP_TIER, DB_TIER):
+                name = self.names[tier]
+                self.monitor.watch_vm(name, self.vms[tier])
+                self.monitor.watch_server(name, self.servers[tier])
+            self.monitor.start()
+        return self.monitor
+
+    def drop_counts(self):
+        """Tier display name → packets dropped at that server."""
+        return {
+            self.names[tier]: self.servers[tier].listener.drops
+            for tier in (WEB_TIER, APP_TIER, DB_TIER)
+        }
+
+    def total_drops(self):
+        return sum(self.drop_counts().values())
+
+    def __repr__(self):
+        stack = "-".join(
+            self.names[t] for t in (WEB_TIER, APP_TIER, DB_TIER)
+        )
+        return f"<NTierSystem nx={self.config.nx} {stack}>"
+
+
+def build_system(config=None, sim=None, host_overrides=None, name_prefix=""):
+    """Construct the 3-tier system described by ``config``.
+
+    Returns an :class:`NTierSystem`; the caller attaches workload
+    generators and injectors, then runs ``system.sim.run(until=...)``.
+
+    ``host_overrides`` maps tier names ("web"/"app"/"db") to existing
+    :class:`~repro.cpu.host.Host` objects, co-locating that tier's VM on
+    another system's physical machine — the paper's VM consolidation.
+    ``name_prefix`` distinguishes the servers/VMs of multiple systems in
+    one simulation.
+    """
+    config = config or SystemConfig()
+    sim = sim or Simulator(seed=config.seed)
+    host_overrides = host_overrides or {}
+    system = NTierSystem(sim, config, name_prefix=name_prefix)
+    handlers = system.app.handlers()
+
+    overhead = None
+    if config.thread_overhead:
+        overhead = ThreadOverheadModel(
+            switch_cost=config.switch_cost,
+            gc_cost=config.gc_cost,
+            free_threads=config.free_threads,
+        )
+
+    # one VM per tier, each on a dedicated host (Fig 13's deployment)
+    # unless a host override consolidates it onto a shared machine
+    for tier, vcpus in (
+        (WEB_TIER, 1),
+        (APP_TIER, config.app_vcpus),
+        (DB_TIER, 1),
+    ):
+        name = system.names[tier]
+        host = host_overrides.get(tier)
+        if host is None:
+            host = Host(sim, cores=max(1, vcpus), name=f"{name}-host")
+        is_async = getattr(config, f"{_tier_attr(tier)}_is_async")
+        vm = host.add_vm(
+            f"{name}-vm",
+            vcpus=vcpus,
+            efficiency=None if is_async else overhead,
+        )
+        system.hosts[tier] = host
+        system.vms[tier] = vm
+
+    # --- web tier -----------------------------------------------------
+    if config.web_is_async:
+        system.servers[WEB_TIER] = AsyncServer(
+            sim, system.fabric, system.names[WEB_TIER], system.vms[WEB_TIER],
+            handlers[WEB_TIER],
+            lite_q_depth=config.lite_q_depth,
+            workers=config.nginx_workers,
+            backlog=config.web_backlog,
+        )
+    else:
+        system.servers[WEB_TIER] = SyncServer(
+            sim, system.fabric, system.names[WEB_TIER], system.vms[WEB_TIER],
+            handlers[WEB_TIER],
+            threads=config.web_threads,
+            backlog=config.web_backlog,
+            spawn_extra_process=config.web_spawn_extra_process,
+            spawn_after=config.web_spawn_after,
+            max_processes=config.web_max_processes,
+        )
+
+    # --- app tier -----------------------------------------------------
+    if config.app_is_async:
+        # XTomcat: NIO connector (huge lightweight queue) feeding the
+        # regular servlet executor pool — requests park in the connector
+        # queue instead of the kernel backlog, and executors never block
+        # on the (asynchronous) database connector.
+        system.servers[APP_TIER] = AsyncServer(
+            sim, system.fabric, system.names[APP_TIER], system.vms[APP_TIER],
+            handlers[APP_TIER],
+            lite_q_depth=config.lite_q_depth,
+            workers=config.xtomcat_workers,
+            backlog=config.app_backlog,
+            pace_rate=config.xtomcat_pace_rate,
+        )
+    else:
+        system.servers[APP_TIER] = SyncServer(
+            sim, system.fabric, system.names[APP_TIER], system.vms[APP_TIER],
+            handlers[APP_TIER],
+            threads=config.app_threads,
+            backlog=config.app_backlog,
+        )
+
+    # --- db tier ------------------------------------------------------
+    if config.db_is_async:
+        system.servers[DB_TIER] = AsyncServer(
+            sim, system.fabric, system.names[DB_TIER], system.vms[DB_TIER],
+            handlers[DB_TIER],
+            lite_q_depth=config.xmysql_queue,
+            workers=config.xmysql_slots,
+            backlog=config.db_backlog,
+        )
+    else:
+        system.servers[DB_TIER] = SyncServer(
+            sim, system.fabric, system.names[DB_TIER], system.vms[DB_TIER],
+            handlers[DB_TIER],
+            threads=config.db_threads,
+            backlog=config.db_backlog,
+        )
+
+    # --- wiring ---------------------------------------------------------
+    system.servers[WEB_TIER].connect(APP_TIER, system.servers[APP_TIER].listener)
+    # A synchronous Tomcat talks to MySQL through a bounded JDBC pool;
+    # the asynchronous connector multiplexes and needs no pool.
+    pool = None if config.app_is_async else config.db_pool_size
+    system.servers[APP_TIER].connect(
+        DB_TIER, system.servers[DB_TIER].listener, pool_size=pool
+    )
+    return system
+
+
+def _tier_attr(tier):
+    return {WEB_TIER: "web", APP_TIER: "app", DB_TIER: "db"}[tier]

@@ -1,0 +1,245 @@
+"""Arbitrary-depth tier chains: the "n" in n-tier.
+
+The paper demonstrates CTQO on the classic 3-tier stack, but its
+mechanism — blocking RPC propagating queue growth hop by hop — applies
+to invocation chains of any depth, and gets *worse* with depth: every
+extra synchronous hop adds a thread pool that must drain before the
+tiers above it can move.  This module builds linear chains of any
+length from per-tier :class:`TierSpec` descriptions, each tier either
+synchronous (thread pool) or asynchronous (event loop + lightweight
+queue), with the same substrates as the 3-tier builder.
+
+``experiments.deep_chain`` uses it to show multi-hop upstream CTQO: a
+millibottleneck in tier 5 of a 5-tier synchronous chain drops packets
+at tier 1, while the same chain built async end-to-end absorbs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.servlet import Call, Compute, Request, ServletContext
+from ..cpu.host import Host
+from ..metrics.monitor import SystemMonitor
+from ..metrics.trace import RequestLog, RequestRecord
+from ..net.tcp import ConnectionTimeout, NetworkFabric
+from ..servers.async_server import AsyncServer
+from ..servers.sync_server import SyncServer
+from ..sim.kernel import Simulator
+from ..units import ms
+
+__all__ = ["ChainSystem", "TierSpec", "build_chain", "uniform_chain"]
+
+
+@dataclass
+class TierSpec:
+    """One tier of a chain.
+
+    ``pre_work``/``post_work`` are CPU seconds spent before/after the
+    downstream call(s); the last tier only runs ``pre_work`` (it has no
+    downstream).  ``calls_to_next`` issues that many sequential calls to
+    the next tier with ``mid_work`` CPU between them (a multi-query
+    servlet).
+    """
+
+    name: str
+    sync: bool = True
+    threads: int = 150
+    workers: int = 1
+    backlog: int = 128
+    lite_q_depth: int = 65535
+    pool_to_next: int = None
+    vcpus: int = 1
+    pre_work: float = ms(0.1)
+    mid_work: float = ms(0.1)
+    post_work: float = ms(0.4)
+    calls_to_next: int = 1
+    stochastic: bool = True
+
+    def __post_init__(self):
+        if self.sync and self.threads < 1:
+            raise ValueError(f"{self.name}: threads must be >= 1")
+        if not self.sync and self.workers < 1:
+            raise ValueError(f"{self.name}: workers must be >= 1")
+        if self.calls_to_next < 1:
+            raise ValueError(f"{self.name}: calls_to_next must be >= 1")
+
+    @property
+    def max_sys_q_depth(self):
+        if self.sync:
+            return self.threads + self.backlog
+        return self.lite_q_depth + self.backlog
+
+
+def uniform_chain(depth, sync=True, **overrides):
+    """``depth`` identical tiers named tier1..tierN.
+
+    Keyword overrides apply to every tier (e.g. ``threads=50``).
+    """
+    if depth < 2:
+        raise ValueError(f"a chain needs at least 2 tiers, got {depth}")
+    return [
+        TierSpec(name=f"tier{i + 1}", sync=sync, **overrides)
+        for i in range(depth)
+    ]
+
+
+class ChainSystem:
+    """A built linear chain, with the same surface as NTierSystem."""
+
+    def __init__(self, sim, specs, fabric):
+        self.sim = sim
+        self.specs = list(specs)
+        self.fabric = fabric
+        self.names = [spec.name for spec in self.specs]
+        self.hosts = []
+        self.vms = []
+        self.servers = []
+        self.log = RequestLog()
+        self.monitor = None
+
+    @property
+    def entry(self):
+        return self.servers[0].listener
+
+    @property
+    def depth(self):
+        return len(self.specs)
+
+    def server(self, name):
+        return self.servers[self.names.index(name)]
+
+    def vm(self, name):
+        return self.vms[self.names.index(name)]
+
+    def host_of(self, name):
+        return self.hosts[self.names.index(name)]
+
+    def attach_monitor(self, interval=0.05):
+        if self.monitor is None:
+            self.monitor = SystemMonitor(self.sim, interval=interval)
+            for name, vm, server in zip(self.names, self.vms, self.servers):
+                self.monitor.watch_vm(name, vm)
+                self.monitor.watch_server(name, server)
+            self.monitor.start()
+        return self.monitor
+
+    def drop_counts(self):
+        return {
+            name: server.listener.drops
+            for name, server in zip(self.names, self.servers)
+        }
+
+    def total_drops(self):
+        return sum(self.drop_counts().values())
+
+    # ------------------------------------------------------------------
+    # workload
+    # ------------------------------------------------------------------
+    def open_loop(self, rate, rng_label="chain-clients"):
+        """Attach a Poisson client at ``rate`` req/s."""
+        rng = self.sim.fork_rng(rng_label)
+
+        def arrivals():
+            while True:
+                yield rng.expovariate(rate)
+                self.sim.process(self._one_request())
+
+        self.sim.process(arrivals())
+        return self
+
+    def _one_request(self):
+        request = Request("ChainRequest", "chain", self.sim.now)
+        exchange = self.fabric.send(self.entry, request)
+        failed = False
+        error = None
+        try:
+            response = yield exchange.response
+            if not response.ok:
+                failed = True
+                error = response.error
+        except ConnectionTimeout as exc:
+            failed = True
+            error = str(exc)
+        self.log.add(
+            RequestRecord(
+                request.id, "ChainRequest",
+                start=request.created_at, end=self.sim.now,
+                attempts=exchange.attempts,
+                drops=[
+                    (t, d) for t, e, d in request.root.trace if e == "drop"
+                ],
+                failed=failed, error=error,
+            )
+        )
+
+    def __repr__(self):
+        kinds = "".join("S" if s.sync else "A" for s in self.specs)
+        return f"<ChainSystem depth={self.depth} [{kinds}]>"
+
+
+def _chain_handler(spec, next_name, rng):
+    """Servlet for one chain position (generic pre/call/post shape)."""
+
+    def draw(mean):
+        if mean <= 0:
+            return 0.0
+        if spec.stochastic:
+            return rng.expovariate(1.0 / mean)
+        return mean
+
+    def handler(ctx, request):
+        yield Compute(draw(spec.pre_work))
+        if next_name is not None:
+            for index in range(spec.calls_to_next):
+                yield Call(next_name, f"{spec.name}.c{index}")
+                if index < spec.calls_to_next - 1:
+                    yield Compute(draw(spec.mid_work))
+            yield Compute(draw(spec.post_work))
+        return {"tier": spec.name}
+
+    return handler
+
+
+def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
+                max_retransmits=3):
+    """Build a linear chain from tier specs (front tier first)."""
+    specs = list(specs)
+    if len(specs) < 2:
+        raise ValueError("a chain needs at least 2 tiers")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tier names in {names}")
+    sim = sim or Simulator(seed=seed)
+    fabric = NetworkFabric(sim, latency=net_latency, rto=rto,
+                           max_retransmits=max_retransmits)
+    system = ChainSystem(sim, specs, fabric)
+    rng = sim.fork_rng("chain-app")
+
+    for index, spec in enumerate(specs):
+        host = Host(sim, cores=max(1, spec.vcpus), name=f"{spec.name}-host")
+        vm = host.add_vm(f"{spec.name}-vm", vcpus=spec.vcpus)
+        next_name = specs[index + 1].name if index + 1 < len(specs) else None
+        handler = _chain_handler(spec, next_name, rng)
+        if spec.sync:
+            server = SyncServer(
+                sim, fabric, spec.name, vm, handler,
+                threads=spec.threads, backlog=spec.backlog,
+            )
+        else:
+            server = AsyncServer(
+                sim, fabric, spec.name, vm, handler,
+                lite_q_depth=spec.lite_q_depth, workers=spec.workers,
+                backlog=spec.backlog,
+            )
+        system.hosts.append(host)
+        system.vms.append(vm)
+        system.servers.append(server)
+
+    for index in range(len(specs) - 1):
+        system.servers[index].connect(
+            specs[index + 1].name,
+            system.servers[index + 1].listener,
+            pool_size=specs[index].pool_to_next,
+        )
+    return system

@@ -1,0 +1,18 @@
+"""Unit helpers.  Simulated time is always in seconds internally;
+the paper quotes service times in milliseconds, so configs use these.
+"""
+
+__all__ = ["ms", "seconds_to_ms", "MS"]
+
+#: one millisecond in simulator time units (seconds).
+MS = 0.001
+
+
+def ms(value):
+    """Convert milliseconds to simulator seconds."""
+    return value * MS
+
+
+def seconds_to_ms(value):
+    """Convert simulator seconds to milliseconds."""
+    return value * 1000.0

@@ -1,0 +1,18 @@
+"""Workload generation: closed-loop clients, bursts, scripted batches."""
+
+from .burst import BurstModulator, SteadyModulator
+from .generators import (
+    ClosedLoopPopulation,
+    MmppOpenLoop,
+    OpenLoopPoisson,
+    ScriptedBurst,
+)
+
+__all__ = [
+    "BurstModulator",
+    "ClosedLoopPopulation",
+    "MmppOpenLoop",
+    "OpenLoopPoisson",
+    "ScriptedBurst",
+    "SteadyModulator",
+]

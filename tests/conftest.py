@@ -1,0 +1,55 @@
+"""Shared fixtures: small deterministic systems for fast unit tests."""
+
+import pytest
+
+from repro.apps.rubbos import InteractionSpec, RubbosApplication
+from repro.sim import Simulator
+from repro.units import ms
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=123)
+
+
+def tiny_mix(stochastic=False):
+    """A deterministic miniature interaction mix for unit tests.
+
+    Costs are exact (no randomness) so response times can be asserted
+    to the microsecond.
+    """
+    return [
+        InteractionSpec("StaticContent", 0.25, web_work=ms(0.2),
+                        stochastic=stochastic),
+        InteractionSpec("BrowseStories", 0.50, web_work=ms(0.1),
+                        app_stages=(ms(0.2), ms(0.3)),
+                        db_queries=(ms(0.4),),
+                        stochastic=stochastic),
+        InteractionSpec("ViewStory", 0.25, web_work=ms(0.1),
+                        app_stages=(ms(0.1), ms(0.2), ms(0.2)),
+                        db_queries=(ms(0.5), ms(0.5)),
+                        stochastic=stochastic),
+    ]
+
+
+@pytest.fixture
+def tiny_app():
+    return RubbosApplication(tiny_mix())
+
+
+def build_tiny_system(nx=0, seed=7, **overrides):
+    """A small 3-tier system: few threads, deterministic app costs."""
+    from repro.topology import SystemConfig, build_system
+
+    defaults = dict(
+        nx=nx, seed=seed,
+        web_threads=8, app_threads=8, db_threads=4,
+        web_backlog=4, app_backlog=4, db_backlog=4,
+        db_pool_size=4,
+        web_spawn_extra_process=False,
+        lite_q_depth=64, xtomcat_workers=8,
+        xmysql_slots=2, xmysql_queue=32,
+        interaction_specs=tiny_mix(),
+    )
+    defaults.update(overrides)
+    return build_system(SystemConfig(**defaults))

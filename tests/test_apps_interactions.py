@@ -1,0 +1,117 @@
+"""Tests for the full RUBBoS interaction catalog
+(repro.apps.interactions)."""
+
+import pytest
+
+from repro.apps import (
+    RubbosApplication,
+    browse_only_mix,
+    calibrated,
+    full_catalog,
+    read_write_mix,
+)
+from repro.apps.rubbos import APP_TIER, DB_TIER, WEB_TIER
+from repro.sim import Simulator
+from repro.units import ms
+
+
+def test_catalog_has_every_interaction():
+    catalog = full_catalog()
+    assert len(catalog) == 21
+    for name in ("StoriesOfTheDay", "ViewStory", "SearchInComments",
+                 "StoreStory", "AcceptStory", "StaticContent"):
+        assert name in catalog
+
+
+def test_catalog_specs_are_internally_consistent():
+    for spec in full_catalog(stochastic=False).values():
+        if spec.app_stages:
+            assert len(spec.db_queries) == len(spec.app_stages) - 1
+        else:
+            assert spec.is_static
+
+
+def test_browse_mix_is_read_only():
+    names = {spec.name for spec in browse_only_mix()}
+    assert len(names) == 11
+    assert not any(name.startswith(("Submit", "Store")) for name in names)
+
+
+def test_read_write_mix_adds_write_path():
+    names = {spec.name for spec in read_write_mix()}
+    assert "StoreStory" in names and "StoreComment" in names
+    assert len(names) == 21
+
+
+def test_write_interactions_are_a_small_fraction():
+    mix = read_write_mix()
+    total = sum(spec.weight for spec in mix)
+    writes = sum(
+        spec.weight for spec in mix
+        if spec.name.startswith(("Submit", "Store", "Moderate", "Register",
+                                 "Review", "Accept"))
+    )
+    assert writes / total < 0.20
+
+
+def test_calibration_hits_the_target():
+    for mix in (browse_only_mix(), read_write_mix()):
+        app = RubbosApplication(calibrated(mix))
+        assert app.expected_work(APP_TIER) == pytest.approx(ms(0.77))
+        # the DB stays below the app tier at paper workloads
+        assert app.expected_work(DB_TIER) < ms(0.77) * 1.05
+
+
+def test_calibration_custom_target():
+    app = RubbosApplication(calibrated(browse_only_mix(), app_work=ms(1.5)))
+    assert app.expected_work(APP_TIER) == pytest.approx(ms(1.5))
+
+
+def test_calibration_preserves_ratios():
+    raw = browse_only_mix(stochastic=False)
+    raw_work = RubbosApplication(raw).expected_work(APP_TIER)
+    scaled = calibrated(raw, app_work=2 * raw_work)  # exactly 2x
+    for before, after in zip(raw, scaled):
+        assert after.web_work == pytest.approx(2 * before.web_work)
+        for b, a in zip(before.db_queries, after.db_queries):
+            assert a == pytest.approx(2 * b)
+
+
+def test_calibration_rejects_static_only_mix():
+    static_only = [full_catalog(stochastic=False)["StaticContent"]]
+    with pytest.raises(ValueError):
+        calibrated(static_only)
+
+
+def test_full_mix_runs_through_a_system():
+    """Every interaction's servlet actually executes on the 3-tier
+    system without error."""
+    from repro.core import Scenario
+    from repro.topology import SystemConfig
+
+    result = Scenario(
+        SystemConfig(nx=0, interaction_specs=calibrated(read_write_mix()),
+                     seed=3),
+        clients=300, think_mean=1.0, duration=12.0, warmup=2.0,
+    ).run()
+    summary = result.summary()
+    assert summary["failed"] == 0
+    assert summary["dropped_packets"] == 0
+    kinds = {record.kind for record in result.log.records}
+    assert len(kinds) >= 15  # the long tail of rare interactions appears
+
+
+def test_sampling_matches_weights():
+    app = RubbosApplication(browse_only_mix())
+    rng = Simulator(seed=8).fork_rng("x")
+    counts = {}
+    n = 30000
+    for _ in range(n):
+        name = app.sample(rng).name
+        counts[name] = counts.get(name, 0) + 1
+    total_weight = sum(s.weight for s in app.specs)
+    for spec in app.specs:
+        if spec.weight / total_weight > 0.05:
+            assert counts[spec.name] / n == pytest.approx(
+                spec.weight / total_weight, rel=0.15
+            )

@@ -1,0 +1,191 @@
+"""Unit tests for the RUBBoS-like application (repro.apps.rubbos)."""
+
+import pytest
+
+from repro.apps.rubbos import (
+    APP_TIER,
+    DB_TIER,
+    WEB_TIER,
+    InteractionSpec,
+    RubbosApplication,
+    default_mix,
+)
+from repro.apps.servlet import Call, Compute, Request, ServletContext
+from repro.sim import Simulator
+from repro.units import ms
+
+
+def make_ctx(seed=1):
+    sim = Simulator(seed=seed)
+    return ServletContext("test", sim, sim.fork_rng("servlet"))
+
+
+# ----------------------------------------------------------------------
+# InteractionSpec validation
+# ----------------------------------------------------------------------
+def test_spec_query_stage_count_must_match():
+    with pytest.raises(ValueError):
+        InteractionSpec("X", 1.0, ms(0.1), app_stages=(ms(1),),
+                        db_queries=(ms(1),))
+
+
+def test_spec_queries_without_stages_rejected():
+    with pytest.raises(ValueError):
+        InteractionSpec("X", 1.0, ms(0.1), db_queries=(ms(1),))
+
+
+def test_spec_weight_must_be_positive():
+    with pytest.raises(ValueError):
+        InteractionSpec("X", 0.0, ms(0.1))
+
+
+def test_static_detection():
+    static = InteractionSpec("S", 1.0, ms(0.1))
+    dynamic = InteractionSpec("D", 1.0, ms(0.1), app_stages=(ms(1), ms(1)),
+                              db_queries=(ms(1),))
+    assert static.is_static
+    assert not dynamic.is_static
+
+
+# ----------------------------------------------------------------------
+# mix sampling and sizing
+# ----------------------------------------------------------------------
+def test_default_mix_shape():
+    specs = default_mix()
+    names = [s.name for s in specs]
+    assert names == ["StaticContent", "BrowseStories", "ViewStory"]
+    heavy = specs[2]
+    assert len(heavy.db_queries) == 3  # the paper's multi-query servlet
+
+
+def test_sample_respects_weights():
+    app = RubbosApplication(default_mix(stochastic=False))
+    rng = Simulator(seed=9).fork_rng("sampling")
+    counts = {}
+    n = 20000
+    for _ in range(n):
+        spec = app.sample(rng)
+        counts[spec.name] = counts.get(spec.name, 0) + 1
+    assert counts["StaticContent"] / n == pytest.approx(0.30, abs=0.02)
+    assert counts["BrowseStories"] / n == pytest.approx(0.50, abs=0.02)
+    assert counts["ViewStory"] / n == pytest.approx(0.20, abs=0.02)
+
+
+def test_dynamic_fraction():
+    app = RubbosApplication(default_mix())
+    assert app.dynamic_fraction() == pytest.approx(0.70)
+
+
+def test_expected_work_matches_hand_computation():
+    app = RubbosApplication(default_mix())
+    # web: 0.3*0.35 + 0.5*0.25 + 0.2*0.25 ms
+    assert app.expected_work(WEB_TIER) == pytest.approx(ms(0.28))
+    # app: 0.5*0.9 + 0.2*1.6 ms
+    assert app.expected_work(APP_TIER) == pytest.approx(ms(0.77))
+    # db: 0.5*0.45 + 0.2*2.0 ms
+    assert app.expected_work(DB_TIER) == pytest.approx(ms(0.625))
+
+
+def test_expected_work_unknown_tier():
+    app = RubbosApplication(default_mix())
+    with pytest.raises(ValueError):
+        app.expected_work("cache")
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError):
+        RubbosApplication([])
+
+
+# ----------------------------------------------------------------------
+# servlet bodies
+# ----------------------------------------------------------------------
+def drive(gen, call_results=None):
+    """Run a servlet generator, returning (steps, result)."""
+    steps = []
+    results = iter(call_results or [])
+    value = None
+    while True:
+        try:
+            step = gen.send(value)
+        except StopIteration as stop:
+            return steps, stop.value
+        steps.append(step)
+        value = next(results) if isinstance(step, Call) else None
+
+
+def test_web_servlet_static_never_calls_downstream():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("StaticContent", "StaticContent", 0.0)
+    steps, result = drive(app.web_servlet(make_ctx(), request))
+    assert [type(s) for s in steps] == [Compute]
+    assert steps[0].work == pytest.approx(ms(0.35))
+    assert result["tier"] == WEB_TIER
+
+
+def test_web_servlet_dynamic_relays_to_app_tier():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("ViewStory", "ViewStory", 0.0)
+    steps, result = drive(
+        app.web_servlet(make_ctx(), request), call_results=[{"rows": 7}]
+    )
+    assert [type(s) for s in steps] == [Compute, Call]
+    assert steps[1].target == APP_TIER
+    assert result == {"rows": 7}
+
+
+def test_app_servlet_interleaves_stages_and_queries():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("ViewStory", "ViewStory", 0.0)
+    steps, result = drive(
+        app.app_servlet(make_ctx(), request),
+        call_results=[{"rows": 1}] * 3,
+    )
+    kinds = [type(s).__name__ for s in steps]
+    assert kinds == ["Compute", "Call", "Compute", "Call", "Compute",
+                     "Call", "Compute"]
+    calls = [s for s in steps if isinstance(s, Call)]
+    assert all(c.target == DB_TIER for c in calls)
+    assert [c.operation for c in calls] == [
+        "ViewStory.q0", "ViewStory.q1", "ViewStory.q2",
+    ]
+    assert result["rows"] == 3
+
+
+def test_app_servlet_passes_query_cost_as_work_hint():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("BrowseStories", "BrowseStories", 0.0)
+    steps, _result = drive(
+        app.app_servlet(make_ctx(), request), call_results=[{"rows": 1}]
+    )
+    call = next(s for s in steps if isinstance(s, Call))
+    assert call.work_hint == pytest.approx(ms(0.45))
+
+
+def test_db_servlet_uses_work_hint():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("BrowseStories", "q0", 0.0, work_hint=ms(1.25))
+    steps, result = drive(app.db_servlet(make_ctx(), request))
+    assert steps[0].work == pytest.approx(ms(1.25))
+    assert result == {"rows": 1}
+
+
+def test_db_servlet_default_cost_without_hint():
+    app = RubbosApplication(default_mix(stochastic=False))
+    request = Request("X", "adhoc", 0.0)
+    steps, _result = drive(app.db_servlet(make_ctx(), request))
+    assert steps[0].work == pytest.approx(ms(0.5))
+
+
+def test_stochastic_costs_have_configured_mean():
+    app = RubbosApplication(default_mix(stochastic=True))
+    ctx = make_ctx(seed=5)
+    spec = app.by_name["BrowseStories"]
+    draws = [app._cost(ctx, spec, ms(0.5)) for _ in range(20000)]
+    assert sum(draws) / len(draws) == pytest.approx(ms(0.5), rel=0.05)
+
+
+def test_handlers_cover_all_tiers():
+    app = RubbosApplication(default_mix())
+    handlers = app.handlers()
+    assert set(handlers) == {WEB_TIER, APP_TIER, DB_TIER}

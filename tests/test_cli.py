@@ -1,0 +1,55 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_conditions_paper_example(capsys):
+    assert main(["conditions"]) == 0
+    out = capsys.readouterr().out
+    assert "122 dropped packets" in out
+    assert "278 ms" in out
+
+
+def test_conditions_drain_keeps_up(capsys):
+    assert main(["conditions", "--rate", "100", "--drain", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "never overflows" in out
+
+
+def test_parser_rejects_unknown_experiment():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.integration
+def test_run_timeline_with_export(tmp_path, capsys):
+    out_dir = str(tmp_path / "raw")
+    status = main(["run", "fig03", "--duration", "30", "--out", out_dir])
+    assert status == 0
+    printed = capsys.readouterr().out
+    assert "Fig 3" in printed
+    assert "CLAIM CHECK: ok" in printed
+    for suffix in ("cpu.csv", "queues.csv", "requests.csv", "summary.json"):
+        assert os.path.exists(os.path.join(out_dir, f"fig03_{suffix}"))
+    payload = json.loads(
+        open(os.path.join(out_dir, "fig03_summary.json")).read()
+    )
+    assert payload["summary"]["dropped_packets"] > 0

@@ -1,0 +1,95 @@
+"""Unit tests for the §III condition models (repro.core.conditions)."""
+
+import pytest
+
+from repro.core import (
+    StaticConditions,
+    max_sys_q_depth,
+    minimum_millibottleneck_duration,
+    predicted_overflow,
+)
+
+
+def test_max_sys_q_depth_paper_numbers():
+    assert max_sys_q_depth(150, 128) == 278  # Apache
+    assert max_sys_q_depth(165, 128) == 293  # Tomcat (NX=1)
+    assert max_sys_q_depth(100, 128) == 228  # MySQL
+    with pytest.raises(ValueError):
+        max_sys_q_depth(-1, 128)
+
+
+def test_predicted_overflow_paper_example():
+    """The paper's arithmetic: 1000 req/s * 0.4 s vs 278 -> 122 dropped."""
+    assert predicted_overflow(1000, 0.4, 278) == pytest.approx(122)
+
+
+def test_predicted_overflow_no_drop_when_short():
+    assert predicted_overflow(1000, 0.2, 278) == 0.0
+
+
+def test_predicted_overflow_with_drain():
+    # the stalled server still completes 200 req/s: absorbed 278+80
+    assert predicted_overflow(1000, 0.4, 278, drain_rate=200) == pytest.approx(42)
+
+
+def test_predicted_overflow_validation():
+    with pytest.raises(ValueError):
+        predicted_overflow(-1, 0.4, 278)
+
+
+def test_minimum_duration_inverts_the_model():
+    threshold = minimum_millibottleneck_duration(1000, 278)
+    assert threshold == pytest.approx(0.278)
+    assert predicted_overflow(1000, threshold * 0.99, 278) == 0.0
+    assert predicted_overflow(1000, threshold * 1.01, 278) > 0.0
+
+
+def test_minimum_duration_infinite_when_drain_keeps_up():
+    assert minimum_millibottleneck_duration(100, 278, drain_rate=100) == float("inf")
+
+
+def test_minimum_duration_validation():
+    with pytest.raises(ValueError):
+        minimum_millibottleneck_duration(0, 278)
+
+
+def test_static_conditions_all_met():
+    conditions = StaticConditions.from_observations(
+        any_sync_server=True, burst_intensity=10.0,
+        median_service_ms=5.0, peak_avg_utilization=0.75,
+    )
+    assert conditions.all_met()
+    assert conditions.unmet() == []
+
+
+def test_static_conditions_async_stack_unmet():
+    conditions = StaticConditions.from_observations(
+        any_sync_server=False, burst_intensity=10.0,
+        median_service_ms=5.0, peak_avg_utilization=0.75,
+    )
+    assert not conditions.all_met()
+    assert conditions.unmet() == ["synchronous_rpc"]
+
+
+def test_static_conditions_persistent_bottleneck_unmet():
+    conditions = StaticConditions.from_observations(
+        any_sync_server=True, burst_intensity=10.0,
+        median_service_ms=5.0, peak_avg_utilization=0.97,
+    )
+    assert "moderate_utilization" in conditions.unmet()
+
+
+def test_static_conditions_long_requests_unmet():
+    conditions = StaticConditions.from_observations(
+        any_sync_server=True, burst_intensity=10.0,
+        median_service_ms=500.0, peak_avg_utilization=0.5,
+    )
+    assert "short_requests" in conditions.unmet()
+
+
+def test_static_conditions_steady_workload_unmet():
+    conditions = StaticConditions.from_observations(
+        any_sync_server=True, burst_intensity=1.0,
+        median_service_ms=5.0, peak_avg_utilization=0.5,
+    )
+    assert "bursty_workload" in conditions.unmet()

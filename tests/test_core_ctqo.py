@@ -1,0 +1,133 @@
+"""Unit tests for CTQO classification (repro.core.ctqo)."""
+
+import pytest
+
+from repro.core import CtqoAnalyzer, Millibottleneck
+from repro.metrics import TimeSeries
+
+TIERS = ["apache", "tomcat", "mysql"]
+
+
+@pytest.fixture
+def analyzer():
+    return CtqoAnalyzer(TIERS)
+
+
+def test_needs_two_tiers():
+    with pytest.raises(ValueError):
+        CtqoAnalyzer(["solo"])
+
+
+def test_direction_classification(analyzer):
+    # millibottleneck in tomcat, drops at apache -> upstream (Fig 3)
+    assert analyzer.classify_direction("tomcat", "apache") == "upstream"
+    # millibottleneck in tomcat, drops at tomcat -> downstream (Fig 7)
+    assert analyzer.classify_direction("tomcat", "tomcat") == "downstream"
+    # millibottleneck in tomcat, drops at mysql -> downstream (Fig 9)
+    assert analyzer.classify_direction("tomcat", "mysql") == "downstream"
+    # millibottleneck in mysql, drops at apache -> upstream (Fig 5)
+    assert analyzer.classify_direction("mysql", "apache") == "upstream"
+
+
+def test_unknown_server_rejected(analyzer):
+    with pytest.raises(ValueError):
+        analyzer.classify_direction("tomcat", "redis")
+
+
+def test_vm_name_mapping_default_strips_suffix(analyzer):
+    assert analyzer.server_for_vm("tomcat-vm") == "tomcat"
+    assert analyzer.server_for_vm("tomcat") == "tomcat"
+
+
+def test_vm_name_mapping_explicit():
+    analyzer = CtqoAnalyzer(TIERS, vm_of={"steady-app": "tomcat"})
+    assert analyzer.server_for_vm("steady-app") == "tomcat"
+
+
+def test_attribute_drops_builds_classified_events(analyzer):
+    mb = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.5)
+    events = analyzer.attribute_drops(
+        [mb],
+        {"apache": [10.2, 10.3, 10.9], "tomcat": [], "mysql": []},
+    )
+    assert len(events) == 1
+    event = events[0]
+    assert event.direction == "upstream"
+    assert event.dropping_server == "apache"
+    assert event.drops == 3  # 10.9 lands inside the post-episode window
+    assert event.millibottleneck is mb
+
+
+def test_drops_outside_window_are_unattributed(analyzer):
+    mb = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.5)
+    events = analyzer.attribute_drops([mb], {"apache": [20.0]})
+    assert len(events) == 1
+    assert events[0].direction == "unattributed"
+    assert events[0].millibottleneck is None
+
+
+def test_earliest_covering_millibottleneck_wins(analyzer):
+    """Secondary saturations start later than their root cause, so the
+    earliest covering episode gets the drops."""
+    root_cause = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.6)
+    secondary = Millibottleneck("apache-vm", "cpu", 10.3, 10.5)
+    events = analyzer.attribute_drops(
+        [root_cause, secondary], {"apache": [10.45]}
+    )
+    assert len(events) == 1
+    assert events[0].millibottleneck is root_cause
+    assert events[0].direction == "upstream"
+
+
+def test_separate_events_per_millibottleneck_and_server(analyzer):
+    mb1 = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.5)
+    mb2 = Millibottleneck("tomcat-vm", "cpu", 20.0, 20.5)
+    events = analyzer.attribute_drops(
+        [mb1, mb2],
+        {"apache": [10.1, 20.1], "tomcat": [10.2]},
+    )
+    assert len(events) == 3
+    keys = {(e.millibottleneck.start, e.dropping_server) for e in events}
+    assert keys == {(10.0, "apache"), (10.0, "tomcat"), (20.0, "apache")}
+
+
+def test_events_sorted_by_first_drop(analyzer):
+    mb1 = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.5)
+    mb2 = Millibottleneck("tomcat-vm", "cpu", 5.0, 5.5)
+    events = analyzer.attribute_drops(
+        [mb1, mb2], {"apache": [10.1], "mysql": [5.1]}
+    )
+    assert [e.dropping_server for e in events] == ["mysql", "apache"]
+
+
+def test_overflow_episodes_detects_plateaus(analyzer):
+    series = TimeSeries("queue:apache")
+    for t, v in [(0.0, 10), (1.0, 278), (1.5, 278), (2.0, 50)]:
+        series.append(t, v)
+    episodes = analyzer.overflow_episodes(
+        {"apache": series}, {"apache": 278}
+    )
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.server == "apache"
+    assert episode.peak_depth == 278
+    assert episode.threshold == 278
+    assert episode.duration == pytest.approx(1.0)
+
+
+def test_overflow_episodes_slack(analyzer):
+    series = TimeSeries("queue:mysql")
+    for t, v in [(0.0, 10), (1.0, 225), (2.0, 10)]:
+        series.append(t, v)
+    none = analyzer.overflow_episodes({"mysql": series}, {"mysql": 228})
+    some = analyzer.overflow_episodes({"mysql": series}, {"mysql": 228},
+                                      slack=5)
+    assert none == []
+    assert len(some) == 1
+
+
+def test_event_str(analyzer):
+    mb = Millibottleneck("tomcat-vm", "cpu", 10.0, 10.5)
+    events = analyzer.attribute_drops([mb], {"apache": [10.1]})
+    text = str(events[0])
+    assert "upstream CTQO" in text and "apache" in text

@@ -1,0 +1,67 @@
+"""Tests for automated diagnosis (repro.core.diagnosis)."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+from test_core_evaluation import tiny_scenario  # noqa: E402
+
+from repro.core import diagnose  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def sync_ctqo_result():
+    return (
+        tiny_scenario()
+        .with_consolidation("app", times=[4.0, 7.0], burst_cpu=2.0,
+                            burst_jobs=40, shares=200.0)
+        .run()
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_result():
+    return tiny_scenario().run()
+
+
+def test_diagnosis_detects_ctqo(sync_ctqo_result):
+    diagnosis = diagnose(sync_ctqo_result)
+    assert diagnosis.has_long_tail
+    assert diagnosis.is_ctqo
+    assert "apache" in diagnosis.dropping_servers
+    assert not diagnosis.steady_state_sufficient
+    assert diagnosis.mode_clusters.get(1, 0) > 0
+
+
+def test_diagnosis_recommends_replacing_the_dropping_server(sync_ctqo_result):
+    diagnosis = diagnose(sync_ctqo_result)
+    text = diagnosis.render()
+    assert "replace apache" in text
+    assert "Nginx" in text
+
+
+def test_diagnosis_clean_run(clean_result):
+    diagnosis = diagnose(clean_result)
+    assert not diagnosis.has_long_tail
+    assert not diagnosis.is_ctqo
+    assert diagnosis.vlrt_count == 0
+    assert "No long tail" in diagnosis.render()
+
+
+def test_diagnosis_steady_state_prediction_is_small(clean_result):
+    diagnosis = diagnose(clean_result)
+    assert diagnosis.predicted_response_ms < 50.0
+
+
+def test_diagnosis_async_absorbs(sync_ctqo_result):
+    result = (
+        tiny_scenario(nx=3)
+        .with_consolidation("app", times=[4.0, 7.0], burst_cpu=2.0,
+                            burst_jobs=40, shares=200.0)
+        .run()
+    )
+    diagnosis = diagnose(result)
+    assert not diagnosis.is_ctqo
+    assert result.dropped_packets == 0
+    assert "absorbed" in diagnosis.render()

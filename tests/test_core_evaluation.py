@@ -1,0 +1,170 @@
+"""Tests for the scenario runner and NX sweep (repro.core.evaluation)."""
+
+import pytest
+
+from repro.core import Scenario, nx_sweep
+from repro.topology import SystemConfig
+
+from conftest import tiny_mix
+
+
+def tiny_config(nx=0, **overrides):
+    defaults = dict(
+        nx=nx, seed=11,
+        web_threads=8, app_threads=8, db_threads=4,
+        web_backlog=4, app_backlog=4, db_backlog=4,
+        db_pool_size=4, web_spawn_extra_process=False,
+        lite_q_depth=64, xtomcat_workers=8,
+        xmysql_slots=2, xmysql_queue=32,
+        interaction_specs=tiny_mix(stochastic=True),
+    )
+    defaults.update(overrides)
+    return SystemConfig(**defaults)
+
+
+def tiny_scenario(nx=0, **kwargs):
+    return Scenario(tiny_config(nx=nx), clients=60, think_mean=1.0,
+                    duration=10.0, warmup=2.0, **kwargs)
+
+
+def test_plain_scenario_runs_clean():
+    result = tiny_scenario().run()
+    summary = result.summary()
+    assert summary["requests"] > 200
+    assert summary["failed"] == 0
+    assert result.dropped_packets == 0
+    # closed loop: X ~ N/(Z+R) ~ 60 req/s
+    assert summary["throughput_rps"] == pytest.approx(60, rel=0.2)
+
+
+def test_warmup_excluded_from_log():
+    result = tiny_scenario().run()
+    assert all(r.start >= 2.0 for r in result.log.records)
+
+
+def test_duration_must_exceed_warmup():
+    with pytest.raises(ValueError):
+        Scenario(tiny_config(), duration=5.0, warmup=5.0)
+
+
+def test_consolidation_requires_exactly_one_trigger():
+    scenario = tiny_scenario()
+    with pytest.raises(ValueError):
+        scenario.with_consolidation("app")
+    with pytest.raises(ValueError):
+        scenario.with_consolidation("app", times=[1.0], period=5.0)
+
+
+def test_consolidation_produces_drops_on_tiny_sync_system():
+    result = (
+        tiny_scenario()
+        .with_consolidation("app", times=[4.0, 7.0], burst_cpu=2.0,
+                            burst_jobs=40, shares=200.0)
+        .run()
+    )
+    assert result.dropped_packets > 0
+    assert result.drops["apache"] > 0  # upstream CTQO
+    assert len(result.injectors) == 1
+    assert result.injectors[0].burst_times == [4.0, 7.0]
+
+
+def test_consolidation_antagonist_monitored():
+    result = (
+        tiny_scenario()
+        .with_consolidation("app", times=[4.0])
+        .run()
+    )
+    assert "sysbursty-mysql" in result.monitor.cpu
+
+
+def test_log_flush_scenario():
+    result = (
+        tiny_scenario()
+        .with_log_flush("db", period=4.0, duration=0.5, offset=3.0)
+        .run()
+    )
+    assert result.injectors[0].flush_times == [3.0, 7.0]
+    iowait = result.iowait_series("db")
+    assert iowait.max() == pytest.approx(1.0)
+
+
+def test_client_burst_scenario():
+    result = (
+        tiny_scenario()
+        .with_client_burst(times=[5.0], batch_size=10,
+                           operation="ViewStory")
+        .run()
+    )
+    bursty = [r for r in result.log.records
+              if r.kind == "ViewStory" and abs(r.start - 5.0) < 1e-6]
+    assert len(bursty) == 10
+
+
+def test_run_result_accessors():
+    result = tiny_scenario().run()
+    assert set(result.queue_max()) == {"apache", "tomcat", "mysql"}
+    assert 0 < result.highest_avg_cpu() <= 1.0
+    assert result.cpu_series("app") is result.monitor.cpu["tomcat"]
+    assert result.measured_duration == pytest.approx(8.0)
+
+
+def test_millibottleneck_detection_from_run():
+    result = (
+        tiny_scenario()
+        .with_log_flush("db", period=4.0, duration=0.5, offset=3.0)
+        .run()
+    )
+    episodes = result.millibottlenecks(threshold=0.9, min_duration=0.2)
+    io_episodes = [e for e in episodes if e.kind == "io"]
+    assert len(io_episodes) == 2
+    assert io_episodes[0].resource == "mysql"
+
+
+def test_ctqo_events_classified_from_run():
+    result = (
+        tiny_scenario()
+        .with_consolidation("app", times=[4.0, 7.0], burst_cpu=2.0,
+                            burst_jobs=40, shares=200.0)
+        .run()
+    )
+    events = result.ctqo_events(threshold=0.9, min_duration=0.2)
+    upstream = [e for e in events if e.direction == "upstream"]
+    assert upstream, f"no upstream CTQO events in {events}"
+    assert upstream[0].dropping_server == "apache"
+
+
+def test_nx_sweep_runs_all_levels():
+    results = nx_sweep(
+        lambda nx: tiny_scenario(nx=nx).with_consolidation(
+            "app", times=[4.0], burst_cpu=2.0, burst_jobs=40, shares=200.0
+        ),
+        levels=(0, 3),
+    )
+    assert set(results) == {0, 3}
+    assert results[0].config.nx == 0
+    assert results[3].config.nx == 3
+    # the paper's punchline on a tiny system: sync drops, async does not
+    assert results[0].dropped_packets > 0
+    assert results[3].dropped_packets == 0
+
+
+def test_gc_pause_scenario_wiring():
+    result = (
+        tiny_scenario()
+        .with_gc_pauses("app", period=3.0, min_pause=0.3, max_pause=0.5)
+        .run()
+    )
+    injector = result.injectors[0]
+    assert injector.pauses, "no GC pauses fired"
+    assert result.iowait_series("app").max() == pytest.approx(1.0)
+
+
+def test_network_jam_scenario_wiring():
+    result = (
+        tiny_scenario()
+        .with_network_jam("app", period=4.0, duration=0.5, offset=3.0)
+        .run()
+    )
+    injector = result.injectors[0]
+    assert injector.jam_times == [3.0, 7.0]
+    assert injector.held_packets == 0  # all released by the end

@@ -1,0 +1,112 @@
+"""Unit tests for the analytic model (repro.core.queueing), including
+the calibration check against the simulator."""
+
+import pytest
+
+from repro.apps.rubbos import RubbosApplication, default_mix
+from repro.core.queueing import SteadyStateModel, TierDemand, ps_response_time
+
+
+@pytest.fixture
+def model():
+    return SteadyStateModel(RubbosApplication(default_mix()), think_mean=7.0)
+
+
+# ----------------------------------------------------------------------
+# PS formula
+# ----------------------------------------------------------------------
+def test_ps_response_time_basics():
+    assert ps_response_time(0.001, 0.0) == pytest.approx(0.001)
+    assert ps_response_time(0.001, 0.5) == pytest.approx(0.002)
+    assert ps_response_time(0.001, 0.9) == pytest.approx(0.010)
+
+
+def test_ps_response_time_saturated_is_infinite():
+    assert ps_response_time(0.001, 1.0) == float("inf")
+
+
+def test_ps_response_time_validation():
+    with pytest.raises(ValueError):
+        ps_response_time(-0.001, 0.5)
+
+
+# ----------------------------------------------------------------------
+# tier demands
+# ----------------------------------------------------------------------
+def test_tier_utilization(model):
+    app_tier = next(t for t in model.tiers if t.name == "app")
+    assert app_tier.utilization(1000) == pytest.approx(0.77, abs=0.01)
+
+
+def test_multicore_tier_divides_utilization():
+    tier = TierDemand("app", demand=0.001, cores=4)
+    assert tier.utilization(1000) == pytest.approx(0.25)
+
+
+def test_capacity_is_bottleneck_rate(model):
+    # app tier: 0.77 ms/request on one core -> ~1300 req/s
+    assert model.capacity() == pytest.approx(1300, rel=0.01)
+
+
+# ----------------------------------------------------------------------
+# closed-network solution
+# ----------------------------------------------------------------------
+def test_solve_matches_paper_operating_points(model):
+    expectations = {4000: (572, 0.44), 7000: (990, 0.77), 8000: (1103, 0.88)}
+    for clients, (paper_tput, app_util) in expectations.items():
+        solution = model.solve(clients)
+        assert solution["throughput_rps"] == pytest.approx(paper_tput, rel=0.05)
+        assert solution["utilization"]["app"] == pytest.approx(app_util, abs=0.03)
+        assert solution["bottleneck"] == "app"
+
+
+def test_solve_saturates_gracefully(model):
+    solution = model.solve(100_000)
+    assert solution["throughput_rps"] <= model.capacity()
+    assert solution["throughput_rps"] == pytest.approx(model.capacity(),
+                                                       rel=0.01)
+
+
+def test_steady_state_cannot_explain_seconds(model):
+    """The §III argument: at every paper workload, queueing theory
+    predicts millisecond responses — so 3-second responses need another
+    mechanism (CTQO)."""
+    for clients in (4000, 7000, 8000):
+        assert not model.explains_seconds_of_latency(clients)
+        assert model.solve(clients)["response_time_s"] < 0.05
+
+
+def test_app_cores_shifts_bottleneck():
+    model = SteadyStateModel(RubbosApplication(default_mix()),
+                             think_mean=7.0, app_cores=4)
+    solution = model.solve(8000)
+    assert solution["bottleneck"] == "db"  # the Fig 5 configuration
+
+
+def test_solve_validation(model):
+    with pytest.raises(ValueError):
+        model.solve(0)
+    with pytest.raises(ValueError):
+        SteadyStateModel(RubbosApplication(default_mix()), think_mean=0)
+
+
+# ----------------------------------------------------------------------
+# calibration: analytics vs simulator, no millibottlenecks
+# ----------------------------------------------------------------------
+def test_simulator_agrees_with_analytics_when_clean(model):
+    from repro.core import Scenario
+    from repro.topology import SystemConfig
+
+    result = Scenario(SystemConfig(nx=0), clients=4000,
+                      duration=25.0, warmup=5.0).run()
+    predicted = model.solve(4000)
+    measured = result.summary()
+    assert measured["throughput_rps"] == pytest.approx(
+        predicted["throughput_rps"], rel=0.05
+    )
+    assert result.cpu_mean()["tomcat"] == pytest.approx(
+        predicted["utilization"]["app"], abs=0.05
+    )
+    # and no long tail whatsoever without millibottlenecks
+    assert measured["vlrt"] == 0
+    assert measured["dropped_packets"] == 0

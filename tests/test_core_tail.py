@@ -1,0 +1,96 @@
+"""Unit tests for tail statistics (repro.core.tail)."""
+
+import pytest
+
+from repro.core import (
+    is_multimodal,
+    mode_times,
+    multimodal_clusters,
+    percentiles,
+    semilog_histogram,
+    tail_heaviness,
+)
+
+
+FAST = [0.005, 0.010, 0.008, 0.020, 0.015]
+RETRANS_3S = [3.01, 3.05, 3.12]
+RETRANS_6S = [6.02, 6.08]
+
+
+def test_clusters_fast_only():
+    clusters = multimodal_clusters(FAST)
+    assert clusters == {0: 5}
+
+
+def test_clusters_with_retransmission_modes():
+    clusters = multimodal_clusters(FAST + RETRANS_3S + RETRANS_6S)
+    assert clusters[0] == 5
+    assert clusters[1] == 3
+    assert clusters[2] == 2
+
+
+def test_off_mode_values_count_as_bulk():
+    clusters = multimodal_clusters([0.01, 1.4, 4.4])
+    assert clusters[0] == 3  # 1.4 and 4.4 are outside every mode window
+
+
+def test_clusters_empty_input():
+    assert multimodal_clusters([]) == {0: 0}
+
+
+def test_clusters_validation():
+    with pytest.raises(ValueError):
+        multimodal_clusters(FAST, spacing=0)
+    with pytest.raises(ValueError):
+        multimodal_clusters(FAST, tolerance=2.0)  # >= spacing/2
+
+
+def test_is_multimodal_thresholds():
+    assert not is_multimodal(FAST)
+    assert not is_multimodal(FAST + RETRANS_3S[:2])  # below min_cluster
+    assert is_multimodal(FAST + RETRANS_3S)
+
+
+def test_mode_times_locations():
+    times = mode_times(FAST + RETRANS_3S + RETRANS_6S)
+    assert times[1] == pytest.approx(3.06, abs=0.05)
+    assert times[2] == pytest.approx(6.05, abs=0.05)
+
+
+def test_percentiles():
+    data = [i / 100 for i in range(1, 101)]
+    stats = percentiles(data, qs=(50, 99))
+    assert stats[50] == pytest.approx(0.505, rel=0.01)
+    assert stats[99] == pytest.approx(0.9901, rel=0.01)
+
+
+def test_percentiles_empty():
+    assert percentiles([], qs=(50,)) == {50: 0.0}
+
+
+def test_tail_heaviness_flags_retransmission_tails():
+    healthy = tail_heaviness(FAST * 200)
+    sick = tail_heaviness(FAST * 200 + RETRANS_3S)
+    assert healthy < 5
+    assert sick > 100
+
+
+def test_tail_heaviness_zero_median():
+    assert tail_heaviness([0.0, 0.0]) == 0.0
+
+
+def test_semilog_histogram_bins_and_clamp():
+    rows = semilog_histogram([0.05, 0.15, 3.2, 99.0], bin_width=0.1,
+                             max_time=10.0)
+    counts = {round(start, 6): count for start, count in rows}
+    assert counts[0.0] == 1
+    assert counts[0.1] == 1
+    assert counts[3.2] == 1
+    assert counts[9.9] == 1  # clamped into the last bin
+
+
+def test_semilog_histogram_validation():
+    with pytest.raises(ValueError):
+        semilog_histogram([1.0], bin_width=0)
+    with pytest.raises(ValueError):
+        semilog_histogram([1.0], max_time=0)

@@ -1,0 +1,165 @@
+"""Focused tests for the host's weighted water-filling allocator and
+the accounting series the monitors consume."""
+
+import pytest
+
+from repro.cpu import Host
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=19)
+
+
+def finish_times(sim, jobs):
+    """jobs: list of (vm, work); returns completion times in order."""
+    done = {}
+    for index, (vm, work) in enumerate(jobs):
+        vm.execute(work).add_callback(
+            lambda ev, i=index: done.setdefault(i, sim.now)
+        )
+    sim.run()
+    return [done[i] for i in range(len(jobs))]
+
+
+# ----------------------------------------------------------------------
+# three-way weighted splits
+# ----------------------------------------------------------------------
+def test_three_vms_weighted_split(sim):
+    host = Host(sim, cores=1)
+    a = host.add_vm("a", shares=2.0)
+    b = host.add_vm("b", shares=1.0)
+    c = host.add_vm("c", shares=1.0)
+    # all demand continuously: a gets 0.5, b and c 0.25 each
+    times = finish_times(sim, [(a, 0.5), (b, 0.25), (c, 0.25)])
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(1.0)
+    assert times[2] == pytest.approx(1.0)
+
+
+def test_demand_capped_vm_releases_surplus_to_others(sim):
+    host = Host(sim, cores=2)
+    small = host.add_vm("small", vcpus=1, shares=10.0)  # high shares, low cap
+    big = host.add_vm("big", vcpus=2, shares=1.0)
+    # small can use at most 1 core despite its shares; big gets the rest
+    done = {}
+    small.execute(1.0).add_callback(lambda ev: done.setdefault("s", sim.now))
+    big.execute(1.0).add_callback(lambda ev: done.setdefault("b1", sim.now))
+    big.execute(1.0).add_callback(lambda ev: done.setdefault("b2", sim.now))
+    sim.run()
+    assert done["s"] == pytest.approx(1.0)   # full core despite sharing
+    # big shares 1 core while small runs (0.5 done each by t=1), then
+    # expands to both cores: remaining 0.5 each at full speed -> t=1.5
+    assert done["b1"] == pytest.approx(1.5)
+    assert done["b2"] == pytest.approx(1.5)
+
+
+def test_multihost_independence(sim):
+    host_a = Host(sim, cores=1, name="a")
+    host_b = Host(sim, cores=1, name="b")
+    vm_a = host_a.add_vm("vm-a")
+    vm_b = host_b.add_vm("vm-b")
+    times = finish_times(sim, [(vm_a, 1.0), (vm_b, 1.0)])
+    # separate hosts: no sharing whatsoever
+    assert times[0] == pytest.approx(1.0)
+    assert times[1] == pytest.approx(1.0)
+
+
+def test_allocation_shifts_when_vm_goes_idle(sim):
+    host = Host(sim, cores=1)
+    a = host.add_vm("a")
+    b = host.add_vm("b")
+    done = {}
+    a.execute(0.25).add_callback(lambda ev: done.setdefault("a", sim.now))
+    b.execute(0.75).add_callback(lambda ev: done.setdefault("b", sim.now))
+    sim.run()
+    # shared until a finishes its 0.25 at t=0.5; b then runs alone:
+    # b had 0.25 done by 0.5, remaining 0.5 at full speed -> t=1.0
+    assert done["a"] == pytest.approx(0.5)
+    assert done["b"] == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# accounting
+# ----------------------------------------------------------------------
+def test_runnable_equals_consumed_when_uncontended(sim):
+    host = Host(sim, cores=1)
+    vm = host.add_vm("vm")
+
+    def load():
+        for _ in range(5):
+            yield vm.execute(0.05)
+            yield 0.05
+
+    sim.process(load())
+    sim.run()
+    host.settle()
+    assert vm.runnable == pytest.approx(vm.consumed)
+    assert vm.consumed == pytest.approx(0.25)
+
+
+def test_runnable_exceeds_consumed_when_starved(sim):
+    host = Host(sim, cores=1)
+    victim = host.add_vm("victim", shares=1.0)
+    hog = host.add_vm("hog", shares=9.0)
+    victim.execute(0.1)
+    hog.execute(0.9)
+    sim.run(until=1.0)
+    host.settle()
+    # over [0,1]: victim allocated 0.1 cores -> its 0.1 work takes the
+    # whole second; it was runnable throughout
+    assert victim.consumed == pytest.approx(0.1, abs=0.01)
+    assert victim.runnable == pytest.approx(1.0, abs=0.01)
+
+
+def test_frozen_time_not_runnable_but_iowait(sim):
+    host = Host(sim, cores=1)
+    vm = host.add_vm("vm")
+    vm.execute(0.5)
+    vm.freeze(0.3)
+    sim.run()
+    host.settle()
+    assert vm.iowait == pytest.approx(0.3)
+    assert vm.runnable == pytest.approx(0.5)  # only the working time
+    assert vm.consumed == pytest.approx(0.5)
+
+
+def test_settle_is_idempotent(sim):
+    host = Host(sim, cores=1)
+    vm = host.add_vm("vm")
+    vm.execute(0.5)
+    sim.run(until=0.25)
+    host.settle()
+    first = vm.consumed
+    host.settle()
+    assert vm.consumed == first
+
+
+def test_host_busy_sums_vm_consumption(sim):
+    host = Host(sim, cores=2)
+    a = host.add_vm("a")
+    b = host.add_vm("b")
+    a.execute(0.3)
+    b.execute(0.7)
+    sim.run()
+    host.settle()
+    assert host.busy == pytest.approx(1.0)
+
+
+def test_effective_less_than_consumed_with_overhead(sim):
+    from repro.cpu import ThreadOverheadModel
+
+    host = Host(sim, cores=1)
+    vm = host.add_vm(
+        "vm",
+        efficiency=ThreadOverheadModel(switch_cost=0.1, gc_cost=0.0,
+                                       free_threads=0),
+    )
+    for _ in range(4):
+        vm.execute(0.1)
+    sim.run()
+    host.settle()
+    assert vm.effective == pytest.approx(0.4)
+    # eff(4) = 1/1.4 -> consumed = 0.4 * 1.4
+    assert vm.consumed == pytest.approx(0.56, rel=0.05)

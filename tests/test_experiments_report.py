@@ -1,0 +1,98 @@
+"""Unit tests for report rendering (repro.experiments.report)."""
+
+from repro.experiments.report import (
+    ascii_timeline,
+    format_table,
+    histogram_rows,
+    indent,
+)
+from repro.metrics import TimeSeries
+
+
+def series(pairs, name="s"):
+    ts = TimeSeries(name)
+    for t, v in pairs:
+        ts.append(t, v)
+    return ts
+
+
+# ----------------------------------------------------------------------
+# ascii_timeline
+# ----------------------------------------------------------------------
+def test_timeline_empty_series():
+    assert "(no samples)" in ascii_timeline(TimeSeries("empty"))
+
+
+def test_timeline_has_label_and_max():
+    text = ascii_timeline(series([(0, 0.0), (1, 0.5), (2, 1.0)]),
+                          label="cpu", width=10)
+    assert "cpu" in text
+    assert "max=1" in text
+    assert "|" in text
+
+
+def test_timeline_width_respected():
+    text = ascii_timeline(series([(i, i) for i in range(100)]), width=20)
+    body = text.split("|")[1]
+    assert len(body) == 20
+
+
+def test_timeline_peaks_survive_downsampling():
+    """Max-per-cell: a single spike must not be averaged away."""
+    pairs = [(i * 0.1, 0.0) for i in range(100)]
+    pairs[50] = (5.0, 1.0)
+    text = ascii_timeline(series(pairs), width=10, vmax=1.0)
+    body = text.split("|")[1]
+    assert "█" in body
+
+
+def test_timeline_vmax_scales_bars():
+    half = ascii_timeline(series([(0, 0.5), (1, 0.5)]), width=4, vmax=1.0)
+    full = ascii_timeline(series([(0, 0.5), (1, 0.5)]), width=4)
+    assert half.split("|")[1] != full.split("|")[1]
+
+
+# ----------------------------------------------------------------------
+# format_table
+# ----------------------------------------------------------------------
+def test_table_alignment_and_header():
+    text = format_table(["name", "count"], [["apache", 12], ["mysql", 3]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert lines[2].startswith("apache")
+    assert all(len(line) <= len(lines[1]) + 2 for line in lines)
+
+
+def test_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_table_floats_formatted():
+    text = format_table(["x"], [[3.14159]])
+    assert "3.14" in text and "3.14159" not in text
+
+
+# ----------------------------------------------------------------------
+# histogram_rows
+# ----------------------------------------------------------------------
+def test_histogram_rows_skips_empty_bins():
+    text = histogram_rows([(0.0, 100), (0.1, 0), (3.0, 5)])
+    assert "0.10s" not in text
+    assert "3.00s" in text
+
+
+def test_histogram_rows_log_scaled_bars():
+    text = histogram_rows([(0.0, 100000), (3.0, 10)])
+    big, small = text.splitlines()
+    assert big.count("#") > small.count("#")
+    assert small.count("#") >= 1
+
+
+def test_histogram_rows_empty():
+    assert histogram_rows([(0.0, 0)]) == "(empty histogram)"
+
+
+def test_indent():
+    assert indent("a\nb", "  ") == "  a\n  b"

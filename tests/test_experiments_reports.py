@@ -1,0 +1,83 @@
+"""Unit tests for the figure modules' report renderers, on synthetic
+data (no simulation) — fast checks that the printed tables carry the
+right numbers."""
+
+from repro.experiments import (
+    deep_chain,
+    fig01_histograms,
+    fig12_throughput,
+    headline_utilization,
+    replication,
+)
+
+
+def test_fig12_report_contains_sweep_and_degradation():
+    sweep = {
+        "synchronous": {100: 1200.0, 1600: 350.0},
+        "asynchronous": {100: 1190.0, 1600: 1180.0},
+    }
+    text = fig12_throughput.report(sweep)
+    assert "1200" in text and "350" in text and "1180" in text
+    assert "29%" in text  # 350/1200 retained
+    assert "3.37x" in text  # async/sync at 1600
+
+
+def test_headline_report_lowest_and_highest():
+    points = {
+        (0, 4000): dict(throughput_rps=556.0, highest_avg_cpu=0.43,
+                        dropped_packets=100, vlrt=50),
+        (3, 4000): dict(throughput_rps=558.0, highest_avg_cpu=0.44,
+                        dropped_packets=0, vlrt=0),
+        (0, 8000): dict(throughput_rps=1050.0, highest_avg_cpu=0.83,
+                        dropped_packets=900, vlrt=700),
+        (3, 8000): dict(throughput_rps=1060.0, highest_avg_cpu=0.83,
+                        dropped_packets=0, vlrt=0),
+    }
+    text = headline_utilization.report(points)
+    assert "as low as 43%" in text
+    assert "up to 83%" in text
+    assert "sync" in text and "async" in text
+
+
+def test_fig01_report_table_rows():
+    panels = {
+        4000: dict(throughput_rps=560.0, highest_avg_cpu=0.43, vlrt=150,
+                   modes={0: 40000, 1: 150},
+                   histogram=[(0.0, 40000), (3.0, 150)]),
+    }
+    text = fig01_histograms.report(panels)
+    assert "WL 4000" in text
+    assert "560 req/s" in text
+    assert "43%" in text
+    assert "1:150" in text
+
+
+def test_deep_chain_report_mentions_front_tier():
+    sweep = {
+        3: {
+            "sync": dict(drops={"tier1": 100, "tier2": 0, "tier3": 0},
+                         summary=dict(vlrt=100, p999_ms=3100.0)),
+            "async": dict(drops={"tier1": 0, "tier2": 0, "tier3": 0},
+                          summary=dict(vlrt=0, p999_ms=700.0)),
+        },
+    }
+    text = deep_chain.report(sweep)
+    assert "3-tier sync" in text and "3-tier async" in text
+    assert "tier1" in text
+    assert "FRONT" in text
+
+
+def test_replication_report_rows():
+    results = [
+        dict(replicas=1, drops={"apache": 800, "tomcat1": 10, "mysql": 0},
+             summary=dict(throughput_rps=980.0, vlrt=810),
+             queue_max={}),
+        dict(replicas=2, drops={"apache": 300, "tomcat1": 5,
+                                "tomcat2": 0, "mysql": 0},
+             summary=dict(throughput_rps=985.0, vlrt=305),
+             queue_max={}),
+    ]
+    text = replication.report(results)
+    assert "1 replica(s)" in text and "2 replica(s)" in text
+    assert "apache:800" in text
+    assert "head-of-line" in text

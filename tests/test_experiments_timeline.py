@@ -1,0 +1,125 @@
+"""Unit tests for the timeline experiment machinery
+(repro.experiments.timeline) — spec handling and claim checking."""
+
+import pytest
+
+from repro.experiments import fig03_vm_consolidation, fig10_nx3_xtomcat
+from repro.experiments.timeline import TimelineResult, TimelineSpec
+
+
+def spec(**overrides):
+    defaults = dict(
+        figure="Fig X", title="test", nx=0,
+        bottleneck_kind="consolidation", bottleneck_tier="app",
+        burst_times=(15.0, 22.0, 29.0, 36.0),
+    )
+    defaults.update(overrides)
+    return TimelineSpec(**defaults)
+
+
+class FakeRun:
+    def __init__(self, drops):
+        self._drops = drops
+
+    @property
+    def drops(self):
+        return self._drops
+
+
+def result_with_drops(the_spec, drops):
+    return TimelineResult(the_spec, FakeRun(drops))
+
+
+# ----------------------------------------------------------------------
+# spec scaling
+# ----------------------------------------------------------------------
+def test_scaled_trims_burst_times_past_duration():
+    scaled = spec().scaled(duration=25.0)
+    assert scaled.duration == 25.0
+    assert scaled.burst_times == (15.0, 22.0)
+    # original untouched
+    assert spec().burst_times == (15.0, 22.0, 29.0, 36.0)
+
+
+def test_scaled_overrides_clients_and_seed():
+    scaled = spec().scaled(clients=100, seed=9)
+    assert scaled.clients == 100
+    assert scaled.seed == 9
+    assert scaled.duration == spec().duration
+
+
+def test_build_config_carries_nx_and_vcpus():
+    config = spec(nx=2, app_vcpus=4).build_config()
+    assert config.nx == 2
+    assert config.app_vcpus == 4
+
+
+def test_build_config_overrides():
+    config = spec(config_overrides={"tcp_rto": 1.5}).build_config()
+    assert config.tcp_rto == 1.5
+
+
+# ----------------------------------------------------------------------
+# claim checking
+# ----------------------------------------------------------------------
+def test_claims_pass_when_drops_at_expected_site():
+    the_spec = spec(expect_drops_at=("apache",))
+    result = result_with_drops(the_spec, {"apache": 100, "tomcat": 5,
+                                          "mysql": 0})
+    assert result.check_claims() == []
+
+
+def test_claims_fail_when_expected_site_clean():
+    the_spec = spec(expect_drops_at=("apache",))
+    result = result_with_drops(the_spec, {"apache": 0, "tomcat": 50,
+                                          "mysql": 0})
+    failures = result.check_claims()
+    assert any("expected drops at apache" in f for f in failures)
+
+
+def test_claims_fail_on_large_unexpected_site():
+    the_spec = spec(expect_drops_at=("apache",))
+    result = result_with_drops(the_spec, {"apache": 100, "tomcat": 90,
+                                          "mysql": 0})
+    failures = result.check_claims()
+    assert any("unexpectedly large" in f for f in failures)
+
+
+def test_claims_tolerate_small_companion_drops():
+    the_spec = spec(expect_drops_at=("apache",))
+    result = result_with_drops(the_spec, {"apache": 1000, "tomcat": 30,
+                                          "mysql": 0})
+    assert result.check_claims() == []
+
+
+def test_no_drops_claim():
+    the_spec = spec(expect_no_drops=True)
+    clean = result_with_drops(the_spec, {"nginx": 0, "xtomcat": 0,
+                                         "xmysql": 0})
+    dirty = result_with_drops(the_spec, {"nginx": 0, "xtomcat": 1,
+                                         "xmysql": 0})
+    assert clean.check_claims() == []
+    assert dirty.check_claims()
+
+
+# ----------------------------------------------------------------------
+# the shipped figure specs
+# ----------------------------------------------------------------------
+def test_fig03_spec_expectations():
+    the_spec = fig03_vm_consolidation.SPEC
+    assert the_spec.nx == 0
+    assert the_spec.bottleneck_tier == "app"
+    assert the_spec.expect_drops_at == ("apache",)
+
+
+def test_fig10_spec_expectations():
+    the_spec = fig10_nx3_xtomcat.SPEC
+    assert the_spec.nx == 3
+    assert the_spec.expect_no_drops
+
+
+def test_unknown_bottleneck_kind_rejected():
+    from repro.experiments.timeline import run_timeline
+
+    with pytest.raises(ValueError):
+        run_timeline(spec(bottleneck_kind="cosmic-rays"))

@@ -1,0 +1,256 @@
+"""Tests for the live asyncio testbed (repro.live).
+
+No pytest-asyncio in the environment, so each test drives its own event
+loop with ``asyncio.run``.  Assertions are structural/qualitative —
+drop counts, queue bounds, protocol behaviour — never tight timing
+(real clocks in a shared container are noisy; precise timing belongs to
+the simulator).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live import AsyncTier, Dropped, LiveClient, SyncTier
+from repro.live.protocol import read_message, write_message
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def one_request(address, payload=None, timeout=5.0):
+    reader, writer = await asyncio.open_connection(*address)
+    try:
+        await write_message(writer, payload or {"id": 1})
+        return await asyncio.wait_for(read_message(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# single tiers
+# ----------------------------------------------------------------------
+def test_sync_tier_serves_request():
+    async def scenario():
+        tier = SyncTier("leaf", threads=2, backlog=2, service_time=0.001)
+        await tier.start()
+        try:
+            response = await one_request(tier.address())
+        finally:
+            await tier.stop()
+        return response, tier.served
+
+    response, served = run(scenario())
+    assert response == {"ok": True, "hops": ["leaf"]}
+    assert served == 1
+
+
+def test_sync_tier_drops_beyond_max_sys_q_depth():
+    async def scenario():
+        tier = SyncTier("leaf", threads=1, backlog=1, service_time=0.2)
+        await tier.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(one_request(tier.address()))
+                for _ in range(5)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await tier.stop()
+        return results, tier.drops
+
+    results, drops = run(scenario())
+    ok = [r for r in results if isinstance(r, dict)]
+    # the unreplied close surfaces as clean EOF (Dropped) or as an RST
+    # (ConnectionResetError) depending on unread buffer state
+    dropped = [r for r in results if isinstance(r, (Dropped, ConnectionError))]
+    assert len(ok) == 2          # 1 in service + 1 queued
+    assert len(dropped) == 3
+    assert drops == 3
+
+
+def test_async_tier_absorbs_the_same_burst():
+    async def scenario():
+        tier = AsyncTier("leaf", lite_q_depth=1000, service_time=0.05)
+        await tier.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(one_request(tier.address()))
+                for _ in range(20)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await tier.stop()
+        return results, tier.drops, tier.peak_queue
+
+    results, drops, peak = run(scenario())
+    assert all(isinstance(r, dict) and r["ok"] for r in results)
+    assert drops == 0
+    assert peak >= 15  # buffered, not refused
+
+
+def test_async_tier_lite_q_depth_still_bounds():
+    async def scenario():
+        tier = AsyncTier("leaf", lite_q_depth=2, service_time=0.2)
+        await tier.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(one_request(tier.address()))
+                for _ in range(5)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await tier.stop()
+        return tier.drops, results
+
+    drops, results = run(scenario())
+    assert drops == 3
+    assert sum(1 for r in results if isinstance(r, dict)) == 2
+
+
+def test_tier_parameter_validation():
+    with pytest.raises(ValueError):
+        SyncTier("x", threads=0)
+    with pytest.raises(ValueError):
+        AsyncTier("x", lite_q_depth=0)
+
+
+# ----------------------------------------------------------------------
+# chains and stalls
+# ----------------------------------------------------------------------
+def test_request_traverses_live_chain():
+    async def scenario():
+        db = SyncTier("db", service_time=0.001)
+        await db.start()
+        app = SyncTier("app", service_time=0.001, downstream=db.address())
+        await app.start()
+        try:
+            response = await one_request(app.address())
+        finally:
+            await app.stop()
+            await db.stop()
+        return response
+
+    response = run(scenario())
+    assert response["hops"] == ["db", "app"]
+
+
+def test_stall_blocks_then_releases():
+    async def scenario():
+        tier = SyncTier("leaf", threads=4, backlog=4, service_time=0.001)
+        await tier.start()
+        try:
+            tier.stall(0.3)
+            start = asyncio.get_event_loop().time()
+            response = await one_request(tier.address())
+            elapsed = asyncio.get_event_loop().time() - start
+        finally:
+            await tier.stop()
+        return response, elapsed
+
+    response, elapsed = run(scenario())
+    assert response["ok"]
+    assert elapsed >= 0.25  # held for (most of) the stall
+
+
+def test_upstream_ctqo_on_real_sockets():
+    """The paper's mechanism, live: stall the downstream tier; the
+    bounded upstream fills and drops real connections."""
+
+    async def scenario():
+        db = SyncTier("db", threads=2, backlog=2, service_time=0.001)
+        await db.start()
+        web = SyncTier("web", threads=2, backlog=2, service_time=0.0005,
+                       downstream=db.address())
+        await web.start()
+        try:
+            db.stall(0.5)
+            tasks = [
+                asyncio.ensure_future(
+                    one_request(web.address(), timeout=3.0)
+                )
+                for _ in range(12)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await web.stop()
+            await db.stop()
+        return web.drops, db.drops, results
+
+    web_drops, db_drops, results = run(scenario())
+    assert web_drops > 0            # upstream CTQO: the front tier drops
+    served = [r for r in results if isinstance(r, dict) and r.get("ok")]
+    assert served                   # the queued ones complete post-stall
+
+
+def test_async_chain_no_drops_during_stall():
+    async def scenario():
+        db = AsyncTier("db", service_time=0.001)
+        await db.start()
+        web = AsyncTier("web", service_time=0.0005,
+                        downstream=db.address())
+        await web.start()
+        try:
+            db.stall(0.5)
+            tasks = [
+                asyncio.ensure_future(
+                    one_request(web.address(), timeout=3.0)
+                )
+                for _ in range(12)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await web.stop()
+            await db.stop()
+        return web.drops + db.drops, results
+
+    drops, results = run(scenario())
+    assert drops == 0
+    assert all(isinstance(r, dict) and r["ok"] for r in results)
+
+
+# ----------------------------------------------------------------------
+# the client's retransmission behaviour
+# ----------------------------------------------------------------------
+def test_client_retries_after_drop_and_shows_rto_mode():
+    async def scenario():
+        tier = SyncTier("leaf", threads=1, backlog=0, service_time=0.05)
+        await tier.start()
+        try:
+            client = LiveClient(tier.address(), rate=1000.0, rto=0.2,
+                                max_retries=4)
+            # fire a burst well beyond MaxSysQDepth=1
+            tasks = [
+                asyncio.ensure_future(client._one_request(i))
+                for i in range(6)
+            ]
+            await asyncio.gather(*tasks)
+        finally:
+            await tier.stop()
+        return client
+
+    client = run(scenario())
+    retried = [r for r in client.records if r.attempts > 1]
+    assert retried, "burst beyond the queue bound must force retries"
+    # retried requests carry the rto signature in their response times
+    assert all(r.response_time >= 0.2 for r in retried)
+    summary = client.summary()
+    assert summary["requests"] == 6
+
+
+def test_live_demo_comparison_qualitative():
+    """The shipped demo: sync drops during the stall, async does not."""
+    from repro.live.demo import run_comparison
+
+    results = run(run_comparison(duration=2.0, rate=80.0, stall_at=0.5,
+                                 stall_duration=0.6, rto=0.25))
+    sync_drops = sum(results["sync"]["drops_by_tier"].values())
+    async_drops = sum(results["async"]["drops_by_tier"].values())
+    assert sync_drops > 0
+    assert async_drops == 0
+    assert results["async"]["failed"] == 0

@@ -1,0 +1,95 @@
+"""Unit tests for exporters (repro.metrics.export)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.metrics import (
+    RequestLog,
+    RequestRecord,
+    TimeSeries,
+    request_log_to_csv,
+    run_summary_to_json,
+    timeseries_to_csv,
+)
+
+
+def make_series(name, pairs):
+    ts = TimeSeries(name)
+    for t, v in pairs:
+        ts.append(t, v)
+    return ts
+
+
+# ----------------------------------------------------------------------
+# time series CSV
+# ----------------------------------------------------------------------
+def test_timeseries_csv_roundtrip(tmp_path):
+    path = tmp_path / "series.csv"
+    a = make_series("cpu", [(0.05, 0.5), (0.10, 0.7)])
+    b = make_series("queue", [(0.05, 12), (0.10, 278)])
+    timeseries_to_csv(path, {"cpu": a, "queue": b})
+    with open(path) as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["time_s", "cpu", "queue"]
+    assert rows[1] == ["0.050000", "0.5", "12"]
+    assert rows[2] == ["0.100000", "0.7", "278"]
+
+
+def test_timeseries_csv_rejects_misaligned(tmp_path):
+    a = make_series("a", [(0.05, 1)])
+    b = make_series("b", [(0.06, 2)])
+    with pytest.raises(ValueError):
+        timeseries_to_csv(tmp_path / "x.csv", {"a": a, "b": b})
+
+
+def test_timeseries_csv_rejects_empty(tmp_path):
+    with pytest.raises(ValueError):
+        timeseries_to_csv(tmp_path / "x.csv", {})
+
+
+# ----------------------------------------------------------------------
+# request log CSV
+# ----------------------------------------------------------------------
+def test_request_log_csv(tmp_path):
+    log = RequestLog()
+    log.add(RequestRecord(1, "ViewStory", 1.0, 1.005))
+    log.add(RequestRecord(2, "ViewStory", 2.0, 5.2,
+                          attempts=2, drops=[(2.0, "apache")],
+                          failed=False))
+    path = tmp_path / "requests.csv"
+    request_log_to_csv(path, log)
+    with open(path) as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert rows[0]["kind"] == "ViewStory"
+    assert float(rows[0]["response_time_s"]) == pytest.approx(0.005)
+    assert rows[1]["drop_sites"] == "apache"
+    assert rows[1]["attempts"] == "2"
+
+
+# ----------------------------------------------------------------------
+# run summary JSON
+# ----------------------------------------------------------------------
+def test_run_summary_json(tmp_path):
+    import sys
+    sys.path.insert(0, "tests")
+    from test_core_evaluation import tiny_scenario
+
+    result = (
+        tiny_scenario()
+        .with_log_flush("db", period=4.0, duration=0.5, offset=3.0)
+        .run()
+    )
+    path = tmp_path / "summary.json"
+    run_summary_to_json(path, result)
+    payload = json.loads(path.read_text())
+    assert payload["config"]["nx"] == 0
+    assert payload["config"]["stack"]["db"] == "mysql"
+    assert payload["summary"]["requests"] > 0
+    assert any(
+        episode["kind"] == "io" for episode in payload["millibottlenecks"]
+    )
+    # JSON must be fully serializable (no numpy scalars sneaking in)
+    json.dumps(payload)

@@ -1,0 +1,124 @@
+"""Unit tests for per-request span analysis (repro.metrics.spans)."""
+
+import pytest
+
+from repro.metrics import RequestRecord
+from repro.metrics.spans import narrate, retransmission_gaps, server_spans
+
+
+def trace_for_two_query_request():
+    """A synthetic trace: web -> app -> db (twice), all replying."""
+    return [
+        (10.000, "start", "apache"),
+        (10.001, "call", "apache->app"),
+        (10.002, "start", "tomcat"),
+        (10.003, "call", "tomcat->db"),
+        (10.004, "start", "mysql"),
+        (10.005, "reply", "mysql"),
+        (10.006, "call", "tomcat->db"),
+        (10.007, "start", "mysql"),
+        (10.009, "reply", "mysql"),
+        (10.010, "reply", "tomcat"),
+        (10.011, "reply", "apache"),
+    ]
+
+
+def test_server_spans_pairing_and_order():
+    spans = server_spans(trace_for_two_query_request())
+    names = [(s.server, round(s.duration * 1000, 1)) for s in spans]
+    assert names == [
+        ("apache", 11.0),
+        ("tomcat", 8.0),
+        ("mysql", 1.0),
+        ("mysql", 2.0),
+    ]
+    assert all(s.outcome == "reply" for s in spans)
+
+
+def test_server_spans_error_outcome():
+    trace = [
+        (1.0, "start", "tomcat"),
+        (1.5, "error", "tomcat: no route to tier 'db'"),
+    ]
+    spans = server_spans(trace)
+    assert len(spans) == 1
+    assert spans[0].outcome == "error"
+    assert spans[0].duration == pytest.approx(0.5)
+
+
+def test_server_spans_unmatched_start_ignored():
+    trace = [(1.0, "start", "tomcat")]  # never replied (still in flight)
+    assert server_spans(trace) == []
+
+
+def test_retransmission_gaps():
+    trace = [
+        (0.0, "drop", "apache"),
+        (3.0, "start", "apache"),
+        (3.001, "reply", "apache"),
+    ]
+    gaps = retransmission_gaps(trace)
+    assert gaps == [(0.0, 3.0, "apache")]
+
+
+def test_retransmission_gap_unresolved_drop():
+    trace = [(0.0, "drop", "apache")]
+    gaps = retransmission_gaps(trace)
+    assert gaps == [(0.0, None, "apache")]
+
+
+def test_consecutive_drops_resume_at_first_non_drop():
+    trace = [
+        (0.0, "drop", "apache"),
+        (3.0, "drop", "apache"),
+        (6.0, "start", "apache"),
+    ]
+    gaps = retransmission_gaps(trace)
+    assert gaps[0] == (0.0, 6.0, "apache")
+    assert gaps[1] == (3.0, 6.0, "apache")
+
+
+def test_narrate_mentions_drop_and_dead_time():
+    record = RequestRecord(
+        7, "ViewStory", 10.0, 13.01,
+        drops=[(10.0, "apache")],
+        trace=[
+            (10.0, "drop", "apache"),
+            (13.0, "start", "apache"),
+            (13.01, "reply", "apache"),
+        ],
+    )
+    text = narrate(record)
+    assert "PACKET DROPPED at apache" in text
+    assert "3010.0 ms total" in text
+    assert "dead time: 3000 ms" in text
+    assert "in apache: 10.00 ms" in text
+
+
+def test_narrate_without_trace():
+    record = RequestRecord(9, "X", 0.0, 0.001)
+    assert "no trace kept" in narrate(record)
+
+
+def test_vlrt_traces_kept_by_default_in_real_run():
+    import sys
+    sys.path.insert(0, "tests")
+    from test_core_evaluation import tiny_scenario
+
+    result = (
+        tiny_scenario()
+        .with_consolidation("app", times=[4.0, 7.0], burst_cpu=2.0,
+                            burst_jobs=40, shares=200.0)
+        .run()
+    )
+    vlrt_with_trace = [r for r in result.log.vlrt() if r.trace]
+    fast_with_trace = [
+        r for r in result.log.records
+        if not r.failed and r.response_time < 1.0 and r.trace
+    ]
+    assert vlrt_with_trace, "VLRT requests should keep their traces"
+    assert not fast_with_trace, "fast requests should not keep traces"
+    # the traces actually explain the tail: drops + retransmission gaps
+    gaps = retransmission_gaps(vlrt_with_trace[0].trace)
+    assert gaps and gaps[0][1] is not None
+    assert gaps[0][1] - gaps[0][0] == pytest.approx(3.0, abs=0.2)

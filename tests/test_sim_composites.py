@@ -1,0 +1,214 @@
+"""Composite-event and cross-primitive interaction tests for the kernel:
+processes waiting on AnyOf/AllOf, resources with timeouts, the idioms
+the server models are built from."""
+
+import pytest
+
+from repro.sim import ProcessInterrupt, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=23)
+
+
+def test_process_waits_on_any_of_timeout_vs_event(sim):
+    """The acquire-or-give-up idiom used for call timeouts."""
+    ev = sim.event()
+    outcomes = []
+
+    def proc():
+        timeout = sim.timeout(2.0, value="gave-up")
+        fired = yield sim.any_of([ev, timeout])
+        if ev in fired:
+            outcomes.append(("event", fired[ev]))
+        else:
+            outcomes.append(("timeout", fired[timeout]))
+
+    sim.process(proc())
+    sim.call_in(5.0, ev.succeed, "late")  # after the timeout
+    sim.run()
+    assert outcomes == [("timeout", "gave-up")]
+
+
+def test_process_waits_on_all_of_processes(sim):
+    def worker(delay, value):
+        yield delay
+        return value
+
+    results = []
+
+    def coordinator():
+        children = [sim.process(worker(d, d)) for d in (1.0, 3.0, 2.0)]
+        values = yield sim.all_of(children)
+        results.append((sim.now, sorted(values.values())))
+
+    sim.process(coordinator())
+    sim.run()
+    assert results == [(3.0, [1.0, 2.0, 3.0])]
+
+
+def test_all_of_fails_fast_on_child_process_failure(sim):
+    def ok_worker():
+        yield 5.0
+
+    def bad_worker():
+        yield 1.0
+        raise RuntimeError("child died")
+
+    caught = []
+
+    def coordinator():
+        children = [sim.process(ok_worker()), sim.process(bad_worker())]
+        try:
+            yield sim.all_of(children)
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(coordinator())
+    sim.run()
+    assert caught == [(1.0, "child died")]
+
+
+def test_resource_acquire_with_timeout_and_cancel(sim):
+    """Acquire-or-timeout, with proper cancellation of the stale grant —
+    the pattern a bounded-wait connection pool would use."""
+    res = Resource(sim, capacity=1)
+    res.acquire()  # exhaust
+    outcomes = []
+
+    def impatient():
+        grant = res.acquire()
+        timeout = sim.timeout(1.0)
+        fired = yield sim.any_of([grant, timeout])
+        if grant in fired:
+            outcomes.append("got it")
+            res.release()
+        else:
+            assert res.cancel(grant)
+            outcomes.append("timed out")
+
+    sim.process(impatient())
+    sim.call_in(5.0, res.release)  # frees long after the timeout
+    sim.run()
+    assert outcomes == ["timed out"]
+    assert res.in_use == 0  # the late release did not leak to a ghost
+
+
+def test_store_consumer_interrupted_while_waiting(sim):
+    store = Store(sim)
+    outcomes = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except ProcessInterrupt:
+            outcomes.append("interrupted")
+
+    proc = sim.process(consumer())
+    sim.call_in(1.0, proc.interrupt)
+    sim.call_in(2.0, store.put, "late-item")
+    sim.run()
+    assert outcomes == ["interrupted"]
+    # the abandoned getter was already granted the item when it arrived;
+    # semantics: an interrupted consumer may lose an in-flight item, the
+    # same way a killed thread loses what was handed to it.
+
+
+def test_two_producers_two_consumers_fifo(sim):
+    store = Store(sim)
+    consumed = []
+
+    def producer(name, items, gap):
+        for item in items:
+            yield gap
+            store.put((name, item))
+
+    def consumer(name):
+        while True:
+            item = yield store.get()
+            consumed.append((name, item))
+
+    sim.process(producer("p1", [1, 2, 3], 1.0))
+    sim.process(producer("p2", ["a", "b"], 1.5))
+    sim.process(consumer("c1"))
+    sim.process(consumer("c2"))
+    sim.run(until=10.0)
+    items = [item for _c, item in consumed]
+    assert items == [("p1", 1), ("p2", "a"), ("p1", 2), ("p2", "b"),
+                     ("p1", 3)]
+
+
+def test_nested_process_spawning_depth(sim):
+    """Processes spawning processes spawning processes (the server
+    models nest three deep: worker -> drive -> invoke)."""
+    trace = []
+
+    def leaf(depth):
+        yield 0.1
+        trace.append(depth)
+        return depth
+
+    def mid(depth):
+        value = yield sim.process(leaf(depth + 1))
+        trace.append(depth)
+        return value
+
+    def root():
+        value = yield sim.process(mid(1))
+        trace.append(0)
+        return value
+
+    p = sim.process(root())
+    sim.run()
+    assert trace == [2, 1, 0]
+    assert p.value == 2
+
+
+def test_event_callback_ordering_with_processes(sim):
+    """Plain callbacks registered before a waiting process run first
+    (registration order), which keeps accounting updates ahead of
+    consumer wakeups."""
+    ev = sim.event()
+    order = []
+    ev.add_callback(lambda e: order.append("bookkeeping"))
+
+    def waiter():
+        yield ev
+        order.append("process")
+
+    sim.process(waiter())
+    sim.call_in(1.0, ev.succeed, None)
+    sim.run()
+    assert order == ["bookkeeping", "process"]
+
+
+def test_store_cancel_get_prevents_item_loss(sim):
+    """The safe form of the interrupted-consumer pattern: cancel the
+    stale get so a later item goes to a live consumer."""
+    store = Store(sim)
+    outcomes = []
+
+    def consumer(name):
+        grant = store.get()
+        try:
+            item = yield grant
+            outcomes.append((name, item))
+        except ProcessInterrupt:
+            store.cancel(grant)
+            outcomes.append((name, "cancelled"))
+
+    doomed = sim.process(consumer("doomed"))
+    sim.call_in(1.0, doomed.interrupt)
+    sim.call_in(2.0, lambda: sim.process(consumer("alive")))
+    sim.call_in(3.0, store.put, "item")
+    sim.run()
+    assert ("doomed", "cancelled") in outcomes
+    assert ("alive", "item") in outcomes  # nothing lost
+
+
+def test_store_cancel_unknown_grant_returns_false(sim):
+    store = Store(sim)
+    store.put("x")
+    grant = store.get()  # satisfied immediately, never queued
+    assert store.cancel(grant) is False

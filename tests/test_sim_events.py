@@ -1,0 +1,126 @@
+"""Unit tests for events (repro.sim.events)."""
+
+import pytest
+
+from repro.sim import Simulator, StaleEventError
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=7)
+
+
+def test_event_starts_pending(sim):
+    ev = sim.event()
+    assert not ev.triggered
+    assert not ev.ok
+    assert not ev.failed
+
+
+def test_succeed_carries_value(sim):
+    ev = sim.event()
+    ev.succeed("payload")
+    assert ev.triggered and ev.ok and not ev.failed
+    assert ev.value == "payload"
+
+
+def test_fail_carries_exception(sim):
+    ev = sim.event()
+    exc = RuntimeError("boom")
+    ev.fail(exc)
+    assert ev.failed and not ev.ok
+    assert ev.value is exc
+
+
+def test_fail_requires_exception_instance(sim):
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_double_trigger_raises(sim):
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(StaleEventError):
+        ev.succeed(2)
+    with pytest.raises(StaleEventError):
+        ev.fail(RuntimeError())
+
+
+def test_value_of_pending_event_raises(sim):
+    ev = sim.event()
+    with pytest.raises(StaleEventError):
+        _ = ev.value
+
+
+def test_callbacks_run_in_registration_order(sim):
+    ev = sim.event()
+    hits = []
+    ev.add_callback(lambda e: hits.append("a"))
+    ev.add_callback(lambda e: hits.append("b"))
+    ev.succeed()
+    assert hits == ["a", "b"]
+
+
+def test_callback_on_triggered_event_runs_immediately(sim):
+    ev = sim.event()
+    ev.succeed(3)
+    hits = []
+    ev.add_callback(lambda e: hits.append(e.value))
+    assert hits == [3]
+
+
+def test_timeout_succeeds_at_right_time(sim):
+    ev = sim.timeout(2.5, value="done")
+    times = []
+    ev.add_callback(lambda e: times.append((sim.now, e.value)))
+    sim.run()
+    assert times == [(2.5, "done")]
+
+
+def test_negative_timeout_raises(sim):
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_any_of_triggers_on_first_child(sim):
+    fast = sim.timeout(1.0, value="fast")
+    slow = sim.timeout(5.0, value="slow")
+    both = sim.any_of([fast, slow])
+    results = []
+    both.add_callback(lambda e: results.append((sim.now, e.value)))
+    sim.run()
+    assert results == [(1.0, {fast: "fast"})]
+
+
+def test_any_of_fails_if_child_fails_first(sim):
+    bad = sim.event()
+    slow = sim.timeout(5.0)
+    both = sim.any_of([bad, slow])
+    sim.call_in(1.0, bad.fail, RuntimeError("x"))
+    sim.run()
+    assert both.failed
+
+
+def test_all_of_waits_for_all_children(sim):
+    evs = [sim.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+    combined = sim.all_of(evs)
+    results = []
+    combined.add_callback(lambda e: results.append((sim.now, e.value)))
+    sim.run()
+    assert results == [(3.0, {evs[0]: 1.0, evs[1]: 3.0, evs[2]: 2.0})]
+
+
+def test_all_of_empty_succeeds_immediately(sim):
+    combined = sim.all_of([])
+    assert combined.ok
+    assert combined.value == {}
+
+
+def test_any_of_ignores_later_children(sim):
+    first = sim.timeout(1.0, value=1)
+    second = sim.timeout(2.0, value=2)
+    combined = sim.any_of([first, second])
+    sim.run()
+    assert combined.ok
+    assert combined.value == {first: 1}

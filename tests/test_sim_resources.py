@@ -1,0 +1,178 @@
+"""Unit tests for resources (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim import Gauge, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_grants_up_to_capacity(sim):
+    res = Resource(sim, capacity=2)
+    a = res.acquire()
+    b = res.acquire()
+    c = res.acquire()
+    assert a.ok and b.ok
+    assert not c.triggered
+    assert res.in_use == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_fifo(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    first = res.acquire()
+    second = res.acquire()
+    res.release()
+    assert first.ok and not second.triggered
+    res.release()
+    assert second.ok
+    assert res.in_use == 1
+
+
+def test_release_without_acquire_raises(sim):
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_try_acquire(sim):
+    res = Resource(sim, capacity=1)
+    assert res.try_acquire()
+    assert not res.try_acquire()
+    res.release()
+    assert res.try_acquire()
+
+
+def test_cancel_pending_acquire(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    waiting = res.acquire()
+    assert res.cancel(waiting)
+    res.release()
+    assert not waiting.triggered  # cancelled waiter is never granted
+    assert res.in_use == 0
+
+
+def test_cancel_unknown_grant_returns_false(sim):
+    res = Resource(sim, capacity=1)
+    granted = res.acquire()
+    assert not res.cancel(granted)  # already granted, not waiting
+
+
+def test_grow_adds_capacity_and_grants_waiters(sim):
+    """Apache spawning a second process = thread pool growing by 150."""
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    w1 = res.acquire()
+    w2 = res.acquire()
+    res.grow(2)
+    assert w1.ok and w2.ok
+    assert res.capacity == 3
+    assert res.in_use == 3
+
+
+def test_invalid_capacity_raises(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_with_processes(sim):
+    """Two workers time-share one unit sequentially."""
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(name, hold):
+        yield res.acquire()
+        start = sim.now
+        yield hold
+        res.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(worker("a", 2.0))
+    sim.process(worker("b", 3.0))
+    sim.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+def test_store_put_get_fifo(sim):
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.get().value == 1
+    assert store.get().value == 2
+
+
+def test_store_capacity_rejects_puts(sim):
+    store = Store(sim, capacity=2)
+    assert store.put("a")
+    assert store.put("b")
+    assert not store.put("c")  # the drop, exactly like a full TCP backlog
+    assert len(store) == 2
+
+
+def test_store_get_blocks_until_item(sim):
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.call_in(2.0, store.put, "x")
+    sim.run()
+    assert got == [(2.0, "x")]
+
+
+def test_store_put_hands_directly_to_waiting_getter(sim):
+    store = Store(sim, capacity=0)  # zero capacity: rendezvous only
+    grant = store.get()
+    assert store.put("direct")  # bypasses capacity because a getter waits
+    assert grant.ok and grant.value == "direct"
+    assert not store.put("nope")  # no getter now, zero capacity
+
+
+def test_store_getters_fifo(sim):
+    store = Store(sim)
+    g1 = store.get()
+    g2 = store.get()
+    store.put("first")
+    store.put("second")
+    assert g1.value == "first"
+    assert g2.value == "second"
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put(9)
+    assert store.try_get() == 9
+
+
+def test_store_negative_capacity_raises(sim):
+    with pytest.raises(ValueError):
+        Store(sim, capacity=-1)
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_notifies_on_change():
+    g = Gauge(0)
+    seen = []
+    g.watch(lambda gauge, old, new: seen.append((old, new)))
+    g.set(5)
+    g.add(-2)
+    g.set(3)  # no change -> no notification
+    assert seen == [(0, 5), (5, 3)]
+    assert g.value == 3

@@ -1,0 +1,114 @@
+"""Tests for the kernel tracer (repro.sim.tracing)."""
+
+import pytest
+
+from repro.sim import KernelTracer, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=41)
+
+
+def test_traces_executed_callbacks(sim):
+    tracer = KernelTracer(sim)
+
+    def named_callback():
+        pass
+
+    sim.call_in(1.0, named_callback)
+    sim.call_in(2.0, named_callback)
+    sim.run()
+    assert tracer.executed == 2
+    times = [t for t, _l in tracer.events]
+    labels = [l for _t, l in tracer.events]
+    assert times == [1.0, 2.0]
+    assert all("named_callback" in l for l in labels)
+
+
+def test_ring_buffer_bounded(sim):
+    tracer = KernelTracer(sim, capacity=5)
+    for i in range(20):
+        sim.call_in(i * 0.1 + 0.1, lambda: None)
+    sim.run()
+    assert tracer.executed == 20
+    assert len(tracer.events) == 5
+    assert tracer.events[0][0] == pytest.approx(1.6)  # only the tail kept
+
+
+def test_annotations_interleave(sim):
+    tracer = KernelTracer(sim)
+    sim.call_in(1.0, lambda: tracer.annotate("burst starts"))
+    sim.run()
+    labels = [l for _t, l in tracer.events]
+    assert "# burst starts" in labels
+
+
+def test_window_filters_by_time(sim):
+    tracer = KernelTracer(sim)
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.call_in(t, lambda: None)
+    sim.run()
+    assert len(tracer.window(1.5, 3.5)) == 2
+
+
+def test_render_shows_recent_events(sim):
+    tracer = KernelTracer(sim)
+    sim.call_in(1.0, lambda: None)
+    sim.run()
+    text = tracer.render()
+    assert "kernel trace" in text
+    assert "t=    1.000000" in text
+
+
+def test_render_empty(sim):
+    tracer = KernelTracer(sim)
+    assert "no kernel events" in tracer.render()
+
+
+def test_detach_restores_step(sim):
+    tracer = KernelTracer(sim)
+    sim.call_in(1.0, lambda: None)
+    sim.run()
+    tracer.detach()
+    sim.call_in(1.0, lambda: None)
+    sim.run()
+    assert tracer.executed == 1  # second run untraced
+    tracer.detach()  # idempotent
+
+
+def test_tracer_labels_bound_methods(sim):
+    from repro.cpu import Host
+
+    tracer = KernelTracer(sim)
+    host = Host(sim, cores=1, name="esxi")
+    vm = host.add_vm("vm")
+    vm.execute(0.1)
+    sim.run()
+    labels = [l for _t, l in tracer.events]
+    assert any("Host" in l for l in labels)
+
+
+def test_traced_simulation_unchanged(sim):
+    """Tracing must not perturb results: same run with and without."""
+    def run_once(traced):
+        s = Simulator(seed=9)
+        if traced:
+            KernelTracer(s)
+        hits = []
+
+        def proc():
+            for _ in range(5):
+                yield s.fork_rng("x").random() * 0.1 + 0.01
+                hits.append(s.now)
+
+        s.process(proc())
+        s.run()
+        return hits
+
+    assert run_once(False) == run_once(True)
+
+
+def test_capacity_validation(sim):
+    with pytest.raises(ValueError):
+        KernelTracer(sim, capacity=0)

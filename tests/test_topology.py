@@ -1,0 +1,148 @@
+"""Unit tests for topology building (repro.topology)."""
+
+import pytest
+
+from repro.servers import AsyncServer, SyncServer
+from repro.topology import SystemConfig, build_system, server_names
+
+from conftest import build_tiny_system
+
+
+# ----------------------------------------------------------------------
+# SystemConfig
+# ----------------------------------------------------------------------
+def test_default_config_matches_paper_numbers():
+    config = SystemConfig()
+    assert config.web_max_sys_q_depth == 278
+    assert config.app_max_sys_q_depth == 293
+    assert config.db_max_sys_q_depth == 228
+    assert config.db_pool_size == 50
+    assert config.lite_q_depth == 65535
+    assert config.xmysql_slots == 8
+    assert config.xmysql_queue == 2000
+    assert config.tcp_rto == 3.0
+
+
+def test_nx_bounds():
+    with pytest.raises(ValueError):
+        SystemConfig(nx=4)
+    with pytest.raises(ValueError):
+        SystemConfig(nx=-1)
+
+
+def test_thread_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(web_threads=0)
+    with pytest.raises(ValueError):
+        SystemConfig(db_pool_size=0)
+
+
+def test_async_predicates_progression():
+    flags = [
+        (SystemConfig(nx=n).web_is_async,
+         SystemConfig(nx=n).app_is_async,
+         SystemConfig(nx=n).db_is_async)
+        for n in range(4)
+    ]
+    assert flags == [
+        (False, False, False),
+        (True, False, False),
+        (True, True, False),
+        (True, True, True),
+    ]
+
+
+def test_server_names_follow_nx():
+    assert server_names(SystemConfig(nx=0)) == {
+        "web": "apache", "app": "tomcat", "db": "mysql"
+    }
+    assert server_names(SystemConfig(nx=2)) == {
+        "web": "nginx", "app": "xtomcat", "db": "mysql"
+    }
+    assert server_names(SystemConfig(nx=3)) == {
+        "web": "nginx", "app": "xtomcat", "db": "xmysql"
+    }
+
+
+# ----------------------------------------------------------------------
+# build_system
+# ----------------------------------------------------------------------
+def test_build_sync_stack_types():
+    system = build_tiny_system(nx=0)
+    assert isinstance(system.servers["web"], SyncServer)
+    assert isinstance(system.servers["app"], SyncServer)
+    assert isinstance(system.servers["db"], SyncServer)
+
+
+def test_build_async_stack_types():
+    system = build_tiny_system(nx=3)
+    assert all(
+        isinstance(system.servers[tier], AsyncServer)
+        for tier in ("web", "app", "db")
+    )
+
+
+def test_nx2_mixed_stack():
+    system = build_tiny_system(nx=2)
+    assert isinstance(system.servers["web"], AsyncServer)
+    assert isinstance(system.servers["app"], AsyncServer)
+    assert isinstance(system.servers["db"], SyncServer)
+
+
+def test_each_tier_gets_dedicated_host():
+    system = build_tiny_system()
+    hosts = {system.hosts[tier] for tier in ("web", "app", "db")}
+    assert len(hosts) == 3
+    for tier in ("web", "app", "db"):
+        assert system.vms[tier].host is system.hosts[tier]
+
+
+def test_sync_app_gets_db_connection_pool():
+    system = build_tiny_system(nx=0)
+    assert "db" in system.servers["app"].pools
+    assert system.servers["app"].pools["db"].capacity == 4
+
+
+def test_async_app_has_no_db_pool():
+    system = build_tiny_system(nx=2)
+    assert "db" not in system.servers["app"].pools
+
+
+def test_xmysql_is_executor_mode():
+    system = build_tiny_system(nx=3)
+    xmysql = system.servers["db"]
+    assert xmysql.workers == 2
+    assert xmysql.lite_q_depth == 32
+
+
+def test_entry_is_web_listener():
+    system = build_tiny_system()
+    assert system.entry is system.servers["web"].listener
+
+
+def test_thread_overhead_applied_to_sync_tiers_only():
+    sync_system = build_tiny_system(nx=0, thread_overhead=True)
+    async_system = build_tiny_system(nx=3, thread_overhead=True)
+    assert sync_system.vms["app"].efficiency is not None
+    assert async_system.vms["app"].efficiency is None
+
+
+def test_app_vcpus_respected():
+    system = build_tiny_system(app_vcpus=4)
+    assert system.vms["app"].vcpus == 4
+    assert system.hosts["app"].cores == 4
+
+
+def test_drop_counts_and_total():
+    system = build_tiny_system()
+    counts = system.drop_counts()
+    assert set(counts) == {"apache", "tomcat", "mysql"}
+    assert system.total_drops() == 0
+
+
+def test_attach_monitor_idempotent():
+    system = build_tiny_system()
+    first = system.attach_monitor()
+    second = system.attach_monitor()
+    assert first is second
+    assert set(first.cpu) == {"apache", "tomcat", "mysql"}

@@ -1,0 +1,35 @@
+"""Benchmarks for the parallel experiment-execution engine.
+
+Measures the engine's overhead (process spawn, pipe transfer, record
+canonicalization) against the in-process serial path on a small real
+job set, and asserts the determinism contract at benchmark scale: the
+merged records must be byte-identical regardless of worker count.
+"""
+
+from repro.experiments import record
+from repro.experiments.runner import JobConfig, run_jobs
+
+#: a small but real job set (two simulator-backed experiments)
+JOBS = [
+    JobConfig(name="fig03", seed=42, duration=14.0,
+              params={"clients": 3000}),
+    JobConfig(name="validation", seed=42, duration=12.0,
+              params={"workloads": [2000]}),
+]
+
+
+def test_runner_serial(once):
+    report = once(run_jobs, JOBS, workers=1)
+    assert report.ok
+
+
+def test_runner_parallel_two_workers(once):
+    report = once(run_jobs, JOBS, workers=2)
+    assert report.ok
+
+
+def test_runner_parallel_matches_serial_bytes(once):
+    serial = run_jobs(JOBS, workers=1)
+    parallel = once(run_jobs, JOBS, workers=2)
+    assert (record.records_to_json(parallel.records)
+            == record.records_to_json(serial.records))

@@ -7,6 +7,10 @@ Subcommands
 ``run <experiment> [--duration S] [--out DIR]``
     Run one experiment (or ``all``) and print its figure as text;
     ``--out`` additionally writes the raw series/records as CSV+JSON.
+``run-all [--workers N] [--seeds K] [--quick] [--out FILE]``
+    Execute the whole experiment registry through the parallel engine
+    (:mod:`repro.experiments.runner`); merged records are byte-identical
+    for any worker count given the same seeds.
 ``conditions [--rate R] [--duration S] [--depth N]``
     Evaluate the paper's §III overflow arithmetic for given parameters.
 """
@@ -148,6 +152,63 @@ def _cmd_run(args):
     return status
 
 
+def _cmd_run_all(args):
+    from .experiments import record as record_module
+    from .experiments import runner
+    from .experiments.report import run_report_table
+
+    if args.list:
+        width = max(len(name) for name in runner.REGISTRY)
+        for name, spec in runner.REGISTRY.items():
+            variants = len(spec.variants or ({},))
+            suffix = f"  [{variants} variants]" if variants > 1 else ""
+            print(f"{name:<{width}}  {spec.description}{suffix}")
+        return 0
+
+    if args.jobs is None:
+        names = None
+    else:
+        names = [n.strip() for n in args.jobs.split(",") if n.strip()]
+        if not names:
+            print("--jobs given but names no experiments", file=sys.stderr)
+            return 2
+    try:
+        jobs = runner.expand_jobs(names=names, seeds=args.seeds,
+                                  base_seed=args.seed, quick=args.quick)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not jobs:
+        print("nothing to run (is --seeds 0?)", file=sys.stderr)
+        return 2
+
+    total = len(jobs)
+    done = {"count": 0}
+
+    def progress(event, job, detail=""):
+        jid = runner.job_id(job)
+        if event == "done":
+            done["count"] += 1
+            print(f"[{done['count']}/{total}] ok      {jid}")
+        elif event == "retry":
+            print(f"[{done['count']}/{total}] retry   {jid}: {detail}")
+        elif event == "fail":
+            done["count"] += 1
+            print(f"[{done['count']}/{total}] FAILED  {jid}: {detail}")
+
+    print(f"running {total} jobs on {args.workers} worker(s)"
+          f"{' (quick scale)' if args.quick else ''}")
+    report = runner.run_jobs(jobs, workers=args.workers,
+                             timeout=args.timeout, retries=args.retries,
+                             progress=progress)
+    print()
+    print(run_report_table(report))
+    if args.out:
+        record_module.write_records(args.out, report.records)
+        print(f"\n[merged records written to {args.out}]")
+    return 0 if report.ok else 1
+
+
 def _cmd_conditions(args):
     overflow = predicted_overflow(args.rate, args.duration, args.depth,
                                   drain_rate=args.drain)
@@ -188,6 +249,31 @@ def build_parser():
     run_parser.add_argument("--diagnose", action="store_true",
                             help="append the automated CTQO post-mortem")
     run_parser.set_defaults(handler=_cmd_run)
+
+    run_all_parser = sub.add_parser(
+        "run-all",
+        help="run the whole experiment registry through the parallel engine",
+    )
+    run_all_parser.add_argument("--workers", type=int,
+                                default=os.cpu_count() or 1,
+                                help="worker processes (1 = serial in-process)")
+    run_all_parser.add_argument("--seeds", type=int, default=1,
+                                help="seeds per experiment (derived streams)")
+    run_all_parser.add_argument("--seed", type=int, default=42,
+                                help="base seed for derivation")
+    run_all_parser.add_argument("--quick", action="store_true",
+                                help="scaled-down durations (CI-sized runs)")
+    run_all_parser.add_argument("--jobs", default=None,
+                                help="comma-separated registry subset")
+    run_all_parser.add_argument("--timeout", type=float, default=None,
+                                help="per-job wall-clock timeout in seconds")
+    run_all_parser.add_argument("--retries", type=int, default=1,
+                                help="extra attempts for crashed/failed jobs")
+    run_all_parser.add_argument("--out", default=None,
+                                help="write merged records JSON to this file")
+    run_all_parser.add_argument("--list", action="store_true",
+                                help="list the registry and exit")
+    run_all_parser.set_defaults(handler=_cmd_run_all)
 
     cond_parser = sub.add_parser(
         "conditions", help="evaluate the §III overflow arithmetic"

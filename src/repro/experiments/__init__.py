@@ -21,7 +21,11 @@ headline_utilization      abstract — 43 % sync vs 83 % async claim
 ========================  =============================================
 
 Each module exposes ``run(...)`` (returns structured results, scalable
-down for tests) and ``main()`` (prints the figure as text).
+down for tests), ``main()`` (prints the figure as text) and
+``run_experiment(config)`` — the uniform entry point used by the
+parallel execution engine in :mod:`repro.experiments.runner`, whose
+:data:`~repro.experiments.runner.REGISTRY` is the canonical list of
+every runnable experiment (``python -m repro run-all``).
 """
 
 from . import (  # noqa: F401
@@ -41,11 +45,25 @@ from . import (  # noqa: F401
     fig12_throughput,
     headline_utilization,
 )
+from . import runner  # noqa: F401
+from .runner import (
+    REGISTRY,
+    JobConfig,
+    RunReport,
+    expand_jobs,
+    run_jobs,
+)
 from .timeline import TimelineResult, TimelineSpec, run_timeline
 
 __all__ = [
+    "JobConfig",
+    "REGISTRY",
+    "RunReport",
     "TimelineResult",
     "TimelineSpec",
+    "expand_jobs",
+    "run_jobs",
+    "runner",
     "cause_variety",
     "deep_chain",
     "replication",

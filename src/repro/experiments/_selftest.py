@@ -1,0 +1,43 @@
+"""Deliberately misbehaving jobs for the runner's own failure-path tests.
+
+Not in :data:`~repro.experiments.runner.REGISTRY`; reached through
+``JobConfig(entry="repro.experiments._selftest:run_experiment", ...)``.
+``params["mode"]`` selects the behaviour:
+
+``ok``
+    Return a tiny record (used as a well-behaved control job).
+``fail``
+    Raise inside the worker (exception path).
+``crash``
+    Kill the worker process without reporting (``os._exit``) — the
+    engine must notice the dead pipe and retry.
+``flaky-crash``
+    Crash on the first attempt, succeed on retries (retry path).
+``hang``
+    Sleep past any reasonable deadline (timeout path).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(config):
+    mode = config.params.get("mode", "ok")
+    if mode == "ok":
+        return {"value": config.seed}
+    if mode == "fail":
+        raise RuntimeError("selftest: deliberate failure")
+    if mode == "crash":
+        os._exit(17)
+    if mode == "flaky-crash":
+        if config.attempt == 0:
+            os._exit(17)
+        return {"value": config.seed, "recovered_on_attempt": config.attempt}
+    if mode == "hang":
+        time.sleep(float(config.params.get("sleep", 60.0)))
+        return {"value": "woke"}
+    raise ValueError(f"unknown selftest mode {mode!r}")

@@ -16,7 +16,7 @@ from ..core.evaluation import Scenario
 from ..topology.configs import SystemConfig
 from .report import format_table
 
-__all__ = ["CAUSES", "run", "report", "main"]
+__all__ = ["CAUSES", "run", "run_experiment", "report", "main"]
 
 CAUSES = ("cpu", "io", "gc", "network")
 
@@ -62,6 +62,19 @@ def run(causes=CAUSES, duration=28.0, seed=42):
         out[(cause, "async")] = run_point(cause, 3, duration=duration,
                                           seed=seed)
     return out
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    causes = tuple(config.params.get("causes", CAUSES))
+    points = run(causes=causes, duration=config.duration or 28.0,
+                 seed=config.seed)
+    return {
+        "points": {
+            f"{cause}/{stack}": point
+            for (cause, stack), point in points.items()
+        }
+    }
 
 
 def report(points):

@@ -19,7 +19,7 @@ from ..topology.chain import build_chain, uniform_chain
 from ..units import ms
 from .report import format_table
 
-__all__ = ["run", "run_depth_sweep", "main"]
+__all__ = ["run", "run_depth_sweep", "run_experiment", "main"]
 
 #: arrival rate for the open-loop chain client (req/s)
 RATE = 900.0
@@ -67,6 +67,23 @@ def run_depth_sweep(depths=(3, 4, 5), duration=30.0, seed=42):
             "async": run(depth, sync=False, duration=duration, seed=seed),
         }
         for depth in depths
+    }
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    depths = tuple(config.params.get("depths", (3, 4, 5)))
+    sweep = run_depth_sweep(depths=depths,
+                            duration=config.duration or 30.0,
+                            seed=config.seed)
+    return {
+        f"{depth}-{kind}": {
+            "summary": result["summary"],
+            "drops": result["drops"],
+            "queue_max": result["queue_max"],
+        }
+        for depth, pair in sweep.items()
+        for kind, result in pair.items()
     }
 
 

@@ -18,7 +18,7 @@ from ..core.tail import multimodal_clusters, semilog_histogram
 from ..topology.configs import SystemConfig
 from .report import format_table, histogram_rows
 
-__all__ = ["WORKLOADS", "run", "run_one", "main"]
+__all__ = ["WORKLOADS", "run", "run_experiment", "run_one", "main"]
 
 #: the paper's three workload levels
 WORKLOADS = (4000, 7000, 8000)
@@ -53,6 +53,29 @@ def run(duration=120.0, warmup=10.0, seed=42, workloads=WORKLOADS):
     return {
         clients: run_one(clients, duration=duration, warmup=warmup, seed=seed)
         for clients in workloads
+    }
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    workloads = tuple(config.params.get("workloads", WORKLOADS))
+    panels = run(duration=config.duration or 120.0, seed=config.seed,
+                 workloads=workloads)
+    return {
+        "panels": {
+            str(clients): {
+                "throughput_rps": panel["throughput_rps"],
+                "highest_avg_cpu": panel["highest_avg_cpu"],
+                "vlrt": panel["vlrt"],
+                "dropped_packets": panel["dropped_packets"],
+                "modes": panel["modes"],
+                "histogram": [
+                    [start, count] for start, count in panel["histogram"]
+                    if count
+                ],
+            }
+            for clients, panel in panels.items()
+        }
     }
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..topology.consolidation import build_consolidated_pair
 from .report import ascii_timeline, format_table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "run_experiment", "main"]
 
 
 def run(duration=60.0, warmup=5.0, seed=42):
@@ -39,6 +39,15 @@ def run(duration=60.0, warmup=5.0, seed=42):
         "summary": summary,
         "burst_times": burst_times,
         "duration": duration,
+    }
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    result = run(duration=config.duration or 60.0, seed=config.seed)
+    return {
+        "summary": result["summary"],
+        "burst_times": list(result["burst_times"]),
     }
 
 

@@ -10,9 +10,9 @@ and Apache drops packets — a two-hop upstream CTQO cascade.
 
 from __future__ import annotations
 
-from .timeline import TimelineSpec, run_timeline
+from .timeline import TimelineSpec, run_timeline, timeline_record
 
-__all__ = ["SPEC", "run", "main"]
+__all__ = ["SPEC", "run", "run_experiment", "main"]
 
 SPEC = TimelineSpec(
     figure="Fig 5",
@@ -31,6 +31,11 @@ SPEC = TimelineSpec(
 
 def run(duration=None, clients=None, seed=None):
     return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    return timeline_record(SPEC, config)
 
 
 def main():

@@ -14,9 +14,10 @@ answer to "does one async tier fix it?" is the paper's yes-and-no:
 
 from __future__ import annotations
 
-from .timeline import TimelineSpec, run_timeline
+from .timeline import TimelineSpec, run_timeline, timeline_record
 
-__all__ = ["SPEC", "SPEC_MYSQL", "run", "run_mysql_variant", "main"]
+__all__ = ["SPEC", "SPEC_MYSQL", "run", "run_experiment",
+           "run_mysql_variant", "main"]
 
 SPEC = TimelineSpec(
     figure="Fig 7",
@@ -45,6 +46,15 @@ def run_mysql_variant(duration=None, clients=None, seed=None):
     return run_timeline(
         SPEC_MYSQL, duration=duration, clients=clients, seed=seed
     )
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner).
+
+    ``params["variant"] == "mysql"`` selects the §V-B MySQL-stall spec.
+    """
+    spec = SPEC_MYSQL if config.params.get("variant") == "mysql" else SPEC
+    return timeline_record(spec, config)
 
 
 def main():

@@ -8,9 +8,9 @@ signature of *no* cross-tier amplification), and nothing is dropped.
 
 from __future__ import annotations
 
-from .timeline import TimelineSpec, run_timeline
+from .timeline import TimelineSpec, run_timeline, timeline_record
 
-__all__ = ["SPEC", "run", "main"]
+__all__ = ["SPEC", "run", "run_experiment", "main"]
 
 SPEC = TimelineSpec(
     figure="Fig 11",
@@ -28,6 +28,11 @@ SPEC = TimelineSpec(
 
 def run(duration=None, clients=None, seed=None):
     return run_timeline(SPEC, duration=duration, clients=clients, seed=seed)
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    return timeline_record(SPEC, config)
 
 
 def main():

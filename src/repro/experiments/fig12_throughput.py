@@ -21,7 +21,8 @@ from ..core.evaluation import Scenario
 from ..topology.configs import SystemConfig
 from .report import format_table
 
-__all__ = ["CONCURRENCY_LEVELS", "run", "run_point", "main"]
+__all__ = ["CONCURRENCY_LEVELS", "run", "run_experiment", "run_point",
+           "main"]
 
 #: the paper's x-axis
 CONCURRENCY_LEVELS = (100, 200, 400, 800, 1600)
@@ -61,6 +62,17 @@ def run(levels=CONCURRENCY_LEVELS, duration=25.0, warmup=5.0, seed=42):
             _ASYNC_CONFIG, concurrency, duration, warmup, seed
         )
     return out
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    levels = tuple(config.params.get("levels", CONCURRENCY_LEVELS))
+    sweep = run(levels=levels, duration=config.duration or 25.0,
+                seed=config.seed)
+    return {
+        stack: {str(level): tput for level, tput in points.items()}
+        for stack, points in sweep.items()
+    }
 
 
 def report(sweep):

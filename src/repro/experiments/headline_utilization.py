@@ -17,7 +17,7 @@ from ..core.evaluation import Scenario
 from ..topology.configs import SystemConfig
 from .report import format_table
 
-__all__ = ["WORKLOADS", "run", "main"]
+__all__ = ["WORKLOADS", "run", "run_experiment", "main"]
 
 WORKLOADS = (4000, 5500, 7000, 8000)
 BURST_PERIOD = 7.0
@@ -49,6 +49,19 @@ def run(duration=60.0, warmup=10.0, seed=42, workloads=WORKLOADS):
                 nx, clients, duration=duration, warmup=warmup, seed=seed
             )
     return out
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    workloads = tuple(config.params.get("workloads", WORKLOADS))
+    points = run(duration=config.duration or 60.0, seed=config.seed,
+                 workloads=workloads)
+    return {
+        "points": {
+            f"nx{nx}/wl{clients}": point
+            for (nx, clients), point in points.items()
+        }
+    }
 
 
 def report(points):

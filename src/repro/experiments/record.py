@@ -8,6 +8,7 @@ always regenerable.
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
@@ -25,7 +26,85 @@ from . import (
     run_timeline,
 )
 
-__all__ = ["record_all", "main"]
+__all__ = [
+    "load_records",
+    "main",
+    "record_all",
+    "records_from_json",
+    "records_to_json",
+    "render_records",
+    "write_records",
+]
+
+
+# ----------------------------------------------------------------------
+# runner-record serialization and rendering
+# ----------------------------------------------------------------------
+def records_to_json(records):
+    """Canonical JSON for a ``{job id: record}`` mapping.
+
+    Sorted keys, two-space indent, trailing newline — the byte-for-byte
+    comparable format the parallel runner's determinism guarantee is
+    stated in (serial and parallel runs of the same seeds serialize
+    identically).
+    """
+    return json.dumps(records, sort_keys=True, indent=2) + "\n"
+
+
+def records_from_json(text):
+    """Inverse of :func:`records_to_json`."""
+    return json.loads(text)
+
+
+def write_records(path, records):
+    with open(path, "w") as handle:
+        handle.write(records_to_json(records))
+
+
+def load_records(path):
+    with open(path) as handle:
+        return records_from_json(handle.read())
+
+
+def _fmt_value(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _flat_rows(obj, prefix=""):
+    """(dotted key, formatted value) leaves of a record, sorted."""
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            yield from _flat_rows(obj[key], f"{prefix}{key}.")
+    elif isinstance(obj, list):
+        scalars = all(not isinstance(v, (dict, list)) for v in obj)
+        if scalars and len(obj) <= 8:
+            yield prefix[:-1], "[" + ", ".join(_fmt_value(v) for v in obj) + "]"
+        else:
+            yield prefix[:-1], f"[{len(obj)} items]"
+    else:
+        yield prefix[:-1], _fmt_value(obj)
+
+
+def render_records(records):
+    """Deterministic Markdown digest of a runner ``records`` mapping.
+
+    Rendering a mapping that went through a JSON round-trip yields the
+    same text as rendering the original — pinned by the golden test in
+    ``tests/test_record_golden.py``.
+    """
+    lines = ["# run-all records", ""]
+    for jid in sorted(records):
+        record = records[jid]
+        lines.append(f"## {jid}")
+        lines.append("")
+        lines.append("| metric | value |")
+        lines.append("|---|---|")
+        for key, value in _flat_rows(record.get("payload", record)):
+            lines.append(f"| {key} | {value} |")
+        lines.append("")
+    return "\n".join(lines)
 
 #: (figure id, paper claim, paper numbers) for the timeline experiments
 _TIMELINE_ROWS = [
@@ -155,6 +234,11 @@ def record_all(path="EXPERIMENTS.md"):
         "values differ from the authors' ESXi testbed; the reproduction",
         "targets are the *shapes*: who drops packets, at which queue",
         "bound, and how the sync/async contrast behaves.",
+        "",
+        "The full registry can also be executed in parallel with",
+        "`python -m repro run-all --workers N` — see",
+        "[docs/RUNNING.md](docs/RUNNING.md) for the worker/seed flags and",
+        "the determinism guarantee.",
         "",
     ]
     ok = True

@@ -29,14 +29,26 @@ from ..topology.configs import SystemConfig
 from ..workload.generators import ClosedLoopPopulation
 from .report import format_table
 
-__all__ = ["build_replicated", "run", "main"]
+__all__ = ["build_replicated", "run", "run_experiment", "main"]
 
 
 def build_replicated(config=None, replicas=2, sim=None):
-    """web -> N app replicas -> db, all synchronous, round-robin."""
+    """web -> N app replicas -> db, all synchronous, round-robin.
+
+    When a pre-built simulator is supplied, its seed must match
+    ``config.seed`` — otherwise every stream forked from the simulator
+    (workload arrivals, GC pauses, network jitter) would silently come
+    from a different seed than the one recorded in the config, breaking
+    the record-from-seed reproducibility contract.
+    """
     config = config or SystemConfig(nx=0)
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if sim is not None and sim.seed != config.seed:
+        raise ValueError(
+            f"simulator seed {sim.seed!r} != config.seed {config.seed!r}; "
+            "forked RNG streams would not be reproducible from the config"
+        )
     sim = sim or Simulator(seed=config.seed)
     fabric = NetworkFabric(sim, latency=config.net_latency,
                            rto=config.tcp_rto,
@@ -119,6 +131,21 @@ def run(replicas=2, clients=7000, duration=40.0, warmup=5.0,
         },
         "monitor": monitor,
     }
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    replicas_list = tuple(config.params.get("replicas", (1, 2, 3)))
+    record = {}
+    for replicas in replicas_list:
+        result = run(replicas=replicas, duration=config.duration or 40.0,
+                     seed=config.seed)
+        record[str(replicas)] = {
+            "summary": result["summary"],
+            "drops": result["drops"],
+            "queue_max": result["queue_max"],
+        }
+    return record
 
 
 def report(results):

@@ -8,7 +8,8 @@ against the paper's shapes directly.
 
 from __future__ import annotations
 
-__all__ = ["ascii_timeline", "format_table", "histogram_rows", "indent"]
+__all__ = ["ascii_timeline", "format_table", "histogram_rows", "indent",
+           "run_report_table"]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
@@ -85,3 +86,18 @@ def histogram_rows(pairs, log_marker="#", width=40):
 
 def indent(text, prefix="    "):
     return "\n".join(prefix + line for line in text.splitlines())
+
+
+def run_report_table(report):
+    """Status summary of a :class:`~repro.experiments.runner.RunReport`."""
+    rows = []
+    for jid in report.records:
+        rows.append([jid, "ok", report.attempts.get(jid, 1), ""])
+    for jid, error in report.failures.items():
+        head = error.splitlines()[0] if error else ""
+        rows.append([jid, "FAILED", report.attempts.get(jid, 1), head[:64]])
+    rows.sort(key=lambda row: row[0])
+    table = format_table(["job", "status", "attempts", "error"], rows)
+    footer = (f"{len(report.records)} ok, {len(report.failures)} failed, "
+              f"workers={report.workers}, wall {report.elapsed:.1f}s")
+    return table + "\n\n" + footer

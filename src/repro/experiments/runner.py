@@ -1,0 +1,434 @@
+"""Parallel experiment-execution engine and the canonical job registry.
+
+Every experiment module exposes a uniform ``run_experiment(config)``
+entry point returning a plain-data *record* (nested dicts / lists /
+scalars — nothing simulation-bound).  :data:`REGISTRY` enumerates them
+all; :func:`expand_jobs` turns registry names into concrete
+:class:`JobConfig` jobs (variants × seeds); :func:`run_jobs` executes a
+job list either serially in-process or fanned across a pool of worker
+processes with per-job timeout and crash retry.
+
+Determinism contract
+--------------------
+A record is a pure function of its :class:`JobConfig`: every job builds
+a fresh :class:`~repro.sim.kernel.Simulator` from ``config.seed`` and
+draws randomness only from simulator-owned streams.  Records are passed
+through :func:`canonical` before they leave the worker, so a parallel
+run's merged output is byte-identical to a serial run with the same
+seeds — ``tests/test_experiments_runner.py`` locks this in.
+
+Seed derivation
+---------------
+Multi-seed sweeps derive per-job seeds with :func:`derive_seed`
+(SHA-256 of ``base/label/index``), so adding an experiment or changing
+worker count never perturbs the seed any other job sees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import numbers
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection, get_context
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentSpec",
+    "JobConfig",
+    "REGISTRY",
+    "RunReport",
+    "canonical",
+    "derive_seed",
+    "execute_job",
+    "expand_jobs",
+    "job_id",
+    "run_jobs",
+]
+
+DEFAULT_SEED = 42
+
+#: (nx levels) for the asynchrony parameter sweep entry
+NX_LEVELS = (0, 1, 2, 3)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: where to find the experiment and how to scale it.
+
+    ``entry`` is a dotted ``"module:function"`` path resolved inside the
+    worker process (strings travel through pickling trivially, and the
+    same spec works under fork and spawn start methods).  ``quick``
+    holds parameter overrides for fast runs; a ``"duration"`` key there
+    becomes :attr:`JobConfig.duration`, the rest merge into
+    :attr:`JobConfig.params`.  ``variants`` expands one registry name
+    into several jobs (e.g. fig07's MySQL variant, the NX sweep).
+    """
+
+    name: str
+    entry: str
+    description: str
+    quick: dict = field(default_factory=dict)
+    variants: tuple = ({},)
+
+
+@dataclass
+class JobConfig:
+    """One executable job: experiment name + seed + scale + parameters.
+
+    ``attempt`` is set by the engine on retries (0 on the first try) so
+    deliberately flaky self-test jobs can change behaviour per attempt;
+    it is excluded from :func:`job_id` and from the record.  ``entry``
+    overrides the registry lookup (used by the engine's own tests).
+    """
+
+    name: str
+    seed: int = DEFAULT_SEED
+    duration: float = None
+    params: dict = field(default_factory=dict)
+    attempt: int = 0
+    entry: str = None
+
+
+def job_id(config):
+    """Stable identifier: ``name[k=v,...]@s<seed>`` (params sorted)."""
+    params = ",".join(
+        f"{key}={config.params[key]}" for key in sorted(config.params)
+    )
+    core = f"{config.name}[{params}]" if params else config.name
+    return f"{core}@s{config.seed}"
+
+
+def derive_seed(base_seed, label, index=0):
+    """A deterministic, platform-independent per-job seed stream.
+
+    SHA-256 rather than ``hash()`` (randomized per interpreter) so the
+    same sweep yields the same seeds in every process of every run.
+    """
+    digest = hashlib.sha256(f"{base_seed}/{label}/{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def canonical(obj):
+    """Normalize a record to plain JSON-stable data.
+
+    Dict keys become strings (sorted), tuples become lists, numpy
+    scalars collapse to Python ints/floats.  Both the serial and the
+    parallel paths emit records through this function, which is what
+    makes their merged outputs byte-comparable.
+    """
+    if isinstance(obj, dict):
+        return {
+            str(key): canonical(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical(value) for value in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    return str(obj)
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+def _spec(name, module, description, quick=None, variants=({},), entry=None):
+    return ExperimentSpec(
+        name=name,
+        entry=entry or f"repro.experiments.{module}:run_experiment",
+        description=description,
+        quick=quick or {},
+        variants=variants,
+    )
+
+
+#: every reproducible experiment, in the paper's presentation order
+REGISTRY = {
+    spec.name: spec
+    for spec in (
+        _spec("fig01", "fig01_histograms",
+              "multi-modal response-time histograms",
+              quick={"duration": 18.0, "workloads": [4000, 7000]}),
+        _spec("fig02", "fig02_full_sysbursty",
+              "emergent two-system consolidation (full fidelity)",
+              quick={"duration": 16.0}),
+        _spec("fig03", "fig03_vm_consolidation",
+              "upstream CTQO from VM consolidation",
+              quick={"duration": 18.0}),
+        _spec("fig05", "fig05_log_flush",
+              "upstream CTQO from log flushing",
+              quick={"duration": 18.0}),
+        _spec("fig07", "fig07_nx1",
+              "NX=1 yes-and-no (plus the MySQL variant)",
+              quick={"duration": 18.0},
+              variants=({}, {"variant": "mysql"})),
+        _spec("fig08", "fig08_nx2_mysql",
+              "NX=2, downstream CTQO at MySQL",
+              quick={"duration": 18.0}),
+        _spec("fig09", "fig09_nx2_xtomcat",
+              "NX=2, XTomcat's batch floods MySQL",
+              quick={"duration": 18.0}),
+        _spec("fig10", "fig10_nx3_xtomcat",
+              "NX=3, CPU millibottleneck, no CTQO",
+              quick={"duration": 18.0}),
+        _spec("fig11", "fig11_nx3_xmysql",
+              "NX=3, I/O millibottleneck, no CTQO",
+              quick={"duration": 18.0}),
+        _spec("fig12", "fig12_throughput",
+              "2000-thread sync vs async throughput",
+              quick={"duration": 9.0, "levels": [100, 1600]}),
+        _spec("headline", "headline_utilization",
+              "the abstract's 43% vs 83% utilization claim",
+              quick={"duration": 14.0, "workloads": [7000]}),
+        _spec("deep_chain", "deep_chain",
+              "multi-hop CTQO in 4/5-tier chains",
+              quick={"duration": 16.0, "depths": [3, 5]}),
+        _spec("replication", "replication",
+              "replicas dilute but keep CTQO",
+              quick={"duration": 18.0, "replicas": [2]}),
+        _spec("validation", "validation",
+              "simulator vs closed-form queueing theory",
+              quick={"duration": 12.0, "workloads": [2000, 7000]}),
+        _spec("cause_variety", "cause_variety",
+              "CPU/disk/GC/network causes, same CTQO",
+              quick={"duration": 12.0, "causes": ["cpu", "io"]}),
+        _spec("nx_sweep", "runner",
+              "one consolidation scenario per asynchrony level",
+              quick={"duration": 14.0},
+              variants=tuple({"nx": nx} for nx in NX_LEVELS),
+              entry="repro.experiments.runner:run_nx_point"),
+    )
+}
+
+
+def run_nx_point(config):
+    """Registry entry for the NX parameter sweep (one job per level)."""
+    from ..core.evaluation import Scenario
+    from ..topology.configs import SystemConfig
+
+    nx = int(config.params.get("nx", 0))
+    clients = int(config.params.get("clients", 7000))
+    duration = config.duration or 30.0
+    scenario = Scenario(
+        SystemConfig(nx=nx, seed=config.seed), clients=clients,
+        duration=duration, warmup=5.0,
+    ).with_consolidation("app", times=[12.0, 19.0])
+    result = scenario.run()
+    return {
+        "nx": nx,
+        "summary": result.summary(),
+        "queue_max": result.queue_max(),
+        "highest_avg_cpu": result.highest_avg_cpu(),
+    }
+
+
+def expand_jobs(names=None, seeds=1, base_seed=DEFAULT_SEED, quick=False):
+    """Registry names -> concrete jobs (variants × ``seeds`` seed indices).
+
+    Seed index 0 keeps ``base_seed`` itself (so a default run matches
+    the modules' own defaults); further indices use :func:`derive_seed`.
+    """
+    names = list(REGISTRY) if names is None else list(names)
+    jobs = []
+    for name in names:
+        spec = REGISTRY.get(name)
+        if spec is None:
+            known = ", ".join(sorted(REGISTRY))
+            raise ValueError(f"unknown experiment {name!r}; known: {known}")
+        for variant in spec.variants or ({},):
+            params = dict(spec.quick) if quick else {}
+            duration = params.pop("duration", None)
+            params.update(variant)
+            label = f"{name}/{sorted(variant.items())}"
+            for index in range(seeds):
+                seed = (base_seed if index == 0
+                        else derive_seed(base_seed, label, index))
+                jobs.append(JobConfig(name=name, seed=seed,
+                                      duration=duration, params=dict(params)))
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _resolve_entry(path):
+    module_name, _, attr = path.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr or "run_experiment")
+
+
+def execute_job(config):
+    """Run one job in the current process; return its canonical record."""
+    entry = config.entry
+    if entry is None:
+        spec = REGISTRY.get(config.name)
+        if spec is None:
+            known = ", ".join(sorted(REGISTRY))
+            raise ValueError(
+                f"unknown experiment {config.name!r}; known: {known}"
+            )
+        entry = spec.entry
+    payload = _resolve_entry(entry)(config)
+    return canonical({
+        "experiment": config.name,
+        "job": job_id(config),
+        "seed": config.seed,
+        "duration": config.duration,
+        "params": config.params,
+        "payload": payload,
+    })
+
+
+def _worker_main(config, conn):
+    """Worker-process entry: execute one job, ship (status, payload)."""
+    try:
+        record = execute_job(config)
+        conn.send(("ok", record))
+    except BaseException as exc:  # report, never crash the pipe silently
+        conn.send(("error", f"{type(exc).__name__}: {exc}\n"
+                            f"{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+@dataclass
+class RunReport:
+    """Aggregated outcome of a :func:`run_jobs` call.
+
+    ``records`` maps job id -> record for every success, sorted by job
+    id (so iteration order never depends on completion order);
+    ``failures`` maps job id -> last error text; ``attempts`` counts
+    tries per job (1 = first try succeeded).
+    """
+
+    records: dict
+    failures: dict
+    attempts: dict
+    elapsed: float
+    workers: int
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+class _Progress:
+    """Normalizes the optional progress callback to a no-op."""
+
+    def __init__(self, callback):
+        self._callback = callback
+
+    def __call__(self, event, job, detail=""):
+        if self._callback is not None:
+            self._callback(event, job, detail)
+
+
+def run_jobs(jobs, workers=1, timeout=None, retries=1, progress=None):
+    """Execute ``jobs``; return a :class:`RunReport`.
+
+    ``workers <= 1`` runs everything serially in-process — the
+    determinism reference.  ``workers > 1`` fans jobs across worker
+    processes (at most ``workers`` alive at once), terminating any job
+    that exceeds ``timeout`` wall seconds and retrying crashed, failed
+    or timed-out jobs up to ``retries`` extra times.
+    """
+    jobs = list(jobs)
+    notify = _Progress(progress)
+    started = time.time()
+    records, failures, attempts = {}, {}, {}
+
+    if workers <= 1:
+        for job in jobs:
+            jid = job_id(job)
+            for attempt in range(retries + 1):
+                attempts[jid] = attempt + 1
+                notify("start", job)
+                try:
+                    records[jid] = execute_job(replace(job, attempt=attempt))
+                    failures.pop(jid, None)
+                    notify("done", job)
+                    break
+                except Exception as exc:
+                    failures[jid] = (f"{type(exc).__name__}: {exc}\n"
+                                     f"{traceback.format_exc()}")
+                    notify("retry" if attempt < retries else "fail",
+                           job, f"{type(exc).__name__}: {exc}")
+    else:
+        _run_pool(jobs, workers, timeout, retries, notify,
+                  records, failures, attempts)
+
+    return RunReport(
+        records=dict(sorted(records.items())),
+        failures=dict(sorted(failures.items())),
+        attempts=dict(sorted(attempts.items())),
+        elapsed=time.time() - started,
+        workers=workers,
+    )
+
+
+def _run_pool(jobs, workers, timeout, retries, notify,
+              records, failures, attempts):
+    ctx = get_context()
+    pending = deque(jobs)
+    active = {}  # conn -> (process, job, deadline)
+
+    def launch(job):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_worker_main, args=(job, child_conn))
+        process.start()
+        child_conn.close()
+        deadline = None if timeout is None else time.time() + timeout
+        active[parent_conn] = (process, job, deadline)
+        attempts[job_id(job)] = job.attempt + 1
+        notify("start", job)
+
+    def settle(conn, status, detail):
+        """Retire one worker; requeue its job if attempts remain."""
+        process, job, _deadline = active.pop(conn)
+        jid = job_id(job)
+        if status == "ok":
+            records[jid] = detail
+            failures.pop(jid, None)
+            notify("done", job)
+        else:
+            failures[jid] = detail
+            if job.attempt < retries:
+                pending.append(replace(job, attempt=job.attempt + 1))
+                notify("retry", job, detail.splitlines()[0] if detail else "")
+            else:
+                notify("fail", job, detail.splitlines()[0] if detail else "")
+        conn.close()
+        process.join()
+
+    while pending or active:
+        while pending and len(active) < workers:
+            launch(pending.popleft())
+        ready = connection.wait(list(active), timeout=0.05)
+        for conn in ready:
+            try:
+                status, detail = conn.recv()
+            except (EOFError, OSError):
+                process = active[conn][0]
+                process.join()
+                settle(conn, "error", f"worker crashed (exit code "
+                                      f"{process.exitcode}) before reporting")
+            else:
+                settle(conn, status, detail)
+        now = time.time()
+        for conn in [c for c, (_p, _j, d) in active.items()
+                     if d is not None and now > d]:
+            process, job, _deadline = active[conn]
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - stubborn worker
+                process.kill()
+                process.join()
+            settle(conn, "error", f"timed out after {timeout:.1f}s wall "
+                                  f"(attempt {job.attempt + 1})")

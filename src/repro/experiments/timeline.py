@@ -21,7 +21,8 @@ from ..core.evaluation import Scenario
 from ..topology.configs import SystemConfig
 from .report import ascii_timeline, format_table
 
-__all__ = ["TimelineSpec", "TimelineResult", "run_timeline"]
+__all__ = ["TimelineSpec", "TimelineResult", "run_timeline",
+           "timeline_record"]
 
 #: burst instants used by the consolidation timelines (a 45 s run),
 #: mirroring the paper's irregular marks (e.g. 2/5/9/15 s in Fig 3).
@@ -198,6 +199,25 @@ class TimelineResult:
         else:
             lines.append("CLAIM CHECK: ok — drop sites match the paper")
         return "\n".join(lines)
+
+
+def timeline_record(spec, config):
+    """Uniform plain-data record for one timeline figure.
+
+    Shared implementation behind the ``run_experiment(config)`` registry
+    entry points of the timeline modules (see
+    :mod:`repro.experiments.runner` for the record contract).
+    """
+    result = run_timeline(
+        spec, duration=config.duration,
+        clients=config.params.get("clients"), seed=config.seed,
+    )
+    return {
+        "figure": spec.figure,
+        "summary": result.summary(),
+        "queue_max": result.run.queue_max(),
+        "claim_failures": result.check_claims(),
+    }
 
 
 def run_timeline(spec, duration=None, clients=None, seed=None):

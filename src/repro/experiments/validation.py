@@ -22,7 +22,7 @@ from ..core.queueing import SteadyStateModel
 from ..topology.configs import SystemConfig
 from .report import format_table
 
-__all__ = ["WORKLOADS", "run", "report", "main"]
+__all__ = ["WORKLOADS", "run", "run_experiment", "report", "main"]
 
 WORKLOADS = (2000, 4000, 7000, 8000)
 
@@ -48,6 +48,14 @@ def run_point(clients, duration=40.0, warmup=8.0, seed=42):
 
 def run(workloads=WORKLOADS, duration=40.0, warmup=8.0, seed=42):
     return [run_point(c, duration, warmup, seed) for c in workloads]
+
+
+def run_experiment(config):
+    """Uniform registry entry point (see repro.experiments.runner)."""
+    workloads = tuple(config.params.get("workloads", WORKLOADS))
+    points = run(workloads=workloads, duration=config.duration or 40.0,
+                 seed=config.seed)
+    return {"points": {str(point["clients"]): point for point in points}}
 
 
 def report(points):

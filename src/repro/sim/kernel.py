@@ -22,6 +22,11 @@ from .process import Process
 
 __all__ = ["Simulator"]
 
+# bound once at import: the scheduling fast path runs millions of times
+# per experiment, and the attribute lookups dominate its cost
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class Simulator:
     """A deterministic discrete-event simulator.
@@ -70,12 +75,23 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at t={when}, current time is {self.now}"
             )
-        self._sequence += 1
-        heapq.heappush(self._heap, (when, priority, self._sequence, callback, args))
+        self._sequence = sequence = self._sequence + 1
+        _heappush(self._heap, (when, priority, sequence, callback, args))
 
     def call_in(self, delay, callback, *args, priority=0):
-        """Schedule ``callback(*args)`` after ``delay`` seconds."""
-        self.call_at(self.now + delay, callback, *args, priority=priority)
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        Pushes the entry directly instead of re-wrapping the call
+        through :meth:`call_at` — this is the kernel's hottest entry
+        point (every timeout, service completion and network hop).
+        """
+        when = self.now + delay
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule at t={when}, current time is {self.now}"
+            )
+        self._sequence = sequence = self._sequence + 1
+        _heappush(self._heap, (when, priority, sequence, callback, args))
 
     # ------------------------------------------------------------------
     # event / process factories
@@ -120,7 +136,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self):
         """Execute the single next scheduled callback. Returns its time."""
-        when, _priority, _seq, callback, args = heapq.heappop(self._heap)
+        when, _priority, _seq, callback, args = _heappop(self._heap)
         self.now = when
         self.executed_events += 1
         callback(*args)
@@ -141,10 +157,26 @@ class Simulator:
         self._stopped = False
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0][0] > until:
-                break
-            self.step()
+        # the dispatch loop is inlined (rather than calling step()) so each
+        # of the millions of events per run costs one heappop + one call;
+        # an instance-level step override (e.g. KernelTracer) must still
+        # observe every event, so it forces the step-dispatching loop
+        heap = self._heap
+        if "step" in self.__dict__:
+            step = self.step
+            while heap and not self._stopped:
+                if until is not None and heap[0][0] > until:
+                    break
+                step()
+        else:
+            pop = _heappop
+            while heap and not self._stopped:
+                if until is not None and heap[0][0] > until:
+                    break
+                when, _priority, _seq, callback, args = pop(heap)
+                self.now = when
+                self.executed_events += 1
+                callback(*args)
         if until is not None and not self._stopped:
             if not self._heap and error_on_starvation:
                 raise SimulationDeadlock(

@@ -105,6 +105,11 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix=""):
     one simulation.
     """
     config = config or SystemConfig()
+    if sim is not None and sim.seed != config.seed:
+        raise ValueError(
+            f"simulator seed {sim.seed!r} != config.seed {config.seed!r}; "
+            "forked RNG streams would not be reproducible from the config"
+        )
     sim = sim or Simulator(seed=config.seed)
     host_overrides = host_overrides or {}
     system = NTierSystem(sim, config, name_prefix=name_prefix)

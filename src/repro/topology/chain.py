@@ -210,6 +210,11 @@ def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate tier names in {names}")
+    if sim is not None and sim.seed != seed:
+        raise ValueError(
+            f"simulator seed {sim.seed!r} != seed {seed!r}; "
+            "forked RNG streams would not be reproducible from the seed"
+        )
     sim = sim or Simulator(seed=seed)
     fabric = NetworkFabric(sim, latency=net_latency, rto=rto,
                            max_retransmits=max_retransmits)

@@ -132,6 +132,12 @@ def build_consolidated_pair(steady_config=None, bursty_config=None,
         )
     if shared_tier not in ("web", "app", "db"):
         raise ValueError(f"unknown shared tier {shared_tier!r}")
+    if sim is not None and sim.seed != steady_config.seed:
+        raise ValueError(
+            f"simulator seed {sim.seed!r} != steady_config.seed "
+            f"{steady_config.seed!r}; forked RNG streams would not be "
+            "reproducible from the config"
+        )
     sim = sim or Simulator(seed=steady_config.seed)
     steady = build_system(steady_config, sim=sim)
     bursty = build_system(

@@ -28,6 +28,44 @@ def test_conditions_drain_keeps_up(capsys):
     assert "never overflows" in out
 
 
+def test_run_all_list_prints_registry(capsys):
+    from repro.experiments.runner import REGISTRY
+
+    assert main(["run-all", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in REGISTRY:
+        assert name in out
+
+
+def test_run_all_rejects_unknown_job(capsys):
+    assert main(["run-all", "--jobs", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_all_rejects_empty_jobs(capsys):
+    # "--jobs ''" must not silently fall through to the full registry
+    assert main(["run-all", "--jobs", ""]) == 2
+    assert "no experiments" in capsys.readouterr().err
+
+
+def test_run_all_rejects_vacuous_seed_count(capsys):
+    assert main(["run-all", "--jobs", "validation", "--seeds", "0"]) == 2
+    assert "nothing to run" in capsys.readouterr().err
+
+
+def test_run_all_executes_subset_and_writes_records(tmp_path, capsys):
+    from repro.experiments.record import load_records
+
+    out_file = str(tmp_path / "records.json")
+    status = main(["run-all", "--jobs", "validation", "--quick",
+                   "--workers", "2", "--out", out_file])
+    assert status == 0
+    printed = capsys.readouterr().out
+    assert "1 ok, 0 failed" in printed
+    records = load_records(out_file)
+    assert list(records) == ["validation[workloads=[2000, 7000]]@s42"]
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):
@@ -40,6 +78,7 @@ def test_parser_requires_command():
 
 
 @pytest.mark.integration
+@pytest.mark.slow
 def test_run_timeline_with_export(tmp_path, capsys):
     out_dir = str(tmp_path / "raw")
     status = main(["run", "fig03", "--duration", "30", "--out", out_dir])

@@ -20,7 +20,7 @@ from repro.experiments import (
     run_timeline,
 )
 
-pytestmark = pytest.mark.integration
+pytestmark = [pytest.mark.integration, pytest.mark.slow]
 
 #: two bursts are enough to demonstrate every claim
 SHORT = 26.0

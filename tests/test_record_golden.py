@@ -1,0 +1,120 @@
+"""Golden-output tests for the record serialization/rendering pipeline.
+
+A runner record serialized with ``records_to_json``, reloaded with
+``records_from_json`` and re-rendered with ``render_records`` must match
+the checked-in golden text exactly — this pins the on-disk format the
+`repro run-all` determinism guarantee is stated in.
+"""
+
+from repro.experiments.record import (
+    records_from_json,
+    records_to_json,
+    render_records,
+)
+from repro.experiments.runner import canonical
+
+#: a synthetic but shape-faithful records mapping (one timeline figure,
+#: one sweep) — handcrafted so the golden text never depends on the
+#: simulator itself
+RECORDS = canonical({
+    "fig99@s42": {
+        "experiment": "fig99",
+        "job": "fig99@s42",
+        "seed": 42,
+        "duration": 18.0,
+        "params": {},
+        "payload": {
+            "figure": "Fig 99",
+            "summary": {
+                "requests": 1234,
+                "throughput_rps": 987.6543219,
+                "vlrt": 17,
+                "drops_by_server": {"apache": 122, "tomcat": 0},
+            },
+            "queue_max": {"apache": 278, "tomcat": 293},
+            "claim_failures": [],
+        },
+    },
+    "sweep[nx=2]@s7": {
+        "experiment": "sweep",
+        "job": "sweep[nx=2]@s7",
+        "seed": 7,
+        "duration": None,
+        "params": {"nx": 2},
+        "payload": {
+            "nx": 2,
+            "highest_avg_cpu": 0.8304,
+            "levels": [100, 200, 400, 800, 1600, 3200, 6400, 12800, 25600],
+        },
+    },
+})
+
+GOLDEN_RENDER = """\
+# run-all records
+
+## fig99@s42
+
+| metric | value |
+|---|---|
+| claim_failures | [] |
+| figure | Fig 99 |
+| queue_max.apache | 278 |
+| queue_max.tomcat | 293 |
+| summary.drops_by_server.apache | 122 |
+| summary.drops_by_server.tomcat | 0 |
+| summary.requests | 1234 |
+| summary.throughput_rps | 987.654 |
+| summary.vlrt | 17 |
+
+## sweep[nx=2]@s7
+
+| metric | value |
+|---|---|
+| highest_avg_cpu | 0.8304 |
+| levels | [9 items] |
+| nx | 2 |
+"""
+
+
+def test_json_round_trip_is_lossless():
+    text = records_to_json(RECORDS)
+    assert records_from_json(text) == RECORDS
+    # serializing the reloaded mapping reproduces the bytes exactly
+    assert records_to_json(records_from_json(text)) == text
+
+
+def test_json_is_canonical():
+    text = records_to_json(RECORDS)
+    assert text.endswith("\n")
+    # key order in the source dict must not matter
+    shuffled = dict(reversed(list(RECORDS.items())))
+    assert records_to_json(shuffled) == text
+
+
+def test_render_matches_golden():
+    assert render_records(RECORDS) == GOLDEN_RENDER
+
+
+def test_render_after_round_trip_matches_golden():
+    reloaded = records_from_json(records_to_json(RECORDS))
+    assert render_records(reloaded) == GOLDEN_RENDER
+
+
+def test_write_and_load_records(tmp_path):
+    from repro.experiments.record import load_records, write_records
+
+    path = tmp_path / "records.json"
+    write_records(path, RECORDS)
+    assert load_records(path) == RECORDS
+
+
+def test_render_of_real_record_is_stable():
+    """End to end: a real (tiny) run renders identically twice."""
+    from repro.experiments.runner import JobConfig, execute_job
+
+    job = JobConfig(name="validation", seed=3, duration=10.0,
+                    params={"workloads": [2000]})
+    first = render_records({"validation@s3": execute_job(job)})
+    second = render_records({"validation@s3": execute_job(job)})
+    assert first == second
+    assert "| metric | value |" in first

@@ -161,6 +161,7 @@ def test_mmpp_zero_normal_rate_is_idle_between_bursts():
 # the emergent Fig 2/3 phenomenology (integration)
 # ----------------------------------------------------------------------
 @pytest.mark.integration
+@pytest.mark.slow
 def test_pair_reproduces_emergent_upstream_ctqo():
     pair = build_consolidated_pair(SystemConfig(nx=0, seed=42))
     monitor = pair.attach_monitor()

@@ -3,10 +3,18 @@
 Not a paper figure — these keep an eye on the cost of the kernel, the
 processor-sharing CPU model and the full-system event rate, so the
 figure benchmarks stay tractable as the library grows.
+
+The hot-path benchmarks below reuse the workload functions from
+:mod:`repro.bench`, so pytest-benchmark and the ``BENCH_substrate.json``
+trajectory (``python -m repro bench``) measure the same code.  Shrink
+them for smoke runs with ``REPRO_BENCH_SCALE=0.25 pytest benchmarks/``.
 """
 
+from repro import bench
 from repro.cpu import Host
 from repro.sim import Simulator
+
+SCALE = bench.default_scale()
 
 
 def test_kernel_event_throughput(benchmark):
@@ -69,6 +77,30 @@ def test_cpu_model_throughput(benchmark):
 
     completed = benchmark(run)
     assert completed == 20_000
+
+
+def test_numeric_yield_fast_path(benchmark):
+    """``yield <float>`` resume rate — the allocation-free timer path."""
+    executed = benchmark(bench.bench_numeric_yield, SCALE)
+    assert executed >= 100_000 * min(SCALE, 1.0) * 0.9
+
+
+def test_acquire_release_churn_at_depth(benchmark):
+    """Grant hand-off cost with a CTQO-sized wait queue (depth 2000)."""
+    ops = benchmark(bench.bench_acquire_release_churn, SCALE)
+    assert ops >= 100
+
+
+def test_cancel_under_load(benchmark):
+    """O(1) tombstone cancellation of thousands of queued waiters."""
+    cancelled = benchmark(bench.bench_cancel_under_load, SCALE)
+    assert cancelled >= bench.QUEUE_DEPTH
+
+
+def test_store_handoff(benchmark):
+    """Store get/put rendezvous — the async servers' event-queue path."""
+    ops = benchmark(bench.bench_store_handoff, SCALE)
+    assert ops >= 100
 
 
 def test_full_system_simulation_rate(benchmark):

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Run the substrate benchmarks and append a BENCH_substrate.json entry.
+
+Thin wrapper over :mod:`repro.bench` for use without installing the
+package: it puts ``src/`` on ``sys.path`` and delegates to the same CLI
+as ``python -m repro bench``.
+
+Usage::
+
+    python scripts/bench_to_json.py [--smoke] [--only NAMES]
+                                    [--label TEXT] [--out FILE]
+"""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.bench import main  # noqa: E402  (path bootstrap above)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,323 @@
+"""Substrate benchmark harness with a machine-readable trajectory.
+
+The ROADMAP's north star ("as fast as the hardware allows") needs a
+*recorded* performance trajectory, not anecdotes: every substrate
+optimization should land together with before/after numbers that later
+PRs can compare against.  This module provides
+
+- the **workload functions** — small, deterministic exercises of the
+  kernel/process/resource hot paths (numeric-yield process switching,
+  acquire/release churn at depth 2000, cancellation under load, store
+  hand-off, and a quick ``fig01``-style end-to-end run), shared between
+  the pytest-benchmark suite (``benchmarks/test_bench_substrate.py``)
+  and the JSON trajectory writer, and
+- the **trajectory writer** — appends one entry (git revision, label,
+  per-benchmark ops/s and wall-clock) to ``BENCH_substrate.json`` so the
+  repository accumulates a comparable history of substrate performance.
+
+Run via ``python -m repro bench`` (or ``scripts/bench_to_json.py``).
+``--smoke`` shrinks the iteration counts 4x for CI-sized smoke checks;
+the equivalent environment knob is ``REPRO_BENCH_SCALE=0.25``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+from .sim import Resource, Simulator, Store
+
+__all__ = [
+    "BENCHMARKS",
+    "add_arguments",
+    "bench_acquire_release_churn",
+    "bench_cancel_under_load",
+    "bench_fig01_quick",
+    "bench_kernel_callbacks",
+    "bench_numeric_yield",
+    "bench_store_handoff",
+    "default_scale",
+    "main",
+    "run_benchmarks",
+    "run_cli",
+    "write_trajectory",
+]
+
+#: default depth for the queue-heavy workloads — the CTQO regime the
+#: paper studies is exactly "thousands of waiters per server queue".
+QUEUE_DEPTH = 2000
+
+
+def default_scale():
+    """Iteration-count multiplier from ``REPRO_BENCH_SCALE`` (default 1)."""
+    try:
+        scale = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
+def _scaled(count, scale, minimum=100):
+    return max(minimum, int(count * scale))
+
+
+# ----------------------------------------------------------------------
+# workloads — each returns the number of "operations" it performed
+# ----------------------------------------------------------------------
+def bench_kernel_callbacks(scale=1.0):
+    """Bare schedule-and-dispatch throughput of kernel callbacks."""
+    count = _scaled(200_000, scale)
+    sim = Simulator(seed=1)
+
+    def tick():
+        pass
+
+    for i in range(count):
+        sim.call_at(i * 1e-6, tick)
+    sim.run()
+    return sim.executed_events
+
+
+def bench_numeric_yield(scale=1.0):
+    """Process-switch rate for the dominant wait: ``yield <float>``."""
+    hops = _scaled(20_000, scale)
+    sim = Simulator(seed=1)
+
+    def proc():
+        for _ in range(hops):
+            yield 1e-6
+
+    for _ in range(5):
+        sim.process(proc())
+    sim.run()
+    return sim.executed_events
+
+
+def bench_acquire_release_churn(scale=1.0, depth=QUEUE_DEPTH):
+    """Admission churn with ``depth`` queued waiters (CTQO regime).
+
+    One release + one re-acquire per operation, with the wait queue held
+    at ``depth`` throughout — the per-grant cost at exactly the queue
+    depths where the paper's servers live during a millibottleneck.
+    """
+    ops = _scaled(50_000, scale)
+    sim = Simulator(seed=1)
+    res = Resource(sim, capacity=100)
+    for _ in range(100 + depth):
+        res.acquire()
+    for _ in range(ops):
+        res.release()
+        res.acquire()
+    return ops
+
+
+def bench_cancel_under_load(scale=1.0, depth=QUEUE_DEPTH):
+    """Acquire-with-timeout races: cancel ``depth`` queued waiters.
+
+    Waiters are cancelled newest-first, the worst case for a scan-based
+    ``deque.remove`` (O(n) per cancel, quadratic per round) and the
+    common shape of timeout storms, where the most recently queued
+    requests are the ones whose deadlines fire while the queue is long.
+    """
+    rounds = max(1, int(25 * scale))
+    sim = Simulator(seed=1)
+    res = Resource(sim, capacity=1)
+    res.acquire()  # exhaust capacity so every acquire below queues
+    cancelled = 0
+    for _ in range(rounds):
+        grants = [res.acquire() for _ in range(depth)]
+        for grant in reversed(grants):
+            if not res.cancel(grant):
+                raise AssertionError("cancel of a queued grant failed")
+            cancelled += 1
+        if res.queue_length != 0:
+            raise AssertionError("queue_length wrong after cancellations")
+    return cancelled
+
+
+def bench_store_handoff(scale=1.0):
+    """Store get/put rendezvous — the async servers' event-queue path."""
+    ops = _scaled(100_000, scale)
+    sim = Simulator(seed=1)
+    store = Store(sim)
+    for i in range(ops):
+        grant = store.get()
+        store.put(i)
+        if grant.value != i:
+            raise AssertionError("store hand-off broke FIFO")
+    return ops
+
+
+def bench_fig01_quick(scale=1.0):
+    """A quick ``fig01``-style end-to-end run (WL 7000, consolidation).
+
+    This is the acceptance workload for substrate speedups: the full
+    stack (workload generator, sync servers, TCP fabric, CPU model,
+    monitors) driven for a few simulated seconds.
+    """
+    from .experiments.fig01_histograms import run_one
+
+    duration = max(2.0, 6.0 * scale)
+    panel = run_one(7000, duration=duration, warmup=1.0, seed=42)
+    return len(panel["result"].log)
+
+
+#: name -> (workload, wall-clock repeats); best-of-repeats is recorded.
+BENCHMARKS = (
+    ("kernel_callbacks", bench_kernel_callbacks, 3),
+    ("numeric_yield", bench_numeric_yield, 3),
+    ("acquire_release_churn_2000", bench_acquire_release_churn, 3),
+    ("cancel_under_load_2000", bench_cancel_under_load, 3),
+    ("store_handoff", bench_store_handoff, 3),
+    ("fig01_quick", bench_fig01_quick, 3),
+)
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_benchmarks(scale=None, names=None, progress=None):
+    """Run the registry; returns a list of result dicts."""
+    if scale is None:
+        scale = default_scale()
+    results = []
+    for name, workload, repeats in BENCHMARKS:
+        if names is not None and name not in names:
+            continue
+        best = None
+        ops = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            ops = workload(scale)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        result = {
+            "name": name,
+            "ops": ops,
+            "seconds": round(best, 6),
+            "ops_per_sec": round(ops / best, 1) if best > 0 else None,
+        }
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def git_rev():
+    """Short git revision of the working tree, or ``unknown``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def write_trajectory(path, results, label, scale):
+    """Append one entry to the benchmark trajectory JSON at ``path``."""
+    trajectory = {"description": "substrate benchmark trajectory; append "
+                                 "entries with `python -m repro bench`",
+                  "entries": []}
+    if os.path.exists(path):
+        with open(path) as fh:
+            trajectory = json.load(fh)
+    entry = {
+        "label": label,
+        "git_rev": git_rev(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": sys.version.split()[0],
+        "scale": scale,
+        "results": results,
+    }
+    trajectory.setdefault("entries", []).append(entry)
+    with open(path, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    return entry
+
+
+def format_results(results):
+    lines = [f"{'benchmark':<28} {'ops':>10} {'seconds':>10} {'ops/s':>14}"]
+    for r in results:
+        ops_s = f"{r['ops_per_sec']:,.0f}" if r["ops_per_sec"] else "-"
+        lines.append(f"{r['name']:<28} {r['ops']:>10,} "
+                     f"{r['seconds']:>10.4f} {ops_s:>14}")
+    return "\n".join(lines)
+
+
+def add_arguments(parser):
+    """Install the bench options on ``parser`` (shared with ``repro bench``)."""
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized smoke run (scale 0.25, no JSON "
+                             "write unless --out is given)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="iteration-count multiplier "
+                             "(default: REPRO_BENCH_SCALE or 1.0)")
+    parser.add_argument("--label", default=None,
+                        help="label stored with the trajectory entry")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated subset of benchmark names")
+    parser.add_argument("--out", default=None,
+                        help="trajectory JSON path "
+                             "(default: BENCH_substrate.json in the repo "
+                             "root; 'none' skips writing)")
+    return parser
+
+
+def run_cli(args):
+    """Execute a parsed bench invocation; returns a process exit code."""
+    scale = args.scale
+    if scale is None:
+        scale = 0.25 if args.smoke else default_scale()
+    names = None
+    if args.only:
+        names = {n.strip() for n in args.only.split(",") if n.strip()}
+        unknown = names - {name for name, _f, _r in BENCHMARKS}
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+
+    def progress(result):
+        print(format_results([result]).splitlines()[-1])
+
+    print(f"{'benchmark':<28} {'ops':>10} {'seconds':>10} {'ops/s':>14}")
+    results = run_benchmarks(scale=scale, names=names, progress=progress)
+
+    out = args.out
+    if out is None and args.smoke:
+        out = "none"
+    if out is None:
+        # repo root = two levels above this file's package directory
+        root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        out = os.path.join(root, "BENCH_substrate.json")
+    if out != "none":
+        label = args.label or ("smoke" if args.smoke else "bench run")
+        entry = write_trajectory(out, results, label, scale)
+        print(f"\n[trajectory entry '{entry['label']}' "
+              f"(rev {entry['git_rev']}) appended to {out}]")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run the substrate benchmarks and append the results "
+                    "to the BENCH_substrate.json trajectory",
+    )
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,10 @@ Subcommands
     for any worker count given the same seeds.
 ``conditions [--rate R] [--duration S] [--depth N]``
     Evaluate the paper's §III overflow arithmetic for given parameters.
+``bench [--smoke] [--only NAMES] [--label TEXT] [--out FILE]``
+    Run the substrate micro-benchmarks (:mod:`repro.bench`) and append
+    the results to the ``BENCH_substrate.json`` trajectory; ``--smoke``
+    is the CI-sized variant (scale 0.25, no JSON write by default).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import argparse
 import os
 import sys
 
+from . import bench as bench_module
 from .core.conditions import (
     minimum_millibottleneck_duration,
     predicted_overflow,
@@ -283,6 +288,13 @@ def build_parser():
     cond_parser.add_argument("--depth", type=int, default=278)
     cond_parser.add_argument("--drain", type=float, default=0.0)
     cond_parser.set_defaults(handler=_cmd_conditions)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the substrate benchmarks and record the trajectory",
+    )
+    bench_module.add_arguments(bench_parser)
+    bench_parser.set_defaults(handler=bench_module.run_cli)
     return parser
 
 

@@ -36,8 +36,9 @@ allocation but completes work at ``allocation * efficiency(n_jobs)``.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop as _heappop
 
-from ..sim.events import Event
+from ..sim.events import SlimEvent
 
 __all__ = ["Host", "Vm", "Job"]
 
@@ -58,7 +59,7 @@ class Job:
         self.work = work
         self.target = vm._progress + work  # virtual-progress finish line
         self.done = done
-        self.submitted_at = vm.host.sim.now
+        self.submitted_at = vm.sim.now
 
     @property
     def remaining(self):
@@ -95,6 +96,9 @@ class Vm:
         if limit is not None and limit <= 0:
             raise ValueError(f"limit must be positive, got {limit}")
         self.host = host
+        #: plain attribute (not a property): read on every job submit,
+        #: accounting update and freeze check
+        self.sim = host.sim
         self.name = name
         self.vcpus = vcpus
         self.shares = shares
@@ -104,6 +108,7 @@ class Vm:
         #: "cpulimit" column of the paper's Fig 13).  None = uncapped.
         self.limit = limit
         self.frozen_until = 0.0
+        self._job_event_name = f"{name}.job"
         # cumulative accounting
         self.consumed = 0.0
         self.iowait = 0.0
@@ -118,10 +123,6 @@ class Vm:
         self._seq = 0
 
     # ------------------------------------------------------------------
-    @property
-    def sim(self):
-        return self.host.sim
-
     @property
     def is_frozen(self):
         return self.sim.now < self.frozen_until
@@ -156,7 +157,7 @@ class Vm:
         """
         if work < 0:
             raise ValueError(f"negative work {work!r}")
-        done = Event(self.sim, name=f"{self.name}.job")
+        done = SlimEvent(self.sim, name=self._job_event_name)
         if work <= _WORK_EPSILON:
             done.succeed(None)
             return done
@@ -215,14 +216,39 @@ class Host:
     # ------------------------------------------------------------------
     def _reallocate(self):
         """Weighted water-filling of ``cores`` across VM demands."""
+        # Vm.demand() is inlined here (same arithmetic): this runs on
+        # every job arrival/completion, for every VM.
         pending = []
+        now = self.sim.now
         for vm in self.vms:
-            d = vm.demand()
-            if d > 0:
-                pending.append((vm, d))
+            heap = vm._heap
+            if not heap or now < vm.frozen_until:
+                vm._alloc = 0.0
+                continue
+            n = len(heap)
+            d = float(n if n <= vm.vcpus else vm.vcpus)
+            limit = vm.limit
+            if limit is not None and limit < d:
+                d = limit
+            pending.append((vm, d))
+        if not pending:
+            return
+        remaining = float(self.cores)
+        if len(pending) == 1:
+            # Dominant case in steady state: one VM demanding.  The
+            # arithmetic mirrors the general loop exactly (including the
+            # shares/shares fair-share division) so allocations stay
+            # byte-identical with the water-filling below.
+            vm, d = pending[0]
+            if remaining > 1e-15:
+                fair = remaining * vm.shares / vm.shares
+                vm._alloc = d if fair >= d - 1e-15 else fair
             else:
                 vm._alloc = 0.0
-        remaining = float(self.cores)
+            return
+        self._reallocate_general(pending, remaining)
+
+    def _reallocate_general(self, pending, remaining):
         # Iteratively cap VMs whose fair share exceeds their demand and
         # redistribute the leftovers by weight.
         while pending and remaining > 1e-15:
@@ -258,24 +284,32 @@ class Host:
             return []
         finished = []
         for vm in self.vms:
-            if vm.is_frozen or now == vm.frozen_until:
-                # Freezes trigger updates at both boundaries, so the whole
-                # elapsed interval was frozen for this VM.
-                if vm._heap:
+            heap = vm._heap
+            # `now <= frozen_until` == `is_frozen or now == frozen_until`:
+            # freezes trigger updates at both boundaries, so the whole
+            # elapsed interval was frozen for this VM.
+            if now <= vm.frozen_until:
+                if heap:
                     vm.iowait += elapsed
                 continue
-            if vm._heap:
-                # guest-perceived demand: runnable whether granted or not
-                vm.runnable += min(len(vm._heap), vm.vcpus) * elapsed
-            if not vm._heap or vm._alloc <= 0:
+            if not heap:
                 continue
-            vm.consumed += vm._alloc * elapsed
-            self.busy += vm._alloc * elapsed
-            eff = vm.current_efficiency()
-            vm.effective += vm._alloc * eff * elapsed
-            vm._progress += (vm._alloc / len(vm._heap)) * eff * elapsed
-            while vm._heap and vm._heap[0][0] <= vm._progress + _WORK_EPSILON:
-                _target, _seq, job = heapq.heappop(vm._heap)
+            n = len(heap)
+            # guest-perceived demand: runnable whether granted or not
+            vm.runnable += (n if n <= vm.vcpus else vm.vcpus) * elapsed
+            alloc = vm._alloc
+            if alloc <= 0:
+                continue
+            used = alloc * elapsed
+            vm.consumed += used
+            self.busy += used
+            efficiency = vm.efficiency
+            eff = 1.0 if efficiency is None else efficiency(n)
+            vm.effective += alloc * eff * elapsed
+            vm._progress = progress = vm._progress + (alloc / n) * eff * elapsed
+            limit = progress + _WORK_EPSILON
+            while heap and heap[0][0] <= limit:
+                _target, _seq, job = _heappop(heap)
                 vm.jobs_completed += 1
                 finished.append(job)
         return finished
@@ -297,7 +331,11 @@ class Host:
                 finished = self._advance()
                 for job in finished:
                     job.done.succeed(job)
-                if not self._dirty and not finished:
+                # every mutation a completion callback can make (execute,
+                # freeze) funnels through a nested _update and sets
+                # _dirty, so a clean flag means the job set is stable —
+                # no need for a confirming zero-elapsed advance pass
+                if not self._dirty:
                     break
         finally:
             self._updating = False
@@ -328,15 +366,22 @@ class Host:
         """Schedule an update at the earliest projected job completion."""
         self._completion_version += 1
         version = self._completion_version
+        now = self.sim.now
         horizon = None
         for vm in self.vms:
-            if vm.is_frozen or not vm._heap or vm._alloc <= 0:
+            heap = vm._heap
+            if not heap or vm._alloc <= 0 or now < vm.frozen_until:
                 continue
-            rate = (vm._alloc / len(vm._heap)) * vm.current_efficiency()
+            n = len(heap)
+            efficiency = vm.efficiency
+            eff = 1.0 if efficiency is None else efficiency(n)
+            rate = (vm._alloc / n) * eff
             if rate <= 0:
                 continue
-            head_remaining = max(0.0, vm._heap[0][0] - vm._progress)
-            eta = self.sim.now + head_remaining / rate
+            head_remaining = heap[0][0] - vm._progress
+            if head_remaining < 0.0:
+                head_remaining = 0.0
+            eta = now + head_remaining / rate
             if horizon is None or eta < horizon:
                 horizon = eta
         if horizon is not None:

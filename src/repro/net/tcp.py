@@ -28,7 +28,7 @@ after the original — matching the observed 3/6/9-second clusters.
 
 from __future__ import annotations
 
-from ..sim.events import Event
+from ..sim.events import SlimEvent
 from ..sim.resources import Store
 
 __all__ = ["ConnectionTimeout", "Exchange", "Listener", "NetworkFabric"]
@@ -76,7 +76,9 @@ class Exchange:
         self.fabric = fabric
         self.listener = listener
         self.payload = payload
-        self.response = Event(fabric.sim, name=f"rsp:{listener.name}")
+        # slim event (single waiter) with the listener's precomputed
+        # label — one f-string per exchange otherwise
+        self.response = SlimEvent(fabric.sim, name=listener._response_name)
         self.first_sent_at = None
         self.attempts = 0
         self.drops = []
@@ -95,10 +97,13 @@ class Exchange:
         """
         if self.replied_at is not None:
             raise RuntimeError(f"exchange to {self.listener.name} replied twice")
-        self.replied_at = self.fabric.sim.now
-        self.fabric.sim.call_in(
-            self.fabric._propagation(), self.response.succeed, value
-        )
+        fabric = self.fabric
+        sim = fabric.sim
+        self.replied_at = sim.now
+        # jitter-free fast path: skip the _propagation() call per packet
+        latency = (fabric.latency if fabric._jitter_rng is None
+                   else fabric._propagation())
+        sim.call_in(latency, self.response.succeed, value)
 
     def __repr__(self):
         return (
@@ -125,6 +130,7 @@ class Listener:
         self.sim = sim
         self.name = name
         self.backlog = backlog
+        self._response_name = f"rsp:{name}"
         self.accept_queue = Store(sim, capacity=backlog, name=f"{name}.backlog")
         self.acceptor = None
         #: optional callable invoked after every packet delivery/drop —
@@ -255,7 +261,9 @@ class NetworkFabric:
     def _transmit(self, exchange):
         exchange.attempts += 1
         self.packets_sent += 1
-        self.sim.call_in(self._propagation(), self._arrive, exchange)
+        latency = (self.latency if self._jitter_rng is None
+                   else self._propagation())
+        self.sim.call_in(latency, self._arrive, exchange)
 
     def _arrive(self, exchange):
         if exchange.listener.deliver(exchange):

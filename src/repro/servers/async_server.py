@@ -184,21 +184,21 @@ class AsyncServer(BaseServer):
         """Fire a downstream call; the response callback re-enqueues the
         task — no worker is held while the call is outstanding."""
         request = task.exchange.payload
-        route = self.downstream.get(step.target)
+        route = self._routes.get(step.target)
         if route is None:
             task.throw_value = ServletError(
                 f"{self.name} has no route to tier {step.target!r}"
             )
             self._ready.put(task)
             return
-        target_listener = route.next()
+        replicas, pool, route_label = route
+        target_listener = replicas.next()
         self.stats.downstream_calls += 1
-        pool = self.pools.get(step.target)
 
         def do_send(_grant=None):
             sub = request.child(step.operation, self.sim.now,
                                 work_hint=step.work_hint)
-            sub.record(self.sim.now, "call", f"{self.name}->{step.target}")
+            sub.record(self.sim.now, "call", route_label)
             exchange = self.fabric.send(target_listener, sub)
             exchange.response.add_callback(on_response)
 

@@ -98,6 +98,13 @@ class BaseServer:
         self.ctx = ServletContext(name, sim, sim.fork_rng(f"server/{name}"))
         self.downstream = {}
         self.pools = {}
+        #: target -> "<this server>-><target>" trace label, precomputed
+        #: in connect(): building it per downstream call is pure hot-path
+        #: allocation (once per request per hop).
+        self.route_labels = {}
+        #: target -> (round-robin, pool-or-None, label): one dict lookup
+        #: per downstream call instead of three.
+        self._routes = {}
         self.stats = ServerStats()
 
     # ------------------------------------------------------------------
@@ -123,10 +130,14 @@ class BaseServer:
             self.downstream[target] = _RoundRobin(listeners)
         else:
             self.downstream[target] = _RoundRobin([listener])
+        self.route_labels[target] = f"{self.name}->{target}"
         if pool_size is not None:
             self.pools[target] = Resource(
                 self.sim, pool_size, name=f"{self.name}->{target}.pool"
             )
+        self._routes[target] = (self.downstream[target],
+                                self.pools.get(target),
+                                self.route_labels[target])
         return self
 
     # ------------------------------------------------------------------
@@ -156,31 +167,37 @@ class BaseServer:
         both server types delegate here, differing only in what resource
         is held while the driver runs.
         """
+        # locals bound once per request: the loop below resumes for every
+        # CPU stage and downstream call of every request on every tier
+        sim = self.sim
         request = exchange.payload
-        request.record(self.sim.now, "start", self.name)
+        request.record(sim.now, "start", self.name)
         gen = self.handler(self.ctx, request)
+        send = gen.send
+        throw = gen.throw
+        execute = self.vm.execute
         to_send = None
         to_throw = None
         while True:
             try:
                 if to_throw is not None:
-                    step = gen.throw(to_throw)
+                    step = throw(to_throw)
                 else:
-                    step = gen.send(to_send)
+                    step = send(to_send)
             except StopIteration as stop:
-                request.record(self.sim.now, "reply", self.name)
+                request.record(sim.now, "reply", self.name)
                 exchange.reply(Response.success(stop.value))
                 self.stats.completed += 1
                 return
             except ServletError as exc:
-                request.record(self.sim.now, "error", f"{self.name}: {exc}")
+                request.record(sim.now, "error", f"{self.name}: {exc}")
                 exchange.reply(Response.failure(str(exc)))
                 self.stats.failed += 1
                 return
             to_send = None
             to_throw = None
             if isinstance(step, Compute):
-                yield self.vm.execute(step.work)
+                yield execute(step.work)
             elif isinstance(step, Call):
                 try:
                     to_send = yield from self._invoke(step, request)
@@ -199,19 +216,19 @@ class BaseServer:
         packets exhausted retransmissions) or the downstream replied
         with an error.
         """
-        try:
-            target_listener = self.downstream[step.target].next()
-        except KeyError:
+        route = self._routes.get(step.target)
+        if route is None:
             raise ServletError(
                 f"{self.name} has no route to tier {step.target!r}"
-            ) from None
-        pool = self.pools.get(step.target)
+            )
+        replicas, pool, label = route
+        target_listener = replicas.next()
         self.stats.downstream_calls += 1
         if pool is not None:
             yield pool.acquire()
         try:
             sub = request.child(step.operation, self.sim.now, work_hint=step.work_hint)
-            sub.record(self.sim.now, "call", f"{self.name}->{step.target}")
+            sub.record(self.sim.now, "call", label)
             exchange = self.fabric.send(target_listener, sub)
             try:
                 response = yield exchange.response

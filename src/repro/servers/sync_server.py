@@ -70,13 +70,17 @@ class SyncServer(BaseServer):
     # ------------------------------------------------------------------
     def _worker(self):
         """One server thread: accept, drive the servlet, repeat."""
+        accept = self.listener.accept
+        stats = self.stats
+        note_depth = self._note_queue_depth
+        drive = self._drive
         while True:
-            exchange = yield self.listener.accept()
-            self.stats.arrivals += 1
+            exchange = yield accept()
+            stats.arrivals += 1
             self.busy_threads += 1
-            self._note_queue_depth()
+            note_depth()
             try:
-                yield from self._drive(exchange)
+                yield from drive(exchange)
             finally:
                 self.busy_threads -= 1
 

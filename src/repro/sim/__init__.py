@@ -16,7 +16,7 @@ from .errors import (
     SimulationError,
     StaleEventError,
 )
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Event, Grant, SlimEvent, Timeout
 from .kernel import Simulator
 from .process import Process
 from .resources import Gauge, Resource, Store
@@ -27,6 +27,7 @@ __all__ = [
     "AnyOf",
     "Event",
     "Gauge",
+    "Grant",
     "KernelTracer",
     "Process",
     "ProcessInterrupt",
@@ -34,6 +35,7 @@ __all__ = [
     "SimulationDeadlock",
     "SimulationError",
     "Simulator",
+    "SlimEvent",
     "StaleEventError",
     "Store",
     "Timeout",

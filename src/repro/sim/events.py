@@ -9,13 +9,23 @@ simulated instant.
 Events are the only synchronization primitive the kernel knows about;
 timeouts, process termination, resource grants and condition variables are
 all expressed as events.
+
+Hot-path notes
+--------------
+Millions of events per experiment live and die without anyone ever
+reading their label, so names are **lazy**: ``name`` may be a string, a
+zero-argument factory resolved on first read, or (for :class:`Grant`)
+derived from the owning resource only when ``repr`` or an error needs
+it.  :class:`SlimEvent` additionally skips the per-event callback *list*
+— the overwhelmingly common case is exactly one subscriber (the process
+or continuation waiting on the grant), which is stored directly.
 """
 
 from __future__ import annotations
 
 from .errors import StaleEventError
 
-__all__ = ["Event", "Timeout", "AnyOf", "AllOf"]
+__all__ = ["AllOf", "AnyOf", "Event", "Grant", "SlimEvent", "Timeout"]
 
 _PENDING = 0
 _SUCCEEDED = 1
@@ -30,18 +40,36 @@ class Event:
     sim:
         The owning :class:`~repro.sim.kernel.Simulator`.
     name:
-        Optional human-readable label used in ``repr`` and error messages.
+        Optional human-readable label used in ``repr`` and error
+        messages.  May be a string or a zero-argument callable resolved
+        (and cached) on first read, so hot paths never pay for a label
+        nobody looks at.
     """
 
-    __slots__ = ("sim", "name", "_state", "_value", "callbacks")
+    __slots__ = ("sim", "_name", "_state", "_value", "callbacks")
 
     def __init__(self, sim, name=None):
         self.sim = sim
-        self.name = name
+        self._name = name
         self._state = _PENDING
         self._value = None
         #: list of ``fn(event)`` invoked, in order, when the event triggers.
         self.callbacks = []
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    @property
+    def name(self):
+        """The label; lazy factories are resolved and cached here."""
+        name = self._name
+        if name is not None and not isinstance(name, str):
+            name = self._name = name()
+        return name
+
+    @name.setter
+    def name(self, value):
+        self._name = value
 
     # ------------------------------------------------------------------
     # state inspection
@@ -76,7 +104,15 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value=None):
         """Trigger the event successfully and run callbacks immediately."""
-        self._trigger(_SUCCEEDED, value)
+        # _trigger is inlined here (and in fail): one call frame per
+        # trigger matters at millions of triggers per experiment
+        if self._state != _PENDING:
+            raise StaleEventError(f"{self!r} triggered twice")
+        self._state = _SUCCEEDED
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
         return self
 
     def fail(self, exception):
@@ -120,6 +156,100 @@ class Event:
         return f"<{label} {state} at t={self.sim.now:.6f}>"
 
 
+class SlimEvent(Event):
+    """An event optimized for the zero-or-one-callback case.
+
+    ``callbacks`` holds ``None`` (no subscriber yet), a single callable,
+    or a list once a second subscriber appears — the per-event list
+    allocation is skipped on the grant/job/response hot paths, where the
+    only subscriber is the one waiter that created the event.  The
+    observable contract (registration order, synchronous delivery after
+    trigger) is identical to :class:`Event`.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim, name=None):
+        self.sim = sim
+        self._name = name
+        self._state = _PENDING
+        self._value = None
+        self.callbacks = None
+
+    def add_callback(self, callback):
+        if self._state != _PENDING:
+            callback(self)
+            return self
+        existing = self.callbacks
+        if existing is None:
+            self.callbacks = callback
+        elif type(existing) is list:
+            existing.append(callback)
+        else:
+            self.callbacks = [existing, callback]
+        return self
+
+    def succeed(self, value=None):
+        if self._state != _PENDING:
+            raise StaleEventError(f"{self!r} triggered twice")
+        self._state = _SUCCEEDED
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
+        return self
+
+    def _trigger(self, state, value):
+        if self._state != _PENDING:
+            raise StaleEventError(f"{self!r} triggered twice")
+        self._state = state
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(self)
+            else:
+                callbacks(self)
+
+
+class Grant(SlimEvent):
+    """A queued admission handed out by ``Resource.acquire`` / ``Store.get``.
+
+    Carries its owner so the label (``"<owner>.acquire"``) is built only
+    if ``repr`` or an error message ever asks for it — one f-string per
+    request admission otherwise — plus the ``cancelled`` tombstone flag
+    that makes withdrawal O(1) (see :meth:`Resource.cancel`).
+    """
+
+    __slots__ = ("owner", "_suffix", "cancelled")
+
+    def __init__(self, sim, owner, suffix):
+        self.sim = sim
+        self._name = None
+        self._state = _PENDING
+        self._value = None
+        self.callbacks = None
+        self.owner = owner
+        self._suffix = suffix
+        self.cancelled = False
+
+    @property
+    def name(self):
+        name = self._name
+        if name is None:
+            name = self._name = f"{self.owner.name}{self._suffix}"
+        return name
+
+    @name.setter
+    def name(self, value):
+        self._name = value
+
+
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
@@ -128,9 +258,20 @@ class Timeout(Event):
     def __init__(self, sim, delay, value=None, name=None):
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=name or f"Timeout({delay})")
+        super().__init__(sim, name=name)
         self.delay = delay
         sim.call_in(delay, self.succeed, value)
+
+    @property
+    def name(self):
+        name = self._name
+        if name is None:
+            name = self._name = f"Timeout({self.delay})"
+        return name
+
+    @name.setter
+    def name(self, value):
+        self._name = value
 
 
 class _Composite(Event):

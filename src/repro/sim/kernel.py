@@ -1,10 +1,15 @@
 """The discrete-event simulation kernel.
 
 The kernel is a classic event-heap design: a priority queue of
-``(time, priority, sequence, callback)`` entries.  The monotonically
-increasing sequence number makes execution order fully deterministic for
-entries scheduled at the same instant, which in turn makes every
-experiment in this repository reproducible bit-for-bit from its seed.
+``(time, key, callback, args)`` entries, where ``key`` folds the
+scheduling priority and a monotonically increasing sequence number into
+a single integer (``priority * 2**52 + sequence``).  Ties at the same
+instant therefore break on priority first, then insertion order —
+exactly the old ``(priority, sequence)`` lexicographic order — but each
+entry is one tuple slot smaller and each heap sift compares one int
+instead of two, on a path that runs millions of times per experiment.
+The deterministic tie-break makes every experiment in this repository
+reproducible bit-for-bit from its seed.
 
 Time is a float measured in **seconds** of simulated time.  All latencies
 in the paper are quoted in milliseconds; helpers in
@@ -26,6 +31,10 @@ __all__ = ["Simulator"]
 # per experiment, and the attribute lookups dominate its cost
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+
+# Priority occupies the high bits of the heap tie-break key; 2**52
+# sequence numbers (~4.5e15 events) fit below it without collision.
+_PRIORITY_STRIDE = 1 << 52
 
 
 class Simulator:
@@ -62,6 +71,13 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _scheduling_error(self, what):
+        """Shared constructor for past-scheduling errors (one message
+        shape for ``call_at`` and ``call_in``)."""
+        return ValueError(
+            f"cannot schedule {what}: current time is {self.now}"
+        )
+
     def call_at(self, when, callback, *args, priority=0):
         """Schedule ``callback(*args)`` at absolute simulated time ``when``.
 
@@ -72,11 +88,11 @@ class Simulator:
         instant's state changes settle.
         """
         if when < self.now:
-            raise ValueError(
-                f"cannot schedule at t={when}, current time is {self.now}"
-            )
+            raise self._scheduling_error(f"at t={when} (in the past)")
         self._sequence = sequence = self._sequence + 1
-        _heappush(self._heap, (when, priority, sequence, callback, args))
+        if priority:
+            sequence += priority * _PRIORITY_STRIDE
+        _heappush(self._heap, (when, sequence, callback, args))
 
     def call_in(self, delay, callback, *args, priority=0):
         """Schedule ``callback(*args)`` after ``delay`` seconds.
@@ -85,13 +101,12 @@ class Simulator:
         through :meth:`call_at` — this is the kernel's hottest entry
         point (every timeout, service completion and network hop).
         """
-        when = self.now + delay
-        if when < self.now:
-            raise ValueError(
-                f"cannot schedule at t={when}, current time is {self.now}"
-            )
+        if delay < 0:
+            raise self._scheduling_error(f"a negative delay ({delay!r})")
         self._sequence = sequence = self._sequence + 1
-        _heappush(self._heap, (when, priority, sequence, callback, args))
+        if priority:
+            sequence += priority * _PRIORITY_STRIDE
+        _heappush(self._heap, (self.now + delay, sequence, callback, args))
 
     # ------------------------------------------------------------------
     # event / process factories
@@ -136,7 +151,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self):
         """Execute the single next scheduled callback. Returns its time."""
-        when, _priority, _seq, callback, args = _heappop(self._heap)
+        when, _key, callback, args = _heappop(self._heap)
         self.now = when
         self.executed_events += 1
         callback(*args)
@@ -168,12 +183,19 @@ class Simulator:
                 if until is not None and heap[0][0] > until:
                     break
                 step()
+        elif until is None:
+            pop = _heappop
+            while heap and not self._stopped:
+                when, _key, callback, args = pop(heap)
+                self.now = when
+                self.executed_events += 1
+                callback(*args)
         else:
             pop = _heappop
             while heap and not self._stopped:
-                if until is not None and heap[0][0] > until:
+                if heap[0][0] > until:
                     break
-                when, _priority, _seq, callback, args = pop(heap)
+                when, _key, callback, args = pop(heap)
                 self.now = when
                 self.executed_events += 1
                 callback(*args)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from types import GeneratorType
 
 from .errors import ProcessInterrupt
-from .events import Event
+from .events import _FAILED, _PENDING, Event
 
 __all__ = ["Process"]
 
@@ -30,7 +30,8 @@ __all__ = ["Process"]
 class Process(Event):
     """A running simulated process.  Create via ``sim.process(gen)``."""
 
-    __slots__ = ("generator", "_waiting_on")
+    __slots__ = ("generator", "_send", "_gthrow", "_resume_cb",
+                 "_waiting_on", "_timer_token")
 
     def __init__(self, sim, generator, name=None):
         if not isinstance(generator, GeneratorType):
@@ -38,12 +39,24 @@ class Process(Event):
                 f"sim.process() needs a generator, got {type(generator).__name__}; "
                 "did you forget to call the generator function?"
             )
-        super().__init__(sim, name=name or generator.__name__)
+        # Event.__init__ inlined: thousands of processes are created per
+        # experiment (one per closed-loop client)
+        self.sim = sim
+        self._name = name or generator.__name__
+        self._state = _PENDING
+        self._value = None
+        self.callbacks = []
         self.generator = generator
+        # bound once: resumes happen millions of times per experiment,
+        # and each `self.generator.send` lookup builds a bound method
+        self._send = generator.send
+        self._gthrow = generator.throw
+        self._resume_cb = self._resume  # one bound method, not one per wait
         self._waiting_on = None
+        self._timer_token = 0
         # Start on a fresh kernel tick so creation order does not matter
         # within an instant.
-        sim.call_in(0.0, self._resume, None)
+        sim.call_in(0.0, self._resume_cb, None)
 
     @property
     def is_alive(self):
@@ -66,17 +79,20 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _resume(self, event):
         """Advance the generator with the value of the triggered event."""
-        if self.triggered:
+        if self._state != _PENDING:
             return  # interrupted while a stale wakeup was in flight
-        if event is not None and event is not self._waiting_on:
-            return  # stale wakeup from an abandoned wait
-        self._waiting_on = None
-        if event is not None and event.failed:
-            self._throw(event.value)
-            return
-        value = event.value if event is not None else None
+        if event is not None:
+            if event is not self._waiting_on:
+                return  # stale wakeup from an abandoned wait
+            self._waiting_on = None
+            if event._state == _FAILED:
+                self._throw(event._value)
+                return
+            value = event._value
+        else:
+            value = None
         try:
-            target = self.generator.send(value)
+            target = self._send(value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -93,7 +109,27 @@ class Process(Event):
             return
         self._waiting_on = None
         try:
-            target = self.generator.throw(exception)
+            target = self._gthrow(exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as exc:
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _resume_timer(self, token):
+        """Wake from a numeric-delay wait scheduled by :meth:`_wait_for`.
+
+        ``token`` identifies the wait: a stale wakeup (the process was
+        interrupted, finished, or moved on to a newer wait) carries an
+        older token and is ignored.
+        """
+        if token != self._waiting_on:
+            return
+        self._waiting_on = None
+        try:
+            target = self._send(None)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -104,18 +140,34 @@ class Process(Event):
 
     def _wait_for(self, target):
         """Interpret a yielded value and arrange the next wakeup."""
-        if isinstance(target, (int, float)):
-            target = self.sim.timeout(target)
-        if not isinstance(target, Event):
-            self._throw(
-                TypeError(
-                    f"process {self.name!r} yielded {target!r}; expected an "
-                    "Event, a Process, or a numeric delay"
+        # Events are checked first: server processes wait on events
+        # (grants, job completions, responses) far more often than on
+        # bare delays.
+        if isinstance(target, Event):
+            if target is self:
+                self._throw(
+                    ValueError(f"process {self.name!r} waiting on itself")
                 )
+                return
+            self._waiting_on = target
+            target.add_callback(self._resume_cb)
+            return
+        if isinstance(target, (int, float)):
+            # Fast path for ``yield <delay>``: resume directly via the
+            # kernel instead of constructing a Timeout event (object +
+            # label + callback list + trigger pass) per tick.  The wakeup
+            # lands at the same (time, priority, sequence) slot a
+            # Timeout's would, so event ordering — and with it every RNG
+            # draw — is unchanged.
+            if target < 0:
+                raise ValueError(f"negative timeout delay {target!r}")
+            self._timer_token = token = self._timer_token + 1
+            self._waiting_on = token
+            self.sim.call_in(target, self._resume_timer, token)
+            return
+        self._throw(
+            TypeError(
+                f"process {self.name!r} yielded {target!r}; expected an "
+                "Event, a Process, or a numeric delay"
             )
-            return
-        if target is self:
-            self._throw(ValueError(f"process {self.name!r} waiting on itself"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        )

@@ -11,13 +11,20 @@ Two primitives cover everything the server models need:
 
 Both hand out grants as events, so they compose with timeouts via
 ``sim.any_of`` (e.g. "acquire a connection or give up after 500 ms").
+
+Cancellation is O(1): ``cancel`` tombstones the grant in place instead
+of scanning the wait queue (``deque.remove`` is O(n), which turns an
+acquire-with-timeout storm at the paper's CTQO queue depths — thousands
+of waiters — into a quadratic cliff).  Tombstoned grants are skipped
+and discarded when they reach the head of the queue, so FIFO order
+among live waiters is unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from .events import Event
+from .events import Grant
 
 __all__ = ["Resource", "Store", "Gauge"]
 
@@ -43,6 +50,8 @@ class Resource:
         self.name = name or "resource"
         self.in_use = 0
         self._waiters = deque()
+        # tombstoned (cancelled) grants still sitting in _waiters
+        self._cancelled = 0
 
     @property
     def available(self):
@@ -51,12 +60,12 @@ class Resource:
 
     @property
     def queue_length(self):
-        """Number of pending acquire requests."""
-        return len(self._waiters)
+        """Number of pending (non-cancelled) acquire requests."""
+        return len(self._waiters) - self._cancelled
 
     def acquire(self):
         """Request a unit; the returned event succeeds when granted."""
-        grant = Event(self.sim, name=f"{self.name}.acquire")
+        grant = Grant(self.sim, self, ".acquire")
         if self.in_use < self.capacity:
             self.in_use += 1
             grant.succeed(self)
@@ -72,36 +81,62 @@ class Resource:
         return False
 
     def release(self):
-        """Return a unit, granting the oldest waiter if any."""
+        """Return a unit, granting the oldest live waiter if any."""
         if self.in_use <= 0:
             raise RuntimeError(f"{self.name}: release() without acquire()")
-        if self._waiters:
-            grant = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            grant = waiters.popleft()
+            if grant.cancelled:
+                self._cancelled -= 1
+                continue
             grant.succeed(self)  # unit moves directly to the waiter
-        else:
-            self.in_use -= 1
+            return
+        self.in_use -= 1
 
     def cancel(self, grant):
-        """Withdraw a pending acquire (e.g. its timeout fired first)."""
-        try:
-            self._waiters.remove(grant)
-            return True
-        except ValueError:
+        """Withdraw a pending acquire (e.g. its timeout fired first).
+
+        O(1): the grant is tombstoned in place and discarded when it
+        reaches the head of the wait queue.  Returns False for grants
+        that were already granted, already cancelled, or belong to a
+        different resource.
+        """
+        if (
+            not isinstance(grant, Grant)
+            or grant.owner is not self
+            or grant.cancelled
+            or grant.triggered
+        ):
             return False
+        grant.cancelled = True
+        self._cancelled += 1
+        # Trim tombstones at the head so a cancel storm cannot leave the
+        # deque holding only dead entries.
+        waiters = self._waiters
+        while waiters and waiters[0].cancelled:
+            waiters.popleft()
+            self._cancelled -= 1
+        return True
 
     def grow(self, extra):
         """Add capacity at runtime (Apache spawning a second process)."""
         if extra < 0:
             raise ValueError("grow() takes a non-negative amount")
         self.capacity += extra
-        while self._waiters and self.in_use < self.capacity:
+        waiters = self._waiters
+        while waiters and self.in_use < self.capacity:
+            grant = waiters.popleft()
+            if grant.cancelled:
+                self._cancelled -= 1
+                continue
             self.in_use += 1
-            self._waiters.popleft().succeed(self)
+            grant.succeed(self)
 
     def __repr__(self):
         return (
             f"<Resource {self.name} {self.in_use}/{self.capacity} "
-            f"waiting={len(self._waiters)}>"
+            f"waiting={self.queue_length}>"
         )
 
 
@@ -121,6 +156,8 @@ class Store:
         self.name = name or "store"
         self.items = deque()
         self._getters = deque()
+        # tombstoned (cancelled) grants still sitting in _getters
+        self._cancelled = 0
 
     def __len__(self):
         return len(self.items)
@@ -129,10 +166,20 @@ class Store:
     def is_full(self):
         return self.capacity is not None and len(self.items) >= self.capacity
 
+    @property
+    def getters_waiting(self):
+        """Number of pending (non-cancelled) get requests."""
+        return len(self._getters) - self._cancelled
+
     def put(self, item):
         """Append an item; False if the store is at capacity."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getters = self._getters
+        while getters:
+            grant = getters.popleft()
+            if grant.cancelled:
+                self._cancelled -= 1
+                continue
+            grant.succeed(item)
             return True
         if self.is_full:
             return False
@@ -141,7 +188,7 @@ class Store:
 
     def get(self):
         """Event that succeeds with the next item (FIFO among getters)."""
-        grant = Event(self.sim, name=f"{self.name}.get")
+        grant = Grant(self.sim, self, ".get")
         if self.items:
             grant.succeed(self.items.popleft())
         else:
@@ -158,13 +205,23 @@ class Store:
         """Withdraw a pending get (e.g. its waiter was interrupted).
 
         Without cancellation, an item put later would be handed to the
-        abandoned getter and silently lost.
+        abandoned getter and silently lost.  O(1) via the same tombstone
+        scheme as :meth:`Resource.cancel`.
         """
-        try:
-            self._getters.remove(grant)
-            return True
-        except ValueError:
+        if (
+            not isinstance(grant, Grant)
+            or grant.owner is not self
+            or grant.cancelled
+            or grant.triggered
+        ):
             return False
+        grant.cancelled = True
+        self._cancelled += 1
+        getters = self._getters
+        while getters and getters[0].cancelled:
+            getters.popleft()
+            self._cancelled -= 1
+        return True
 
     def __repr__(self):
         cap = "inf" if self.capacity is None else self.capacity
@@ -176,7 +233,10 @@ class Gauge:
 
     Cheap synchronous observer list; observers are called as
     ``fn(gauge, old, new)`` whenever :meth:`set` or :meth:`add` changes
-    the value.
+    the value.  Notification iterates a snapshot of the observer list,
+    so an observer that adds or removes observers mid-notification
+    cannot make others skip or double-fire; observers registered during
+    a notification first fire on the *next* change.
     """
 
     def __init__(self, value=0, name=None):
@@ -188,12 +248,16 @@ class Gauge:
         self._observers.append(fn)
         return fn
 
+    def unwatch(self, fn):
+        """Remove a previously registered observer."""
+        self._observers.remove(fn)
+
     def set(self, new):
         old = self.value
         if new == old:
             return
         self.value = new
-        for fn in self._observers:
+        for fn in tuple(self._observers):
             fn(self, old, new)
 
     def add(self, delta):

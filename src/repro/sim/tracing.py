@@ -42,7 +42,7 @@ class KernelTracer:
     def _label_of(self):
         """Human-readable label of the next heap entry."""
         entry = self.sim._heap[0]
-        callback = entry[3]
+        callback = entry[2]
         bound_self = getattr(callback, "__self__", None)
         name = getattr(callback, "__qualname__",
                        getattr(callback, "__name__", repr(callback)))

@@ -176,3 +176,135 @@ def test_gauge_notifies_on_change():
     g.set(3)  # no change -> no notification
     assert seen == [(0, 5), (5, 3)]
     assert g.value == 3
+
+
+def test_gauge_observer_unwatching_during_notification():
+    """set() iterates a snapshot: an observer removing itself (or a
+    peer) mid-notification must not make other observers skip a change."""
+    g = Gauge(0)
+    seen = []
+
+    def flighty(gauge, old, new):
+        seen.append(("flighty", old, new))
+        g.unwatch(flighty)  # de-registers itself on first notification
+
+    def steady(gauge, old, new):
+        seen.append(("steady", old, new))
+
+    g.watch(flighty)
+    g.watch(steady)
+    g.set(1)
+    assert seen == [("flighty", 0, 1), ("steady", 0, 1)]
+    g.set(2)  # flighty is gone; steady still fires
+    assert seen[-1] == ("steady", 1, 2)
+    assert len(seen) == 3
+
+
+def test_gauge_observer_added_during_notification_fires_next_change():
+    g = Gauge(0)
+    seen = []
+
+    def late(gauge, old, new):
+        seen.append(("late", old, new))
+
+    def recruiter(gauge, old, new):
+        seen.append(("recruiter", old, new))
+        if late not in g._observers:
+            g.watch(late)
+
+    g.watch(recruiter)
+    g.set(1)  # late registered mid-notification: must NOT fire for 0->1
+    assert seen == [("recruiter", 0, 1)]
+    g.set(2)
+    assert seen[1:] == [("recruiter", 1, 2), ("late", 1, 2)]
+
+
+# ----------------------------------------------------------------------
+# cancellation semantics under many waiters (tombstone scheme)
+# ----------------------------------------------------------------------
+def test_resource_fifo_preserved_across_tombstones(sim):
+    """Cancelling interior waiters must not reorder the survivors."""
+    res = Resource(sim, capacity=1)
+    res.acquire()  # exhaust capacity
+    grants = [res.acquire() for _ in range(10)]
+    # cancel every second waiter, scattered through the queue
+    for grant in grants[1::2]:
+        assert res.cancel(grant)
+    assert res.queue_length == 5
+    order = []
+    for expected in grants[0::2]:
+        res.release()
+        order.append(expected.ok)
+    assert order == [True] * 5
+    # grants were satisfied strictly in their original (FIFO) order:
+    # each release triggered exactly the next live waiter
+    assert all(g.ok for g in grants[0::2])
+    assert not any(g.triggered for g in grants[1::2])
+    assert res.queue_length == 0
+
+
+def test_resource_cancelled_grant_never_granted(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    doomed = res.acquire()
+    survivor = res.acquire()
+    assert res.cancel(doomed)
+    res.release()
+    assert survivor.ok
+    assert not doomed.triggered  # the unit skipped the tombstone
+    # a cancelled grant cannot be cancelled again or revived
+    assert not res.cancel(doomed)
+    assert res.queue_length == 0
+
+
+def test_resource_queue_length_accurate_under_cancel_storm(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    grants = [res.acquire() for _ in range(500)]
+    assert res.queue_length == 500
+    # newest-first cancellation: worst case for a scan-based remove
+    for i, grant in enumerate(reversed(grants)):
+        assert res.cancel(grant)
+        assert res.queue_length == 500 - i - 1
+    assert res.queue_length == 0
+    # head-trimming keeps the deque from holding only tombstones
+    assert len(res._waiters) == 0
+
+
+def test_resource_grow_skips_tombstones(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    dead = res.acquire()
+    live = res.acquire()
+    assert res.cancel(dead)
+    res.grow(1)
+    assert live.ok and not dead.triggered
+    assert res.queue_length == 0
+
+
+def test_store_cancel_semantics_under_many_getters(sim):
+    store = Store(sim)
+    grants = [store.get() for _ in range(100)]
+    assert store.getters_waiting == 100
+    for grant in grants[1::2]:
+        assert store.cancel(grant)
+    assert store.getters_waiting == 50
+    for i in range(50):
+        store.put(i)
+    # items went to the live getters in FIFO order, skipping tombstones
+    assert [g.value for g in grants[0::2]] == list(range(50))
+    assert not any(g.triggered for g in grants[1::2])
+    assert store.getters_waiting == 0
+
+
+def test_store_cancel_rejects_foreign_and_settled_grants(sim):
+    store = Store(sim)
+    other = Store(sim)
+    settled = store.get()
+    store.put("x")  # settles the grant
+    assert not store.cancel(settled)
+    foreign = other.get()
+    assert not store.cancel(foreign)  # belongs to the other store
+    assert other.cancel(foreign)
+    plain = sim.event()
+    assert not store.cancel(plain)  # not a Grant at all

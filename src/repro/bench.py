@@ -36,6 +36,7 @@ __all__ = [
     "add_arguments",
     "bench_acquire_release_churn",
     "bench_cancel_under_load",
+    "bench_fig01_instrumented",
     "bench_fig01_quick",
     "bench_kernel_callbacks",
     "bench_numeric_yield",
@@ -166,6 +167,29 @@ def bench_fig01_quick(scale=1.0):
     return len(panel["result"].log)
 
 
+def bench_fig01_instrumented(scale=1.0):
+    """The ``fig01_quick`` workload with the instrumentation bus live.
+
+    The overhead budget for the observability pipeline: the same
+    end-to-end run as ``fig01_quick`` but with an
+    :class:`~repro.sim.instrument.EventBus` bound and an
+    :class:`~repro.sim.instrument.EventRecorder` subscribed, so every
+    queue/network/CPU hook actually publishes.  Compare against
+    ``fig01_quick`` in the same trajectory entry to read the cost of
+    turning instrumentation on.
+    """
+    from .experiments.fig01_histograms import run_one
+    from .sim.instrument import EventBus, EventRecorder
+
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    duration = max(2.0, 6.0 * scale)
+    panel = run_one(7000, duration=duration, warmup=1.0, seed=42, bus=bus)
+    if recorder.recorded == 0:
+        raise AssertionError("instrumented run published no events")
+    return len(panel["result"].log)
+
+
 #: name -> (workload, wall-clock repeats); best-of-repeats is recorded.
 BENCHMARKS = (
     ("kernel_callbacks", bench_kernel_callbacks, 3),
@@ -174,6 +198,7 @@ BENCHMARKS = (
     ("cancel_under_load_2000", bench_cancel_under_load, 3),
     ("store_handoff", bench_store_handoff, 3),
     ("fig01_quick", bench_fig01_quick, 3),
+    ("fig01_instrumented", bench_fig01_instrumented, 3),
 )
 
 

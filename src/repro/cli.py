@@ -11,6 +11,12 @@ Subcommands
     Execute the whole experiment registry through the parallel engine
     (:mod:`repro.experiments.runner`); merged records are byte-identical
     for any worker count given the same seeds.
+``diagnose <experiment> [--duration S] [--out DIR]``
+    Run one experiment and print the automated causal post-mortem:
+    the §III/§IV diagnosis plus per-request CTQO attribution (the
+    paper's Fig 4 walk for every VLRT/dropped request).  ``--out``
+    instruments the run with the event bus and writes a Perfetto
+    trace, a JSONL event log and the raw CSVs.
 ``conditions [--rate R] [--duration S] [--depth N]``
     Evaluate the paper's §III overflow arithmetic for given parameters.
 ``bench [--smoke] [--only NAMES] [--label TEXT] [--out FILE]``
@@ -43,6 +49,8 @@ from .experiments import (
     headline_utilization,
 )
 from .metrics.export import (
+    chrome_trace_to_json,
+    events_to_jsonl,
     request_log_to_csv,
     run_summary_to_json,
     timeseries_to_csv,
@@ -100,6 +108,8 @@ def _export_timeline(name, result, out_dir):
     request_log_to_csv(os.path.join(out_dir, f"{name}_requests.csv"),
                        run.log)
     run_summary_to_json(os.path.join(out_dir, f"{name}_summary.json"), run)
+    chrome_trace_to_json(os.path.join(out_dir, f"{name}_trace.json"),
+                         monitor=monitor, log=run.log)
     print(f"\n[raw data written to {out_dir}/]")
 
 
@@ -214,6 +224,61 @@ def _cmd_run_all(args):
     return 0 if report.ok else 1
 
 
+def _cmd_diagnose(args):
+    """Run one experiment and print the full causal post-mortem."""
+    from .core.diagnosis import diagnose
+    from .experiments.timeline import run_timeline
+
+    bus = recorder = None
+    if args.out:
+        # instrument only when exporting: the diagnosis itself is built
+        # from the monitor and the request log, but the trace/JSONL
+        # exports want the raw bus events too
+        from .sim.instrument import EventBus, EventRecorder
+
+        bus = EventBus()
+        recorder = EventRecorder(bus, capacity=args.events)
+
+    name = args.experiment
+    if name == "fig01":
+        duration = args.duration or 45.0
+        panel = fig01_histograms.run_one(
+            args.workload, duration=duration, warmup=5.0, bus=bus
+        )
+        run = panel["result"]
+        heading = f"fig01 @ WL {args.workload}, {duration:.0f}s"
+    else:
+        module = _TIMELINES[name]
+        result = run_timeline(module.SPEC, duration=args.duration, bus=bus)
+        run = result.run
+        heading = (f"{name}: {module.SPEC.title} "
+                   f"({result.spec.duration:.0f}s)")
+
+    print(f"=== repro diagnose: {heading} ===\n")
+    print(diagnose(run).render())
+    print()
+    print(run.attribution().render(examples=args.examples))
+
+    if args.out:
+        out_dir = args.out
+        os.makedirs(out_dir, exist_ok=True)
+        chrome_trace_to_json(
+            os.path.join(out_dir, f"{name}_trace.json"),
+            monitor=run.monitor, log=run.log, recorder=recorder,
+        )
+        events_to_jsonl(os.path.join(out_dir, f"{name}_events.jsonl"),
+                        recorder)
+        request_log_to_csv(os.path.join(out_dir, f"{name}_requests.csv"),
+                           run.log)
+        run_summary_to_json(os.path.join(out_dir, f"{name}_summary.json"),
+                            run)
+        dropped = recorder.recorded - len(recorder.events)
+        note = f" ({dropped} oldest events beyond capacity)" if dropped else ""
+        print(f"\n[trace + {len(recorder.events)} bus events{note} "
+              f"written to {out_dir}/]")
+    return 0
+
+
 def _cmd_conditions(args):
     overflow = predicted_overflow(args.rate, args.duration, args.depth,
                                   drain_rate=args.drain)
@@ -279,6 +344,26 @@ def build_parser():
     run_all_parser.add_argument("--list", action="store_true",
                                 help="list the registry and exit")
     run_all_parser.set_defaults(handler=_cmd_run_all)
+
+    diag_parser = sub.add_parser(
+        "diagnose",
+        help="run an experiment and print the CTQO causal post-mortem",
+    )
+    diag_parser.add_argument("experiment",
+                             choices=["fig01"] + sorted(_TIMELINES))
+    diag_parser.add_argument("--duration", type=float, default=None,
+                             help="simulated seconds (default: the figure's)")
+    diag_parser.add_argument("--workload", type=int, default=7000,
+                             help="client count for fig01 (default 7000)")
+    diag_parser.add_argument("--examples", type=int, default=3,
+                             help="example causal chains to print")
+    diag_parser.add_argument("--out", default=None,
+                             help="directory for Chrome trace JSON, JSONL "
+                                  "event log and CSV export (instruments "
+                                  "the run with the event bus)")
+    diag_parser.add_argument("--events", type=int, default=200_000,
+                             help="event-recorder capacity for --out")
+    diag_parser.set_defaults(handler=_cmd_diagnose)
 
     cond_parser = sub.add_parser(
         "conditions", help="evaluate the §III overflow arithmetic"

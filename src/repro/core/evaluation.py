@@ -116,10 +116,12 @@ class RunResult:
             min_duration=min_duration, max_duration=max_duration,
         )
 
-    def ctqo_events(self, **kwargs):
-        # map every monitored VM to its server; a consolidation
-        # antagonist maps to the tier it is co-located with, since its
-        # bursts *are* that tier's millibottlenecks
+    def vm_to_server(self):
+        """Map every monitored VM name to the server it stands for.
+
+        A consolidation antagonist maps to the tier it is co-located
+        with, since its bursts *are* that tier's millibottlenecks.
+        """
         vm_of = {self.names[t]: self.names[t] for t in ("web", "app", "db")}
         for injector in self.injectors:
             vm = getattr(injector, "vm", None)
@@ -128,6 +130,10 @@ class RunResult:
             for tier in ("web", "app", "db"):
                 if self.system.hosts[tier] is vm.host:
                     vm_of[vm.name] = self.names[tier]
+        return vm_of
+
+    def ctqo_events(self, **kwargs):
+        vm_of = self.vm_to_server()
         analyzer = CtqoAnalyzer(
             [self.names["web"], self.names["app"], self.names["db"]],
             vm_of=vm_of,
@@ -140,6 +146,49 @@ class RunResult:
                 ]
                 for tier in ("web", "app", "db")
             },
+        )
+
+    def attribution(self, threshold=0.95, mb_min_duration=0.15,
+                    max_duration=2.5, window=1.0, overflow_slack=2):
+        """Per-request CTQO causal chains (the automated Fig 4).
+
+        Links every VLRT/dropped request in the log to its drop site,
+        the backlog-overflow episode covering the drop, and the owning
+        millibottleneck, labeled with the propagation direction.
+        Returns an :class:`~repro.metrics.attribution.AttributionReport`.
+        """
+        from ..metrics.attribution import CtqoAttributor
+        from ..metrics.detector import overflow_episodes
+
+        monitor = self.monitor
+        overflow = {}
+        for tier in ("web", "app", "db"):
+            name = self.names[tier]
+            server = self.system.servers[tier]
+            backlog = monitor.backlog.get(name)
+            if backlog is not None:
+                # the accept queue is the resource that actually drops:
+                # its capacity is fixed (unlike MaxSysQDepth, which
+                # grows when Apache spawns a second process)
+                overflow[name] = overflow_episodes(
+                    backlog, server.listener.backlog, name=name,
+                    slack=overflow_slack,
+                )
+            else:
+                overflow[name] = overflow_episodes(
+                    monitor.queues[name], server.max_sys_q_depth,
+                    name=name, slack=overflow_slack,
+                )
+        attributor = CtqoAttributor(
+            [self.names["web"], self.names["app"], self.names["db"]],
+            vm_of=self.vm_to_server(), window=window,
+            tolerance=monitor.interval + 1e-9,
+        )
+        return attributor.attribute(
+            self.log, overflow,
+            self.millibottlenecks(threshold=threshold,
+                                  min_duration=mb_min_duration,
+                                  max_duration=max_duration),
         )
 
     def __repr__(self):
@@ -165,7 +214,7 @@ class Scenario:
     """
 
     def __init__(self, config=None, clients=7000, think_mean=None,
-                 duration=60.0, warmup=5.0, burst_index=1):
+                 duration=60.0, warmup=5.0, burst_index=1, bus=None):
         self.config = config or SystemConfig()
         self.clients = clients
         self.think_mean = (
@@ -176,6 +225,8 @@ class Scenario:
         self.duration = duration
         self.warmup = warmup
         self.burst_index = burst_index
+        #: optional instrumentation EventBus, forwarded to build_system
+        self.bus = bus
         self._injector_specs = []
         self._scripted_bursts = []
 
@@ -239,7 +290,7 @@ class Scenario:
     # ------------------------------------------------------------------
     def run(self):
         """Build, run, and package the experiment."""
-        system = build_system(self.config)
+        system = build_system(self.config, bus=self.bus)
         sim = system.sim
         monitor = system.attach_monitor()
 

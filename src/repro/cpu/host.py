@@ -117,6 +117,8 @@ class Vm:
         self.jobs_completed = 0
         # current allocation (cores), refreshed by Host._reallocate
         self._alloc = 0.0
+        # last allocation published on the instrumentation bus
+        self._bus_alloc = 0.0
         # virtual progress machinery
         self._progress = 0.0
         self._heap = []  # (target, seq, job)
@@ -197,6 +199,10 @@ class Host:
         self.cores = cores
         self.name = name
         self.vms = []
+        # instrumentation bus, captured once; allocation changes are
+        # published from _reallocate_and_schedule (the single funnel all
+        # reallocations pass through) so _reallocate itself stays clean
+        self._bus = getattr(sim, "bus", None)
         #: cumulative busy core-seconds across all VMs.
         self.busy = 0.0
         self._last_update = sim.now
@@ -342,6 +348,12 @@ class Host:
 
     def _reallocate_and_schedule(self):
         self._reallocate()
+        if self._bus is not None:
+            for vm in self.vms:
+                alloc = vm._alloc
+                if alloc != vm._bus_alloc:
+                    vm._bus_alloc = alloc
+                    self._bus.emit("cpu.alloc", vm.name, alloc)
         self._schedule_next_completion()
 
     def _add_job(self, vm, work, done):

@@ -27,11 +27,16 @@ WORKLOADS = (4000, 7000, 8000)
 BURST_PERIOD = 7.0
 
 
-def run_one(clients, duration=120.0, warmup=10.0, seed=42):
-    """One workload level; returns a dict with the figure's content."""
+def run_one(clients, duration=120.0, warmup=10.0, seed=42, bus=None):
+    """One workload level; returns a dict with the figure's content.
+
+    ``bus`` (an :class:`~repro.sim.instrument.EventBus`) turns on the
+    instrumentation hooks for the run; the default ``None`` keeps the
+    hot paths on their zero-cost disabled branch.
+    """
     scenario = Scenario(
         SystemConfig(nx=0, seed=seed), clients=clients,
-        duration=duration, warmup=warmup,
+        duration=duration, warmup=warmup, bus=bus,
     ).with_consolidation("app", period=BURST_PERIOD)
     result = scenario.run()
     rts = result.log.response_times(include_failures=True)

@@ -1,14 +1,18 @@
 """Run the complete evaluation and record paper-vs-measured results.
 
-``python -m repro.experiments.record [output.md]`` executes every
-experiment at full scale and writes a Markdown record — this is how the
-repository's ``EXPERIMENTS.md`` is produced, so the numbers there are
-always regenerable.
+``python -m repro.experiments.record [output.md] [traces-dir]`` executes
+every experiment at full scale and writes a Markdown record — this is
+how the repository's ``EXPERIMENTS.md`` is produced, so the numbers
+there are always regenerable.  The optional second argument additionally
+re-runs the flagship CTQO figure (Fig 3) with the instrumentation bus
+live and drops a Perfetto-loadable trace + JSONL event log into that
+directory (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 
@@ -27,6 +31,7 @@ from . import (
 )
 
 __all__ = [
+    "export_traces",
     "load_records",
     "main",
     "record_all",
@@ -222,6 +227,35 @@ def _headline_section(lines):
     return bool(sync_cpu) and bool(async_clean)
 
 
+def export_traces(out_dir, duration=None):
+    """Instrumented re-run of Fig 3 with full trace artifacts.
+
+    Writes ``fig03_trace.json`` (Chrome trace-event format, open in
+    Perfetto), ``fig03_events.jsonl`` (raw bus events) and the
+    per-request CSV into ``out_dir``.  Returns the attribution report so
+    callers can assert coverage.
+    """
+    from ..metrics.export import (
+        chrome_trace_to_json,
+        events_to_jsonl,
+        request_log_to_csv,
+    )
+    from ..sim.instrument import EventBus, EventRecorder
+
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    result = run_timeline(fig03_vm_consolidation.SPEC, duration=duration,
+                          bus=bus)
+    run = result.run
+    os.makedirs(out_dir, exist_ok=True)
+    chrome_trace_to_json(os.path.join(out_dir, "fig03_trace.json"),
+                         monitor=run.monitor, log=run.log,
+                         recorder=recorder)
+    events_to_jsonl(os.path.join(out_dir, "fig03_events.jsonl"), recorder)
+    request_log_to_csv(os.path.join(out_dir, "fig03_requests.csv"), run.log)
+    return run.attribution()
+
+
 def record_all(path="EXPERIMENTS.md"):
     """Run everything; write the Markdown record; return overall success."""
     started = time.time()
@@ -275,6 +309,10 @@ def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
     ok = record_all(path)
     print(f"wrote {path} ({'all claims reproduced' if ok else 'MISMATCHES'})")
+    if len(sys.argv) > 2:
+        report = export_traces(sys.argv[2])
+        print(f"wrote trace artifacts to {sys.argv[2]}/ "
+              f"(attribution coverage {report.coverage * 100:.1f} %)")
     return 0 if ok else 1
 
 

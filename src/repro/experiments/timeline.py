@@ -220,12 +220,17 @@ def timeline_record(spec, config):
     }
 
 
-def run_timeline(spec, duration=None, clients=None, seed=None):
-    """Execute a timeline spec (optionally rescaled) and wrap the result."""
+def run_timeline(spec, duration=None, clients=None, seed=None, bus=None):
+    """Execute a timeline spec (optionally rescaled) and wrap the result.
+
+    ``bus`` (an :class:`~repro.sim.instrument.EventBus`) switches the
+    instrumentation hooks on for this run; ``None`` (the default) keeps
+    them on the zero-cost disabled branch.
+    """
     spec = spec.scaled(duration=duration, clients=clients, seed=seed)
     scenario = Scenario(
         spec.build_config(), clients=spec.clients,
-        duration=spec.duration, warmup=spec.warmup,
+        duration=spec.duration, warmup=spec.warmup, bus=bus,
     )
     if spec.bottleneck_kind == "consolidation":
         scenario.with_consolidation(spec.bottleneck_tier,

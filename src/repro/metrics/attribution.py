@@ -1,0 +1,302 @@
+"""Per-request CTQO causal chains — the paper's Fig 4, automated.
+
+Fig 4 walks one VLRT request backwards by hand: the request took 3 s
+because its packet dropped at Apache; the packet dropped because
+Apache's accept queue was overflowing; the queue overflowed because a
+millibottleneck elsewhere kept threads from draining it.  The
+:class:`CtqoAttributor` runs that walk for *every* VLRT/dropped request
+in a log:
+
+    request → drop (time, site) → overflow episode at the site
+            → owning millibottleneck → propagation direction
+
+A chain is **complete** when all three causal links resolve; the
+:class:`AttributionReport`'s ``coverage`` is the fraction of tail
+requests with a complete chain (the repository's acceptance bar on the
+fig01 RPC configuration is ≥ 90 %).
+
+Direction follows the paper's rule: a drop *upstream* of (closer to the
+clients than) the millibottleneck is upstream CTQO (blocking RPC holds
+the upstream threads); a drop at or downstream of it is downstream
+CTQO (an async tier floods a bounded downstream).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["AttributionReport", "CausalChain", "CtqoAttributor"]
+
+
+@dataclass
+class CausalChain:
+    """One tail request's resolved (or partially resolved) cause."""
+
+    request_id: int
+    kind: str                   # interaction name, e.g. "ViewStory"
+    response_time: float
+    failed: bool
+    drop_time: object           # float, or None for a drop-free VLRT
+    drop_site: object           # listener name, or None
+    overflow: object            # detector Episode, or None
+    millibottleneck: object     # Millibottleneck/Episode, or None
+    direction: object           # "upstream" / "downstream" / None
+
+    @property
+    def complete(self):
+        """All three causal links resolved."""
+        return (
+            self.drop_site is not None
+            and self.overflow is not None
+            and self.millibottleneck is not None
+        )
+
+    def describe(self):
+        head = (
+            f"request #{self.request_id} {self.kind} "
+            f"{self.response_time * 1000:.0f} ms"
+            + (" FAILED" if self.failed else "")
+        )
+        if self.drop_site is None:
+            return f"{head}: no packet drop recorded (slow, not dropped)"
+        parts = [f"dropped at {self.drop_site} t={self.drop_time:.2f}s"]
+        if self.overflow is not None:
+            parts.append(
+                f"backlog overflow [{self.overflow.start:.2f}s, "
+                f"{self.overflow.end:.2f}s]"
+            )
+        else:
+            parts.append("no overflow episode found")
+        if self.millibottleneck is not None:
+            mb = self.millibottleneck
+            parts.append(
+                f"{mb.kind} millibottleneck on {mb.resource} "
+                f"[{mb.start:.2f}s, {mb.end:.2f}s]"
+            )
+            if self.direction is not None:
+                parts.append(f"{self.direction} CTQO")
+        else:
+            parts.append("no owning millibottleneck")
+        return f"{head}: " + " <- ".join(parts)
+
+
+class AttributionReport:
+    """All causal chains of one run, with aggregate views."""
+
+    def __init__(self, chains, tier_order):
+        self.chains = chains
+        self.tier_order = list(tier_order)
+
+    def __len__(self):
+        return len(self.chains)
+
+    @property
+    def complete(self):
+        return [c for c in self.chains if c.complete]
+
+    @property
+    def incomplete(self):
+        return [c for c in self.chains if not c.complete]
+
+    @property
+    def coverage(self):
+        """Fraction of tail requests with a complete causal chain."""
+        if not self.chains:
+            return 1.0
+        return len(self.complete) / len(self.chains)
+
+    def directions(self):
+        """Counter of propagation directions over complete chains."""
+        return Counter(c.direction for c in self.complete)
+
+    def drop_sites(self):
+        """Counter of drop sites over attributed (dropped) requests."""
+        return Counter(
+            c.drop_site for c in self.chains if c.drop_site is not None
+        )
+
+    def by_millibottleneck(self):
+        """(millibottleneck, [chains]) pairs, ordered by episode start."""
+        groups = {}
+        for chain in self.complete:
+            groups.setdefault(id(chain.millibottleneck), []).append(chain)
+        out = [(chains[0].millibottleneck, chains)
+               for chains in groups.values()]
+        out.sort(key=lambda pair: pair[0].start)
+        return out
+
+    def render(self, examples=3):
+        """Human-readable attribution section for diagnosis reports."""
+        lines = ["=== CTQO attribution (automated Fig 4) ==="]
+        if not self.chains:
+            lines.append("no VLRT or dropped requests to attribute")
+            return "\n".join(lines)
+        lines.append(
+            f"{len(self.complete)}/{len(self.chains)} tail requests fully "
+            f"attributed ({self.coverage * 100:.1f} % coverage)"
+        )
+        directions = self.directions()
+        if directions:
+            lines.append(
+                "directions: "
+                + ", ".join(
+                    f"{direction}: {count}"
+                    for direction, count in sorted(directions.items())
+                )
+            )
+        sites = self.drop_sites()
+        if sites:
+            lines.append(
+                "drop sites: "
+                + ", ".join(f"{s}: {n}" for s, n in sorted(sites.items()))
+            )
+        for mb, chains in self.by_millibottleneck():
+            direction = Counter(c.direction for c in chains).most_common(1)
+            lines.append(
+                f"  {mb.kind} millibottleneck on {mb.resource} "
+                f"[{mb.start:.2f}s, {mb.end:.2f}s] -> "
+                f"{len(chains)} tail request(s), {direction[0][0]} CTQO"
+            )
+        for chain in self.chains[:examples]:
+            lines.append(f"  e.g. {chain.describe()}")
+        if self.incomplete:
+            lines.append(
+                f"unattributed: {len(self.incomplete)} request(s) missing a "
+                "causal link"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (
+            f"<AttributionReport chains={len(self.chains)} "
+            f"coverage={self.coverage:.3f}>"
+        )
+
+
+class CtqoAttributor:
+    """Builds per-request causal chains from a log and detector output.
+
+    Parameters
+    ----------
+    tier_order:
+        Server names from most-upstream to most-downstream
+        (e.g. ``["apache", "tomcat", "mysql"]``).
+    vm_of:
+        Mapping from VM names (as millibottlenecks report them) to
+        server names — a consolidation antagonist maps to its victim
+        tier.  Unmapped names fall back to a ``"-vm"`` suffix strip.
+    window:
+        Seconds after a millibottleneck ends during which drops are
+        still attributed to it (queues overflow while draining).
+    tolerance:
+        Slack when matching a drop instant against a sampled overflow
+        episode — one monitoring interval, since the sampler can first
+        see a full backlog up to one interval after the drop.
+    """
+
+    def __init__(self, tier_order, vm_of=None, window=1.0, tolerance=0.06):
+        if len(tier_order) < 2:
+            raise ValueError("tier_order needs at least two tiers")
+        self.tier_order = list(tier_order)
+        self._position = {name: i for i, name in enumerate(self.tier_order)}
+        self.vm_of = vm_of or {}
+        self.window = window
+        self.tolerance = tolerance
+
+    # ------------------------------------------------------------------
+    def server_for_vm(self, vm_name):
+        server = self.vm_of.get(vm_name)
+        if server is not None:
+            return server
+        if vm_name.endswith("-vm"):
+            return vm_name[: -len("-vm")]
+        return vm_name
+
+    def classify_direction(self, millibottleneck_resource, dropping_server):
+        """The paper's rule, or None when either side is off-chain."""
+        origin = self.server_for_vm(millibottleneck_resource)
+        origin_pos = self._position.get(origin)
+        drop_pos = self._position.get(dropping_server)
+        if origin_pos is None or drop_pos is None:
+            return None
+        return "upstream" if drop_pos < origin_pos else "downstream"
+
+    # ------------------------------------------------------------------
+    def attribute(self, log, overflow_by_server, millibottlenecks,
+                  vlrt_threshold=3.0):
+        """Chain every VLRT/dropped request; returns the report.
+
+        ``overflow_by_server`` maps server name to its overflow
+        :class:`~repro.metrics.detector.Episode` list;
+        ``millibottlenecks`` is any list of episodes with ``resource`` /
+        ``kind`` / ``start`` / ``end`` fields (the core detector's
+        ``Millibottleneck`` or this package's ``Episode``).
+        """
+        tail = {id(r): r for r in log.vlrt(vlrt_threshold)}
+        for record in log.dropped_requests():
+            tail.setdefault(id(record), record)
+        chains = []
+        for record in sorted(tail.values(), key=lambda r: r.start):
+            if record.drops:
+                drop_time, drop_site = record.drops[0]
+            else:
+                drop_time = drop_site = None
+            overflow = None
+            if drop_site is not None:
+                overflow = self._covering_episode(
+                    overflow_by_server.get(drop_site, ()), drop_time
+                )
+            millibottleneck = None
+            direction = None
+            if drop_time is not None:
+                millibottleneck = self._owning_millibottleneck(
+                    millibottlenecks, drop_time
+                )
+            if millibottleneck is not None:
+                direction = self.classify_direction(
+                    millibottleneck.resource, drop_site
+                )
+            chains.append(
+                CausalChain(
+                    request_id=record.request_id,
+                    kind=record.kind,
+                    response_time=record.response_time,
+                    failed=record.failed,
+                    drop_time=drop_time,
+                    drop_site=drop_site,
+                    overflow=overflow,
+                    millibottleneck=millibottleneck,
+                    direction=direction,
+                )
+            )
+        return AttributionReport(chains, self.tier_order)
+
+    # ------------------------------------------------------------------
+    def _covering_episode(self, episodes, when):
+        """The overflow episode containing ``when`` (± tolerance)."""
+        best = None
+        for episode in episodes:
+            if episode.covers(when, self.tolerance):
+                if best is None or episode.start > best.start:
+                    best = episode
+        return best
+
+    def _owning_millibottleneck(self, millibottlenecks, when):
+        """Same ownership rule as the core CTQO analyzer: prefer the
+        earliest-starting episode active at ``when`` (secondary
+        saturations start later than their root cause); otherwise the
+        most recently ended episode within ``window``."""
+        active = None
+        for episode in millibottlenecks:
+            if episode.start <= when < episode.end:
+                if active is None or episode.start < active.start:
+                    active = episode
+        if active is not None:
+            return active
+        recent = None
+        for episode in millibottlenecks:
+            if episode.end <= when < episode.end + self.window:
+                if recent is None or episode.end > recent.end:
+                    recent = episode
+        return recent

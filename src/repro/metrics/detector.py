@@ -1,0 +1,172 @@
+"""Episode segmentation: millibottlenecks and queue-overflow spans.
+
+The paper's detection problem is the same in every figure: take a
+fine-grained (50 ms) gauge series and segment it into *episodes* — spans
+where the gauge sat above a threshold.  Two instantiations matter:
+
+- **millibottlenecks** — utilization (CPU guest-view or iowait) above
+  ~95 % for a fraction of a second (§III's "very short bottlenecks");
+- **overflow episodes** — a bounded queue (the TCP accept queue, or a
+  whole server's ``MaxSysQDepth``) pinned at its capacity, which is
+  exactly when arriving packets drop.
+
+This module generalizes :mod:`repro.core.millibottleneck` (kept as-is
+for the figure pipeline) with per-episode peaks and gap merging: a
+sampled gauge at a queue that briefly drains between drop batches
+otherwise fragments one physical overflow into many small episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Episode",
+    "detect_millibottlenecks",
+    "overflow_episodes",
+    "saturation_episodes",
+]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One contiguous span of a gauge above its threshold."""
+
+    resource: str          # series/server/VM the episode was observed on
+    kind: str              # "cpu", "io", "overflow", ...
+    start: float
+    end: float
+    peak: float
+    threshold: float
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    def overlaps(self, start, end):
+        """True if this episode intersects [start, end)."""
+        return self.start < end and start < self.end
+
+    def covers(self, when, tolerance=0.0):
+        """True if ``when`` falls inside the episode, widened by
+        ``tolerance`` on both sides (sampling can miss an instant by up
+        to one monitoring interval)."""
+        return self.start - tolerance <= when <= self.end + tolerance
+
+    def __str__(self):
+        return (
+            f"{self.kind}-episode on {self.resource} "
+            f"[{self.start:.2f}s, {self.end:.2f}s] "
+            f"({self.duration * 1000:.0f} ms, peak {self.peak:g})"
+        )
+
+
+def saturation_episodes(series, threshold, min_duration=0.05,
+                        max_duration=None, merge_gap=0.0, resource=None,
+                        kind="saturation"):
+    """Segment one gauge series into :class:`Episode` objects.
+
+    Parameters
+    ----------
+    series:
+        A :class:`~repro.metrics.timeseries.TimeSeries`.
+    threshold:
+        Values strictly above this count as saturated (same convention
+        as ``TimeSeries.intervals_above``).
+    min_duration / max_duration:
+        Keep episodes with ``min_duration <= duration``; drop those
+        longer than ``max_duration`` (None = unbounded) — the paper's
+        millibottlenecks are *sub-second*, a persistent bottleneck is a
+        different diagnosis.
+    merge_gap:
+        Merge consecutive episodes separated by at most this many
+        seconds before applying the duration filters.
+    """
+    if min_duration < 0:
+        raise ValueError(f"min_duration must be >= 0, got {min_duration}")
+    if merge_gap < 0:
+        raise ValueError(f"merge_gap must be >= 0, got {merge_gap}")
+    resource = resource if resource is not None else series.name
+    # raw (start, end, peak) spans, ends exclusive at the first sample
+    # back at/below the threshold (matching intervals_above)
+    raw = []
+    start = None
+    peak = 0.0
+    for time, value in zip(series.times, series.values):
+        if value > threshold:
+            if start is None:
+                start, peak = time, value
+            elif value > peak:
+                peak = value
+        elif start is not None:
+            raw.append((start, time, peak))
+            start = None
+    if start is not None and series.times:
+        raw.append((start, series.times[-1], peak))
+
+    merged = []
+    for span in raw:
+        if merged and span[0] - merged[-1][1] <= merge_gap:
+            prev = merged[-1]
+            merged[-1] = (prev[0], span[1], max(prev[2], span[2]))
+        else:
+            merged.append(span)
+
+    episodes = []
+    for start, end, peak in merged:
+        duration = end - start
+        if duration < min_duration:
+            continue
+        if max_duration is not None and duration > max_duration:
+            continue
+        episodes.append(
+            Episode(resource, kind, start, end, peak, threshold)
+        )
+    return episodes
+
+
+def detect_millibottlenecks(monitor, threshold=0.95, min_duration=0.05,
+                            max_duration=2.5, merge_gap=0.0):
+    """Millibottleneck episodes over every VM a monitor watches.
+
+    Scans the guest-view CPU series (a starved VM reads 100 % busy —
+    that *is* the millibottleneck signal, Fig 3a) and the iowait series.
+    Returns episodes sorted by start time.
+    """
+    episodes = []
+    for name, series in monitor.cpu.items():
+        episodes.extend(
+            saturation_episodes(
+                series, threshold, min_duration=min_duration,
+                max_duration=max_duration, merge_gap=merge_gap,
+                resource=name, kind="cpu",
+            )
+        )
+    for name, series in monitor.iowait.items():
+        episodes.extend(
+            saturation_episodes(
+                series, threshold, min_duration=min_duration,
+                max_duration=max_duration, merge_gap=merge_gap,
+                resource=name, kind="io",
+            )
+        )
+    episodes.sort(key=lambda e: (e.start, e.resource))
+    return episodes
+
+
+def overflow_episodes(depth_series, capacity, slack=2, merge_gap=0.25,
+                      min_duration=0.0, name=None):
+    """Spans where a bounded queue sat at (or within ``slack`` of) its
+    capacity — the instants arriving packets drop.
+
+    ``depth_series`` is a sampled queue-depth gauge (normally the
+    monitor's ``backlog`` series for the TCP accept queue, whose
+    capacity never changes mid-run); ``merge_gap`` bridges the brief
+    dips a draining queue shows between drop batches.
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    return saturation_episodes(
+        depth_series, capacity - slack - 0.5, min_duration=min_duration,
+        merge_gap=merge_gap, resource=name, kind="overflow",
+    )

@@ -1,4 +1,4 @@
-"""Exporters: time series and request logs to CSV / JSON.
+"""Exporters: time series, request logs and event traces.
 
 Experiments in this repository print their figures as text, but a
 downstream user replotting with their own tooling needs the raw data.
@@ -7,7 +7,11 @@ These helpers write exactly what the figures are drawn from:
 - one CSV per time-series bundle (a column per series, aligned on the
   shared sampling grid),
 - one CSV of per-request records,
-- one JSON document per run summary.
+- one JSON document per run summary,
+- one Chrome trace-event JSON per run (open in Perfetto / ``chrome://
+  tracing``): monitor gauges as counter tracks, per-request server
+  visits as spans, packet drops as instants,
+- one JSONL event log per instrumented run (one bus event per line).
 """
 
 from __future__ import annotations
@@ -15,7 +19,11 @@ from __future__ import annotations
 import csv
 import json
 
+from .spans import server_spans
+
 __all__ = [
+    "chrome_trace_to_json",
+    "events_to_jsonl",
     "request_log_to_csv",
     "run_summary_to_json",
     "timeseries_to_csv",
@@ -115,3 +123,117 @@ def run_summary_to_json(path, result):
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path
+
+
+# ----------------------------------------------------------------------
+# event traces
+# ----------------------------------------------------------------------
+#: instrumentation-bus kinds rendered as instants in the Chrome trace —
+#: the rare, diagnostic events.  Per-grant queue/store traffic (millions
+#: of events per run) stays in the JSONL export.
+_TRACE_INSTANT_KINDS = ("net.drop", "net.retransmit", "net.timeout")
+
+_MONITOR_GAUGES = ("cpu", "host_cpu", "iowait", "queues",
+                   "occupancy", "backlog", "headroom")
+
+
+def chrome_trace_events(monitor=None, log=None, recorder=None,
+                        max_request_traces=250):
+    """Chrome trace-event dicts for a run (``ts``/``dur`` in µs).
+
+    Three process tracks, any subset of which may be present:
+
+    - ``gauges`` (pid 1) — every monitor series as a counter track,
+    - ``requests`` (pid 2) — per-request server visits as complete
+      spans (one thread per traced request) plus drop instants, for up
+      to ``max_request_traces`` requests with kept traces,
+    - ``events`` (pid 3) — rare bus events (drops, retransmissions,
+      timeouts) as instants and CPU allocations as counter tracks.
+    """
+    events = []
+
+    def meta(pid, name):
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+
+    if monitor is not None:
+        meta(1, "gauges")
+        for group in _MONITOR_GAUGES:
+            for name, series in getattr(monitor, group, {}).items():
+                track = f"{group}:{name}"
+                for time, value in zip(series.times, series.values):
+                    events.append({
+                        "name": track, "ph": "C", "ts": time * 1e6,
+                        "pid": 1, "tid": 0, "args": {"value": value},
+                    })
+
+    if log is not None:
+        meta(2, "requests")
+        traced = [r for r in log.records if r.trace]
+        traced.sort(key=lambda r: r.start)
+        for record in traced[:max_request_traces]:
+            tid = record.request_id
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 2, "tid": tid,
+                "args": {"name": f"request #{tid} {record.kind}"},
+            })
+            for span in server_spans(record.trace):
+                events.append({
+                    "name": span.server, "cat": "request", "ph": "X",
+                    "ts": span.start * 1e6,
+                    "dur": max(0.0, span.duration) * 1e6,
+                    "pid": 2, "tid": tid,
+                    "args": {"outcome": span.outcome},
+                })
+            for time, event, detail in record.trace:
+                if event == "drop":
+                    events.append({
+                        "name": f"drop@{detail}", "cat": "drop", "ph": "i",
+                        "ts": time * 1e6, "pid": 2, "tid": tid, "s": "t",
+                    })
+
+    if recorder is not None:
+        meta(3, "events")
+        for when, kind, source, value in recorder.events:
+            if kind == "cpu.alloc":
+                events.append({
+                    "name": f"alloc:{source}", "ph": "C", "ts": when * 1e6,
+                    "pid": 3, "tid": 0, "args": {"value": value},
+                })
+            elif kind in _TRACE_INSTANT_KINDS:
+                events.append({
+                    "name": f"{kind}@{source}", "cat": kind, "ph": "i",
+                    "ts": when * 1e6, "pid": 3, "tid": 0, "s": "g",
+                    "args": {"value": value},
+                })
+    return events
+
+
+def chrome_trace_to_json(path, monitor=None, log=None, recorder=None,
+                         max_request_traces=250):
+    """Write a Perfetto-loadable Chrome trace JSON for a run."""
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(
+            monitor=monitor, log=log, recorder=recorder,
+            max_request_traces=max_request_traces,
+        ),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def events_to_jsonl(path, recorder):
+    """Write an :class:`~repro.sim.instrument.EventRecorder`'s retained
+    events as JSON Lines (one ``{"t", "kind", "source", "value"}`` per
+    line, oldest first)."""
+    with open(path, "w") as handle:
+        for when, kind, source, value in recorder.events:
+            handle.write(json.dumps(
+                {"t": round(when, 9), "kind": kind, "source": source,
+                 "value": value},
+            ))
+            handle.write("\n")
+    return path
+

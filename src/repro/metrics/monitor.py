@@ -16,7 +16,14 @@ monitoring averages millibottlenecks away entirely.  The
     (the paper's "highest average CPU util" annotations);
 
 - per-VM I/O wait fraction (freeze time in the window),
-- per-server queue depth (busy threads/admitted requests + backlog).
+- per-server queue depth (busy threads/admitted requests + backlog),
+- per-server fine-grained gauges where the server exposes them
+  (an ``occupancy()`` method and a ``listener``): pool/lightweight-queue
+  occupancy, TCP backlog depth, and MaxSysQDepth headroom.  The backlog
+  gauge is what the CTQO attribution engine segments into overflow
+  episodes — the accept queue is the resource that actually drops
+  packets, and its capacity is fixed even when ``MaxSysQDepth`` grows
+  (Apache's second process).
 """
 
 from __future__ import annotations
@@ -48,8 +55,14 @@ class SystemMonitor:
         self.host_cpu = {}
         self.iowait = {}
         self.queues = {}
+        self.occupancy = {}
+        self.backlog = {}
+        self.headroom = {}
         self._vms = {}
         self._servers = {}
+        # servers with the full gauge interface (occupancy + listener);
+        # minimal test doubles are monitored for queue depth only
+        self._gauged = {}
         self._last_runnable = {}
         self._last_consumed = {}
         self._last_iowait = {}
@@ -70,9 +83,15 @@ class SystemMonitor:
         return self
 
     def watch_server(self, name, server):
-        """Record queue depth for ``server`` as ``name``."""
+        """Record queue depth — and, where the server exposes them,
+        occupancy/backlog/headroom gauges — for ``server`` as ``name``."""
         self._servers[name] = server
         self.queues[name] = TimeSeries(f"queue:{name}")
+        if hasattr(server, "occupancy") and hasattr(server, "listener"):
+            self._gauged[name] = server
+            self.occupancy[name] = TimeSeries(f"occupancy:{name}")
+            self.backlog[name] = TimeSeries(f"backlog:{name}")
+            self.headroom[name] = TimeSeries(f"headroom:{name}")
         return self
 
     def start(self):
@@ -109,6 +128,12 @@ class SystemMonitor:
             depth = server.queue_depth()
             server._note_queue_depth()
             self.queues[name].append(now, depth)
+        for name, server in self._gauged.items():
+            self.occupancy[name].append(now, server.occupancy())
+            self.backlog[name].append(now, server.listener.backlog_length)
+            self.headroom[name].append(
+                now, server.max_sys_q_depth - server.queue_depth()
+            )
 
     def __repr__(self):
         return (

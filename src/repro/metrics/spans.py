@@ -68,17 +68,18 @@ def retransmission_gaps(trace):
     the retransmitted packet reaching a server ~RTO later.  The gap is
     the dead time TCP retransmission added to the request.
     """
-    events = sorted(trace, key=lambda e: e[0])
     gaps = []
-    for index, (time, event, detail) in enumerate(events):
-        if event != "drop":
-            continue
-        resume = None
-        for later_time, later_event, _d in events[index + 1:]:
-            if later_event != "drop":
-                resume = later_time
-                break
-        gaps.append((time, resume, detail))
+    pending = []  # drops waiting for the next non-drop event
+    for time, event, detail in sorted(trace, key=lambda e: e[0]):
+        if event == "drop":
+            pending.append((time, detail))
+        elif pending:
+            gaps.extend(
+                (drop_time, time, listener)
+                for drop_time, listener in pending
+            )
+            pending.clear()
+    gaps.extend((drop_time, None, listener) for drop_time, listener in pending)
     return gaps
 
 

@@ -196,13 +196,19 @@ class RequestLog:
         return [r for r in self.records if r.was_dropped]
 
     def summary(self, duration):
-        """One-dict digest used by experiment reports."""
+        """One-dict digest used by experiment reports.
+
+        ``duration`` is validated even for an empty log — a bad window
+        is a caller bug regardless of whether any requests finished.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
         times = self.response_times()
         return {
             "requests": len(self.records),
             "completed": len(self.completed),
             "failed": len(self.failures),
-            "throughput_rps": self.throughput(duration) if self.records else 0.0,
+            "throughput_rps": self.throughput(duration),
             "mean_ms": 1000.0 * float(np.mean(times)) if times else 0.0,
             "p50_ms": 1000.0 * self.percentile(50),
             "p99_ms": 1000.0 * self.percentile(99),

@@ -224,6 +224,9 @@ class NetworkFabric:
         self.backoff = backoff
         self.jitter = jitter
         self._jitter_rng = sim.fork_rng("net-jitter") if jitter else None
+        # instrumentation bus, captured once; None disables every emit
+        # site at the cost of one attribute load + identity check
+        self._bus = getattr(sim, "bus", None)
         #: global counters for quick experiment summaries
         self.packets_sent = 0
         self.packets_dropped = 0
@@ -266,11 +269,17 @@ class NetworkFabric:
         self.sim.call_in(latency, self._arrive, exchange)
 
     def _arrive(self, exchange):
+        bus = self._bus
         if exchange.listener.deliver(exchange):
             exchange.delivered_at = self.sim.now
+            if bus is not None:
+                bus.emit("net.deliver", exchange.listener.name,
+                         exchange.attempts)
             return
         self.packets_dropped += 1
         exchange.drops.append((self.sim.now, exchange.listener.name))
+        if bus is not None:
+            bus.emit("net.drop", exchange.listener.name, exchange.attempts)
         record = getattr(exchange.payload, "record", None)
         if record is not None:
             # propagate to the root request's trace so the client can
@@ -278,12 +287,18 @@ class NetworkFabric:
             record(self.sim.now, "drop", exchange.listener.name)
         if exchange.attempts > self.max_retransmits:
             self.requests_timed_out += 1
+            if bus is not None:
+                bus.emit("net.timeout", exchange.listener.name,
+                         exchange.attempts)
             exchange.response.fail(ConnectionTimeout(exchange))
             return
         resend_at = (
             exchange.first_sent_at + self._retransmit_offset(exchange.attempts)
         )
         delay = max(0.0, resend_at - self.sim.now)
+        if bus is not None:
+            bus.emit("net.retransmit", exchange.listener.name,
+                     exchange.attempts)
         self.sim.call_in(delay, self._transmit, exchange)
 
     def __repr__(self):

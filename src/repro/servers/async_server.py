@@ -103,6 +103,10 @@ class AsyncServer(BaseServer):
         plus the accept-queue occupancy — the figures' metric."""
         return self.inflight + self.listener.backlog_length
 
+    def occupancy(self):
+        """Lightweight-queue occupancy (admitted, unanswered requests)."""
+        return self.inflight
+
     @property
     def ready_events(self):
         """Continuations waiting for a loop worker right now."""

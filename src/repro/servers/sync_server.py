@@ -67,6 +67,10 @@ class SyncServer(BaseServer):
         """Busy threads + accept-queue occupancy (the figures' metric)."""
         return self.busy_threads + self.listener.backlog_length
 
+    def occupancy(self):
+        """Thread-pool occupancy (the fine-grained gauge's numerator)."""
+        return self.busy_threads
+
     # ------------------------------------------------------------------
     def _worker(self):
         """One server thread: accept, drive the servlet, repeat."""

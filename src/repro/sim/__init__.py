@@ -17,6 +17,7 @@ from .errors import (
     StaleEventError,
 )
 from .events import AllOf, AnyOf, Event, Grant, SlimEvent, Timeout
+from .instrument import EventBus, EventRecorder
 from .kernel import Simulator
 from .process import Process
 from .resources import Gauge, Resource, Store
@@ -26,6 +27,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "EventBus",
+    "EventRecorder",
     "Gauge",
     "Grant",
     "KernelTracer",

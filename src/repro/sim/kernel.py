@@ -46,6 +46,11 @@ class Simulator:
         Seed for the simulator-owned :class:`random.Random`.  Components
         should draw randomness via :attr:`rng` (or a stream forked with
         :meth:`fork_rng`) so a single seed reproduces an entire run.
+    bus:
+        Optional :class:`~repro.sim.instrument.EventBus`.  Substrate
+        components capture ``sim.bus`` at construction and publish
+        instrumentation events to it; ``None`` (the default) keeps every
+        emit site on its one-branch disabled path.
 
     Example
     -------
@@ -58,7 +63,7 @@ class Simulator:
     ['one', 'two']
     """
 
-    def __init__(self, seed=0):
+    def __init__(self, seed=0, bus=None):
         self.now = 0.0
         self._heap = []
         self._sequence = 0
@@ -67,6 +72,10 @@ class Simulator:
         self._stopped = False
         #: number of callbacks executed so far (cheap progress metric).
         self.executed_events = 0
+        #: instrumentation bus (None = instrumentation off).
+        self.bus = bus
+        if bus is not None:
+            bus.bind(self)
 
     # ------------------------------------------------------------------
     # scheduling

@@ -52,6 +52,9 @@ class Resource:
         self._waiters = deque()
         # tombstoned (cancelled) grants still sitting in _waiters
         self._cancelled = 0
+        # instrumentation bus, captured once; None keeps every emit site
+        # at a single attribute-load + identity check (the disabled path)
+        self._bus = getattr(sim, "bus", None)
 
     @property
     def available(self):
@@ -68,9 +71,13 @@ class Resource:
         grant = Grant(self.sim, self, ".acquire")
         if self.in_use < self.capacity:
             self.in_use += 1
+            if self._bus is not None:
+                self._bus.emit("queue.grant", self.name, self.in_use)
             grant.succeed(self)
         else:
             self._waiters.append(grant)
+            if self._bus is not None:
+                self._bus.emit("queue.enqueue", self.name, self.queue_length)
         return grant
 
     def try_acquire(self):
@@ -90,9 +97,13 @@ class Resource:
             if grant.cancelled:
                 self._cancelled -= 1
                 continue
+            if self._bus is not None:
+                self._bus.emit("queue.grant", self.name, self.in_use)
             grant.succeed(self)  # unit moves directly to the waiter
             return
         self.in_use -= 1
+        if self._bus is not None:
+            self._bus.emit("queue.release", self.name, self.in_use)
 
     def cancel(self, grant):
         """Withdraw a pending acquire (e.g. its timeout fired first).
@@ -117,6 +128,8 @@ class Resource:
         while waiters and waiters[0].cancelled:
             waiters.popleft()
             self._cancelled -= 1
+        if self._bus is not None:
+            self._bus.emit("queue.cancel", self.name, self.queue_length)
         return True
 
     def grow(self, extra):
@@ -131,6 +144,8 @@ class Resource:
                 self._cancelled -= 1
                 continue
             self.in_use += 1
+            if self._bus is not None:
+                self._bus.emit("queue.grant", self.name, self.in_use)
             grant.succeed(self)
 
     def __repr__(self):
@@ -158,6 +173,8 @@ class Store:
         self._getters = deque()
         # tombstoned (cancelled) grants still sitting in _getters
         self._cancelled = 0
+        # instrumentation bus, captured once (see Resource.__init__)
+        self._bus = getattr(sim, "bus", None)
 
     def __len__(self):
         return len(self.items)
@@ -179,11 +196,15 @@ class Store:
             if grant.cancelled:
                 self._cancelled -= 1
                 continue
+            if self._bus is not None:
+                self._bus.emit("store.put", self.name, 0)
             grant.succeed(item)
             return True
         if self.is_full:
             return False
         self.items.append(item)
+        if self._bus is not None:
+            self._bus.emit("store.put", self.name, len(self.items))
         return True
 
     def get(self):
@@ -193,6 +214,8 @@ class Store:
             grant.succeed(self.items.popleft())
         else:
             self._getters.append(grant)
+            if self._bus is not None:
+                self._bus.emit("store.get", self.name, self.getters_waiting)
         return grant
 
     def try_get(self):
@@ -221,6 +244,8 @@ class Store:
         while getters and getters[0].cancelled:
             getters.popleft()
             self._cancelled -= 1
+        if self._bus is not None:
+            self._bus.emit("store.cancel", self.name, self.getters_waiting)
         return True
 
     def __repr__(self):

@@ -92,7 +92,8 @@ class NTierSystem:
         return f"<NTierSystem nx={self.config.nx} {stack}>"
 
 
-def build_system(config=None, sim=None, host_overrides=None, name_prefix=""):
+def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
+                 bus=None):
     """Construct the 3-tier system described by ``config``.
 
     Returns an :class:`NTierSystem`; the caller attaches workload
@@ -102,7 +103,9 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix=""):
     :class:`~repro.cpu.host.Host` objects, co-locating that tier's VM on
     another system's physical machine — the paper's VM consolidation.
     ``name_prefix`` distinguishes the servers/VMs of multiple systems in
-    one simulation.
+    one simulation.  ``bus`` installs an instrumentation
+    :class:`~repro.sim.instrument.EventBus` on the new simulator before
+    any resource is wired, so every substrate component publishes to it.
     """
     config = config or SystemConfig()
     if sim is not None and sim.seed != config.seed:
@@ -110,7 +113,12 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix=""):
             f"simulator seed {sim.seed!r} != config.seed {config.seed!r}; "
             "forked RNG streams would not be reproducible from the config"
         )
-    sim = sim or Simulator(seed=config.seed)
+    if sim is not None and bus is not None:
+        raise ValueError(
+            "pass the bus to the existing simulator, not to build_system: "
+            "components capture sim.bus at construction"
+        )
+    sim = sim or Simulator(seed=config.seed, bus=bus)
     host_overrides = host_overrides or {}
     system = NTierSystem(sim, config, name_prefix=name_prefix)
     handlers = system.app.handlers()

@@ -1,0 +1,181 @@
+"""Unit tests for per-request CTQO attribution (repro.metrics.attribution)."""
+
+import pytest
+
+from repro.metrics import RequestLog, RequestRecord
+from repro.metrics.attribution import AttributionReport, CtqoAttributor
+from repro.metrics.detector import Episode
+
+TIERS = ["apache", "tomcat", "mysql"]
+
+
+def make_log(records):
+    log = RequestLog()
+    for record in records:
+        log.add(record)
+    return log
+
+
+def vlrt_record(request_id, start, drop_site="apache", drop_at=None,
+                failed=False):
+    drops = []
+    if drop_site is not None:
+        drops = [(drop_at if drop_at is not None else start, drop_site)]
+    return RequestRecord(
+        request_id, "ViewStory", start, start + 3.01,
+        attempts=2, drops=drops, failed=failed,
+    )
+
+
+def overflow(start, end, resource="apache"):
+    return Episode(resource, "overflow", start, end, 128, 125.5)
+
+
+def millibottleneck(start, end, resource="sysbursty-mysql"):
+    return Episode(resource, "cpu", start, end, 1.0, 0.95)
+
+
+def test_complete_chain_upstream():
+    log = make_log([vlrt_record(1, 10.0, drop_site="apache", drop_at=10.2)])
+    attributor = CtqoAttributor(TIERS, vm_of={"sysbursty-mysql": "tomcat"})
+    report = attributor.attribute(
+        log,
+        {"apache": [overflow(10.1, 10.5)]},
+        [millibottleneck(10.0, 10.8)],
+    )
+    assert report.coverage == 1.0
+    chain = report.chains[0]
+    assert chain.complete
+    assert chain.direction == "upstream"    # drop at apache, mb at tomcat
+    assert chain.overflow.start == pytest.approx(10.1)
+    assert "upstream CTQO" in chain.describe()
+
+
+def test_downstream_direction_when_drop_below_bottleneck():
+    log = make_log([vlrt_record(1, 10.0, drop_site="mysql", drop_at=10.2)])
+    attributor = CtqoAttributor(TIERS, vm_of={"sysbursty-mysql": "tomcat"})
+    report = attributor.attribute(
+        log,
+        {"mysql": [overflow(10.1, 10.5, resource="mysql")]},
+        [millibottleneck(10.0, 10.8)],
+    )
+    assert report.chains[0].direction == "downstream"
+
+
+def test_drop_free_vlrt_is_incomplete():
+    log = make_log([vlrt_record(1, 10.0, drop_site=None)])
+    attributor = CtqoAttributor(TIERS)
+    report = attributor.attribute(log, {}, [])
+    assert report.coverage == 0.0
+    chain = report.chains[0]
+    assert chain.drop_site is None
+    assert "no packet drop recorded" in chain.describe()
+
+
+def test_sampling_tolerance_matches_late_episode():
+    # the sampler first saw the full backlog 40 ms after the drop
+    log = make_log([vlrt_record(1, 10.0, drop_at=10.00)])
+    attributor = CtqoAttributor(TIERS, tolerance=0.05)
+    report = attributor.attribute(
+        log,
+        {"apache": [overflow(10.04, 10.5)]},
+        [millibottleneck(9.9, 10.8)],
+    )
+    assert report.chains[0].overflow is not None
+    strict = CtqoAttributor(TIERS, tolerance=0.0).attribute(
+        log,
+        {"apache": [overflow(10.04, 10.5)]},
+        [millibottleneck(9.9, 10.8)],
+    )
+    assert strict.chains[0].overflow is None
+
+
+def test_recently_ended_millibottleneck_owns_draining_drops():
+    # drop happens 0.3 s after the bottleneck ended (queue still full)
+    log = make_log([vlrt_record(1, 10.0, drop_at=11.1)])
+    attributor = CtqoAttributor(TIERS, vm_of={"sysbursty-mysql": "tomcat"},
+                                window=1.0)
+    mbs = [millibottleneck(10.0, 10.8)]
+    report = attributor.attribute(log, {"apache": [overflow(10.1, 11.3)]}, mbs)
+    assert report.chains[0].millibottleneck is mbs[0]
+    outside = CtqoAttributor(TIERS, window=0.1).attribute(
+        log, {"apache": [overflow(10.1, 11.3)]}, mbs
+    )
+    assert outside.chains[0].millibottleneck is None
+
+
+def test_earliest_active_millibottleneck_wins():
+    # the victim tier saturates after its antagonist; the root cause is
+    # the episode that started first
+    log = make_log([vlrt_record(1, 10.0, drop_at=10.4)])
+    attributor = CtqoAttributor(TIERS, vm_of={"sysbursty-mysql": "tomcat"})
+    root = millibottleneck(10.0, 10.8)
+    secondary = millibottleneck(10.2, 10.9, resource="tomcat")
+    report = attributor.attribute(
+        log, {"apache": [overflow(10.1, 10.6)]}, [secondary, root]
+    )
+    assert report.chains[0].millibottleneck is root
+
+
+def test_off_chain_resource_yields_no_direction():
+    log = make_log([vlrt_record(1, 10.0, drop_at=10.2)])
+    attributor = CtqoAttributor(TIERS)   # no vm_of mapping
+    report = attributor.attribute(
+        log,
+        {"apache": [overflow(10.1, 10.5)]},
+        [millibottleneck(10.0, 10.8, resource="unrelated-antagonist")],
+    )
+    chain = report.chains[0]
+    assert chain.millibottleneck is not None
+    assert chain.direction is None
+
+
+def test_vm_suffix_strip_fallback():
+    attributor = CtqoAttributor(TIERS)
+    assert attributor.server_for_vm("tomcat-vm") == "tomcat"
+    assert attributor.server_for_vm("tomcat") == "tomcat"
+    assert attributor.classify_direction("tomcat-vm", "apache") == "upstream"
+    assert attributor.classify_direction("tomcat-vm", "mysql") == "downstream"
+
+
+def test_failed_and_dropped_requests_are_included_once():
+    failed = vlrt_record(1, 10.0, drop_at=10.2, failed=True)
+    log = make_log([failed])
+    report = CtqoAttributor(TIERS).attribute(log, {}, [])
+    assert len(report.chains) == 1        # vlrt() and dropped_requests()
+    assert report.chains[0].failed
+
+
+def test_tier_order_validation():
+    with pytest.raises(ValueError):
+        CtqoAttributor(["apache"])
+
+
+def test_report_aggregates_and_render():
+    chains_log = make_log([
+        vlrt_record(1, 10.0, drop_at=10.2),
+        vlrt_record(2, 10.1, drop_at=10.25),
+        vlrt_record(3, 20.0, drop_site=None),
+    ])
+    attributor = CtqoAttributor(TIERS, vm_of={"sysbursty-mysql": "tomcat"})
+    report = attributor.attribute(
+        chains_log,
+        {"apache": [overflow(10.1, 10.5)]},
+        [millibottleneck(10.0, 10.8)],
+    )
+    assert len(report) == 3
+    assert report.coverage == pytest.approx(2 / 3)
+    assert report.directions() == {"upstream": 2}
+    assert report.drop_sites() == {"apache": 2}
+    grouped = report.by_millibottleneck()
+    assert len(grouped) == 1 and len(grouped[0][1]) == 2
+    text = report.render()
+    assert "2/3 tail requests fully attributed" in text
+    assert "66.7 % coverage" in text
+    assert "unattributed: 1" in text
+
+
+def test_empty_report_renders_and_covers():
+    report = AttributionReport([], TIERS)
+    assert report.coverage == 1.0
+    assert "no VLRT or dropped requests" in report.render()

@@ -1,0 +1,120 @@
+"""Unit tests for episode segmentation (repro.metrics.detector)."""
+
+import pytest
+
+from repro.metrics import TimeSeries
+from repro.metrics.detector import (
+    Episode,
+    detect_millibottlenecks,
+    overflow_episodes,
+    saturation_episodes,
+)
+
+
+def series(values, name="cpu:vm", interval=0.05):
+    out = TimeSeries(name)
+    for index, value in enumerate(values):
+        out.append((index + 1) * interval, value)
+    return out
+
+
+def test_single_episode_bounds_and_peak():
+    s = series([0.1, 0.2, 0.99, 1.0, 0.97, 0.3, 0.1])
+    episodes = saturation_episodes(s, 0.95)
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.start == pytest.approx(0.15)
+    assert episode.end == pytest.approx(0.30)   # first sample back below
+    assert episode.peak == pytest.approx(1.0)
+    assert episode.resource == "cpu:vm"
+    assert episode.duration == pytest.approx(0.15)
+
+
+def test_open_episode_ends_at_last_sample():
+    s = series([0.1, 0.99, 1.0])
+    episodes = saturation_episodes(s, 0.95, min_duration=0.0)
+    assert len(episodes) == 1
+    assert episodes[0].end == pytest.approx(0.15)
+
+
+def test_min_duration_filters_blips():
+    s = series([0.99, 0.1, 0.99, 0.99, 0.99, 0.1])
+    episodes = saturation_episodes(s, 0.95, min_duration=0.1)
+    assert len(episodes) == 1
+    assert episodes[0].start == pytest.approx(0.15)
+
+
+def test_max_duration_excludes_persistent_saturation():
+    s = series([0.99] * 30 + [0.1])
+    assert saturation_episodes(s, 0.95, max_duration=1.0) == []
+    assert len(saturation_episodes(s, 0.95, max_duration=None)) == 1
+
+
+def test_merge_gap_bridges_brief_dips():
+    s = series([0.99, 0.99, 0.1, 0.99, 0.99, 0.1])
+    separate = saturation_episodes(s, 0.95, min_duration=0.0)
+    assert len(separate) == 2
+    merged = saturation_episodes(s, 0.95, min_duration=0.0, merge_gap=0.1)
+    assert len(merged) == 1
+    assert merged[0].start == pytest.approx(0.05)
+    assert merged[0].end == pytest.approx(0.30)
+
+
+def test_threshold_is_strict():
+    s = series([0.95, 0.95])
+    assert saturation_episodes(s, 0.95, min_duration=0.0) == []
+
+
+def test_invalid_parameters():
+    s = series([0.0])
+    with pytest.raises(ValueError):
+        saturation_episodes(s, 0.95, min_duration=-1)
+    with pytest.raises(ValueError):
+        saturation_episodes(s, 0.95, merge_gap=-0.1)
+
+
+def test_episode_overlaps_and_covers():
+    episode = Episode("vm", "cpu", 1.0, 2.0, 1.0, 0.95)
+    assert episode.overlaps(1.5, 3.0)
+    assert not episode.overlaps(2.0, 3.0)     # end-exclusive
+    assert episode.covers(1.0)
+    assert episode.covers(2.0)
+    assert not episode.covers(2.01)
+    assert episode.covers(2.01, tolerance=0.05)
+    assert "cpu-episode on vm" in str(episode)
+
+
+def test_detect_millibottlenecks_across_vms_sorted():
+    class FakeMonitor:
+        cpu = {
+            "tomcat": series([0.1, 0.99, 0.99, 0.99, 0.1]),
+            "mysql": series([0.99, 0.99, 0.1, 0.1, 0.1]),
+        }
+        iowait = {"mysql": series([0.1, 0.1, 0.1, 0.99, 0.99])}
+
+    episodes = detect_millibottlenecks(FakeMonitor(), min_duration=0.0)
+    assert [(e.resource, e.kind) for e in episodes] == [
+        ("mysql", "cpu"), ("tomcat", "cpu"), ("mysql", "io"),
+    ]
+    assert episodes[0].start <= episodes[1].start <= episodes[2].start
+
+
+def test_overflow_episodes_near_capacity():
+    # a 128-deep backlog pinned at/near capacity, sampled at 50 ms
+    depth = series([0, 90, 128, 127, 128, 40, 0], name="backlog:apache")
+    episodes = overflow_episodes(depth, capacity=128, slack=2)
+    assert len(episodes) == 1
+    assert episodes[0].kind == "overflow"
+    assert episodes[0].start == pytest.approx(0.15)
+    assert episodes[0].end == pytest.approx(0.30)
+
+
+def test_overflow_episodes_merge_drain_dips():
+    depth = series([128, 128, 60, 128, 128, 0], name="backlog:apache")
+    episodes = overflow_episodes(depth, capacity=128)
+    assert len(episodes) == 1   # default merge_gap bridges the dip
+
+
+def test_overflow_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        overflow_episodes(series([0]), capacity=0)

@@ -9,6 +9,8 @@ from repro.metrics import (
     RequestLog,
     RequestRecord,
     TimeSeries,
+    chrome_trace_to_json,
+    events_to_jsonl,
     request_log_to_csv,
     run_summary_to_json,
     timeseries_to_csv,
@@ -93,3 +95,104 @@ def test_run_summary_json(tmp_path):
     )
     # JSON must be fully serializable (no numpy scalars sneaking in)
     json.dumps(payload)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace JSON + JSONL event log
+# ----------------------------------------------------------------------
+class FakeRecorder:
+    def __init__(self, events):
+        self.events = list(events)
+        self.recorded = len(self.events)
+
+
+def traced_log():
+    log = RequestLog()
+    log.add(RequestRecord(
+        7, "ViewStory", 10.0, 13.01,
+        drops=[(10.0, "apache")],
+        trace=[
+            (10.0, "drop", "apache"),
+            (13.0, "start", "apache"),
+            (13.005, "start", "tomcat"),
+            (13.008, "reply", "tomcat"),
+            (13.01, "reply", "apache"),
+        ],
+    ))
+    log.add(RequestRecord(8, "StaticContent", 10.5, 10.505))  # no trace
+    return log
+
+
+def test_chrome_trace_counters_spans_and_instants(tmp_path):
+    class FakeMonitor:
+        cpu = {"tomcat": make_series("cpu:tomcat", [(0.05, 0.5)])}
+        host_cpu = {}
+        iowait = {}
+        queues = {}
+        occupancy = {}
+        backlog = {"apache": make_series("backlog:apache", [(0.05, 120)])}
+        headroom = {}
+
+    recorder = FakeRecorder([
+        (10.0, "net.drop", "apache", 1),
+        (10.1, "cpu.alloc", "tomcat-vm", 0.5),
+        (10.2, "queue.grant", "tomcat.pool", 3),   # not a trace instant
+    ])
+    path = tmp_path / "trace.json"
+    chrome_trace_to_json(path, monitor=FakeMonitor(), log=traced_log(),
+                         recorder=recorder)
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    events = payload["traceEvents"]
+
+    process_names = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+    assert process_names == {"gauges", "requests", "events"}
+
+    counters = [e for e in events if e["ph"] == "C"]
+    assert {"cpu:tomcat", "backlog:apache", "alloc:tomcat-vm"} == {
+        e["name"] for e in counters
+    }
+    gauge = next(e for e in counters if e["name"] == "cpu:tomcat")
+    assert gauge["ts"] == pytest.approx(50_000)   # 0.05 s in µs
+
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in spans} == {"apache", "tomcat"}
+    apache = next(e for e in spans if e["name"] == "apache")
+    assert apache["dur"] == pytest.approx(10_000)  # 13.0 -> 13.01 s
+
+    instants = [e for e in events if e["ph"] == "i"]
+    names = {e["name"] for e in instants}
+    assert "drop@apache" in names
+    assert "net.drop@apache" in names
+    assert not any("queue.grant" in n for n in names)
+
+
+def test_chrome_trace_caps_request_tracks(tmp_path):
+    log = RequestLog()
+    for i in range(5):
+        log.add(RequestRecord(
+            i, "X", float(i), float(i) + 3.0,
+            trace=[(float(i), "start", "apache"),
+                   (float(i) + 3.0, "reply", "apache")],
+        ))
+    path = tmp_path / "trace.json"
+    chrome_trace_to_json(path, log=log, max_request_traces=2)
+    payload = json.loads(path.read_text())
+    tids = {e["tid"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert tids == {0, 1}   # earliest-starting requests kept
+
+
+def test_events_jsonl_round_trip(tmp_path):
+    recorder = FakeRecorder([
+        (1.5, "queue.enqueue", "tomcat.pool", 12),
+        (2.0, "net.drop", "apache", 1),
+    ])
+    path = tmp_path / "events.jsonl"
+    events_to_jsonl(path, recorder)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines == [
+        {"t": 1.5, "kind": "queue.enqueue", "source": "tomcat.pool",
+         "value": 12},
+        {"t": 2.0, "kind": "net.drop", "source": "apache", "value": 1},
+    ]

@@ -101,3 +101,52 @@ def test_start_idempotent(sim):
     monitor.start()
     sim.run(until=0.55)
     assert len(monitor.cpu["vm"]) == 5  # not double-sampled
+
+
+class FakeListener:
+    def __init__(self):
+        self.backlog_length = 0
+
+
+class GaugedFakeServer(FakeServer):
+    """FakeServer plus the full fine-grained gauge interface."""
+
+    def __init__(self):
+        super().__init__()
+        self.busy = 0
+        self.listener = FakeListener()
+        self.max_sys_q_depth = 10
+
+    def occupancy(self):
+        return self.busy
+
+
+def test_fine_grained_gauges_sampled(sim):
+    server = GaugedFakeServer()
+    monitor = SystemMonitor(sim, interval=0.1)
+    monitor.watch_server("srv", server).start()
+
+    def load():
+        server.busy = 3
+        server.listener.backlog_length = 5
+        server.depth = 8
+
+    sim.call_in(0.25, load)
+    sim.run(until=0.5)
+    assert monitor.occupancy["srv"].value_at(0.15) == 0
+    assert monitor.occupancy["srv"].value_at(0.35) == 3
+    assert monitor.backlog["srv"].value_at(0.35) == 5
+    # headroom = MaxSysQDepth - queue_depth()
+    assert monitor.headroom["srv"].value_at(0.15) == 10
+    assert monitor.headroom["srv"].value_at(0.35) == 2
+
+
+def test_minimal_server_gets_no_gauges(sim):
+    """Servers without the gauge interface still get queue sampling."""
+    monitor = SystemMonitor(sim, interval=0.1)
+    monitor.watch_server("srv", FakeServer()).start()
+    sim.run(until=0.3)
+    assert "srv" in monitor.queues
+    assert "srv" not in monitor.occupancy
+    assert "srv" not in monitor.backlog
+    assert "srv" not in monitor.headroom

@@ -122,3 +122,80 @@ def test_vlrt_traces_kept_by_default_in_real_run():
     gaps = retransmission_gaps(vlrt_with_trace[0].trace)
     assert gaps and gaps[0][1] is not None
     assert gaps[0][1] - gaps[0][0] == pytest.approx(3.0, abs=0.2)
+
+
+def test_retransmission_gaps_interleaved_visits():
+    """Drops from different listeners resolve at the same next event."""
+    trace = [
+        (0.0, "drop", "apache"),
+        (0.5, "drop", "tomcat"),
+        (3.0, "start", "apache"),
+        (3.5, "drop", "tomcat"),
+        (6.5, "start", "tomcat"),
+    ]
+    gaps = retransmission_gaps(trace)
+    assert gaps == [
+        (0.0, 3.0, "apache"),
+        (0.5, 3.0, "tomcat"),
+        (3.5, 6.5, "tomcat"),
+    ]
+
+
+def test_retransmission_gaps_single_pass_scales():
+    """A drop-storm trace (the quadratic worst case) stays fast."""
+    trace = []
+    for i in range(2000):
+        trace.append((float(i), "drop", "apache"))
+    trace.append((3000.0, "start", "apache"))
+    gaps = retransmission_gaps(trace)
+    assert len(gaps) == 2000
+    assert all(resume == 3000.0 for _d, resume, _l in gaps)
+
+
+def test_narrate_multi_visit_spans():
+    """A two-query request narrates one line per server visit."""
+    trace = trace_for_two_query_request()
+    record = RequestRecord(11, "StoryOfTheDay", 10.0, 10.011, trace=trace)
+    text = narrate(record)
+    assert text.count("in mysql:") == 2
+    assert "in tomcat: 8.00 ms" in text
+    assert "in apache: 11.00 ms" in text
+
+
+def test_narrate_failed_request():
+    record = RequestRecord(
+        13, "ViewStory", 0.0, 9.0, attempts=4, failed=True,
+        error="ConnectionTimeout",
+        drops=[(0.0, "apache"), (3.0, "apache"), (6.0, "apache"),
+               (9.0, "apache")],
+        trace=[
+            (0.0, "drop", "apache"),
+            (3.0, "drop", "apache"),
+            (6.0, "drop", "apache"),
+            (9.0, "drop", "apache"),
+        ],
+    )
+    text = narrate(record)
+    assert "FAILED" in text
+    assert text.count("PACKET DROPPED at apache") == 4
+    # every drop is unresolved: no dead-time line without a resume event
+    gaps = retransmission_gaps(record.trace)
+    assert all(resume is None for _d, resume, _l in gaps)
+
+
+def test_narrate_attributes_drop_site():
+    record = RequestRecord(
+        17, "BrowseStories", 1.0, 4.2,
+        drops=[(1.0, "tomcat")],
+        trace=[
+            (1.0, "start", "apache"),
+            (1.0, "drop", "tomcat"),
+            (4.0, "start", "tomcat"),
+            (4.1, "reply", "tomcat"),
+            (4.2, "reply", "apache"),
+        ],
+    )
+    text = narrate(record)
+    assert "PACKET DROPPED at tomcat" in text
+    assert "PACKET DROPPED at apache" not in text
+    assert "dead time: 3000 ms" in text

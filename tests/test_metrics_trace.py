@@ -111,3 +111,11 @@ def test_empty_log_summary():
     summary = RequestLog().summary(10.0)
     assert summary["requests"] == 0
     assert summary["p99_ms"] == 0.0
+
+
+def test_summary_validates_duration_even_when_empty():
+    """A bad window is a caller bug regardless of log contents."""
+    with pytest.raises(ValueError):
+        RequestLog().summary(0.0)
+    with pytest.raises(ValueError):
+        RequestLog().summary(-1.0)

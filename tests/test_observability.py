@@ -1,0 +1,94 @@
+"""End-to-end tests for the observability pipeline.
+
+Three guarantees ride on this file:
+
+1. binding an :class:`EventBus` (with a live recorder) does not perturb
+   the simulation — per-request results are identical with and without
+   instrumentation;
+2. the millibottleneck detector + CTQO attributor explain the fig01 RPC
+   configuration's tail: ≥ 90 % of VLRT/dropped requests get a complete
+   drop → overflow → millibottleneck chain with the right direction;
+3. ``repro diagnose`` wires it all together, including the Perfetto
+   trace / JSONL export.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.fig01_histograms import run_one
+from repro.sim import EventBus, EventRecorder
+
+
+def fingerprint(log):
+    """Per-request identity of a run (order, timing, outcome).
+
+    Request IDs come from a process-global counter, so two runs in one
+    process number differently; compare them relative to the run's
+    first ID instead.
+    """
+    base = min((r.request_id for r in log.records), default=0)
+    return [
+        (r.request_id - base, r.kind, r.start, r.end, r.attempts,
+         tuple(r.drops), r.failed)
+        for r in log.records
+    ]
+
+
+def test_instrumentation_does_not_perturb_the_simulation():
+    plain = run_one(7000, duration=6.0, warmup=1.0, seed=42)
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    instrumented = run_one(7000, duration=6.0, warmup=1.0, seed=42, bus=bus)
+    assert recorder.recorded > 0, "hooks should actually publish"
+    assert fingerprint(instrumented["result"].log) == fingerprint(
+        plain["result"].log
+    )
+    assert instrumented["result"].summary() == plain["result"].summary()
+
+
+@pytest.mark.integration
+def test_fig01_attribution_meets_coverage_bar():
+    panel = run_one(7000, duration=20.0, warmup=2.0, seed=42)
+    result = panel["result"]
+    assert panel["vlrt"] > 100, "run too short to exercise the tail"
+    report = result.attribution()
+    assert report.coverage >= 0.90, report.render()
+    # the fig01 story: consolidation bottleneck at the app tier pushes
+    # back until Apache's accept queue overflows -> upstream CTQO
+    assert report.directions().most_common(1)[0][0] == "upstream"
+    assert report.drop_sites().most_common(1)[0][0] == "apache"
+    for chain in report.complete:
+        assert chain.overflow.covers(chain.drop_time,
+                                     result.monitor.interval + 1e-9)
+        assert chain.millibottleneck.kind in ("cpu", "io")
+
+
+def test_diagnose_cli_prints_chains(capsys):
+    assert main(["diagnose", "fig01", "--duration", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "=== diagnosis ===" in out
+    assert "CTQO attribution (automated Fig 4)" in out
+    assert "tail requests fully attributed" in out
+
+
+@pytest.mark.integration
+def test_diagnose_cli_exports_trace_artifacts(tmp_path, capsys):
+    out_dir = str(tmp_path / "artifacts")
+    assert main(["diagnose", "fig03", "--duration", "20",
+                 "--out", out_dir]) == 0
+    printed = capsys.readouterr().out
+    assert "bus events" in printed
+    for name in ("fig03_trace.json", "fig03_events.jsonl",
+                 "fig03_requests.csv", "fig03_summary.json"):
+        assert os.path.exists(os.path.join(out_dir, name)), name
+    payload = json.loads(
+        open(os.path.join(out_dir, "fig03_trace.json")).read()
+    )
+    phases = {e["ph"] for e in payload["traceEvents"]}
+    assert {"M", "C", "X", "i"} <= phases
+    with open(os.path.join(out_dir, "fig03_events.jsonl")) as handle:
+        first = json.loads(next(handle))
+    assert set(first) == {"t", "kind", "source", "value"}

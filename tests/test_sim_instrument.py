@@ -1,0 +1,165 @@
+"""Unit tests for the instrumentation bus (repro.sim.instrument)."""
+
+import pytest
+
+from repro.cpu import Host
+from repro.net import Listener, NetworkFabric
+from repro.sim import EventBus, EventRecorder, Resource, Simulator, Store
+
+
+@pytest.fixture
+def instrumented():
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    sim = Simulator(seed=3, bus=bus)
+    return sim, bus, recorder
+
+
+# ----------------------------------------------------------------------
+# bus semantics
+# ----------------------------------------------------------------------
+def test_emit_carries_clock_and_counts(instrumented):
+    sim, bus, recorder = instrumented
+    sim.call_at(1.5, bus.emit, "queue.enqueue", "srv", 7)
+    sim.run()
+    assert bus.events_emitted == 1
+    assert list(recorder.events) == [(1.5, "queue.enqueue", "srv", 7)]
+
+
+def test_subscribe_by_kind_filters(instrumented):
+    sim, bus, _recorder = instrumented
+    seen = []
+    bus.subscribe("net.drop", lambda *e: seen.append(e))
+    bus.emit("queue.grant", "srv", 1)
+    bus.emit("net.drop", "srv", 2)
+    assert seen == [(0.0, "net.drop", "srv", 2)]
+
+
+def test_unsubscribe_stops_delivery(instrumented):
+    sim, bus, recorder = instrumented
+    bus.emit("queue.grant", "srv", 1)
+    recorder.detach()
+    bus.emit("queue.grant", "srv", 2)
+    assert len(recorder.events) == 1
+
+
+def test_bus_rejects_rebinding_to_second_simulator():
+    bus = EventBus()
+    Simulator(seed=1, bus=bus)
+    with pytest.raises(RuntimeError):
+        Simulator(seed=2, bus=bus)
+
+
+def test_rebinding_same_simulator_is_idempotent():
+    bus = EventBus()
+    sim = Simulator(seed=1, bus=bus)
+    assert bus.bind(sim) is bus
+
+
+def test_recorder_capacity_evicts_oldest(instrumented):
+    _sim, bus, _recorder = instrumented
+    small = EventRecorder(bus, capacity=3)
+    for i in range(5):
+        bus.emit("queue.grant", "srv", i)
+    assert small.recorded == 5
+    assert small.truncated
+    assert [e[3] for e in small.events] == [2, 3, 4]
+
+
+def test_recorder_rejects_zero_capacity(instrumented):
+    _sim, bus, _recorder = instrumented
+    with pytest.raises(ValueError):
+        EventRecorder(bus, capacity=0)
+
+
+def test_recorder_views(instrumented):
+    sim, bus, recorder = instrumented
+    sim.call_at(1.0, bus.emit, "net.drop", "apache", 1)
+    sim.call_at(2.0, bus.emit, "net.deliver", "apache", 2)
+    sim.run()
+    assert recorder.counts() == {"net.drop": 1, "net.deliver": 1}
+    assert recorder.by_kind("net.drop") == [(1.0, "net.drop", "apache", 1)]
+    assert recorder.window(1.5, 2.5) == [(2.0, "net.deliver", "apache", 2)]
+
+
+# ----------------------------------------------------------------------
+# component hook points
+# ----------------------------------------------------------------------
+def test_resource_lifecycle_events(instrumented):
+    sim, _bus, recorder = instrumented
+    res = Resource(sim, capacity=1, name="pool")
+    res.acquire()                      # immediate grant
+    waiting = res.acquire()            # queues
+    res.acquire()                      # queues too
+    res.cancel(waiting)                # withdrawn
+    res.release()                      # hand-off grant
+    res.release()                      # no waiter left
+    kinds = [e[1] for e in recorder.events]
+    assert kinds == [
+        "queue.grant", "queue.enqueue", "queue.enqueue",
+        "queue.cancel", "queue.grant", "queue.release",
+    ]
+    assert all(e[2] == "pool" for e in recorder.events)
+
+
+def test_store_lifecycle_events(instrumented):
+    sim, _bus, recorder = instrumented
+    store = Store(sim, name="backlog")
+    grant = store.get()                # waits
+    store.put("x")                     # hand-off
+    store.put("y")                     # queued item
+    assert grant.value == "x"
+    kinds = [e[1] for e in recorder.events]
+    assert kinds == ["store.get", "store.put", "store.put"]
+
+
+def test_network_drop_and_retransmit_events(instrumented):
+    sim, _bus, recorder = instrumented
+    fabric = NetworkFabric(sim, latency=0.001)
+    listener = Listener(sim, name="apache", backlog=1)
+
+    def client():
+        # nobody accepts, so the single backlog slot fills and stays full
+        fabric.send(listener, "fills the slot")
+        exchange = fabric.send(listener, "dropped every attempt")
+        try:
+            yield exchange.response
+        except Exception:
+            pass
+
+    sim.process(client())
+    sim.run(until=40.0)
+    kinds = set(e[1] for e in recorder.events)
+    assert "net.deliver" in kinds
+    assert "net.drop" in kinds
+    assert "net.retransmit" in kinds
+    assert "net.timeout" in kinds
+    drops = recorder.by_kind("net.drop")
+    assert all(e[2] == "apache" for e in drops)
+
+
+def test_cpu_alloc_events_on_change_only(instrumented):
+    sim, _bus, recorder = instrumented
+    host = Host(sim, cores=1)
+    vm_a = host.add_vm("a")
+    vm_b = host.add_vm("b")
+    vm_a.execute(0.1)
+    sim.run(until=0.05)
+    vm_b.execute(0.1)
+    sim.run(until=1.0)
+    allocs = recorder.by_kind("cpu.alloc")
+    assert allocs, "allocation changes should publish"
+    # consecutive events for one VM always change its allocation
+    last = {}
+    for _when, _kind, source, value in allocs:
+        assert last.get(source) != value
+        last[source] = value
+
+
+def test_disabled_bus_emits_nothing():
+    sim = Simulator(seed=3)
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    res.release()
+    assert sim.bus is None
+    assert res._bus is None

@@ -103,6 +103,12 @@ def test_store_handoff(benchmark):
     assert ops >= 100
 
 
+def test_server_policy_step(benchmark):
+    """Request fast path through the composed policy runtime."""
+    ops = benchmark(bench.bench_server_policy_step, SCALE)
+    assert ops >= 100
+
+
 def test_full_system_simulation_rate(benchmark):
     """End-to-end: one simulated second of the paper's WL 7000 system."""
     from repro.core import Scenario

@@ -40,6 +40,7 @@ __all__ = [
     "bench_fig01_quick",
     "bench_kernel_callbacks",
     "bench_numeric_yield",
+    "bench_server_policy_step",
     "bench_store_handoff",
     "default_scale",
     "main",
@@ -153,6 +154,45 @@ def bench_store_handoff(scale=1.0):
     return ops
 
 
+def bench_server_policy_step(scale=1.0):
+    """Per-request cost of the composed policy runtime.
+
+    One :class:`~repro.servers.runtime.PolicyServer` in its default
+    composition (kernel-backlog admission, thread-pool concurrency, no
+    remediation) served by a serial closed-loop client: every
+    operation crosses accept -> admission -> worker -> the shared
+    servlet-driver step loop -> reply.  This is the request fast path
+    the policy refactor re-routed, so this number is what guards it
+    against regression.
+    """
+    from .apps.servlet import Compute, Request
+    from .cpu import Host
+    from .net import NetworkFabric
+    from .servers import PolicyServer
+
+    requests = _scaled(8_000, scale)
+    sim = Simulator(seed=1)
+    fabric = NetworkFabric(sim, latency=0.0, rto=3.0, max_retransmits=3)
+    vm = Host(sim, cores=1, name="bench-host").add_vm("bench-vm")
+
+    def handler(ctx, request):
+        yield Compute(1e-6)
+        return request.operation
+
+    server = PolicyServer(sim, fabric, "bench", vm, handler)
+
+    def client():
+        for i in range(requests):
+            exchange = fabric.send(server.listener, Request("K", i, sim.now))
+            yield exchange.response
+
+    sim.process(client())
+    sim.run()
+    if server.stats.completed != requests:
+        raise AssertionError("policy server dropped benchmark requests")
+    return requests
+
+
 def bench_fig01_quick(scale=1.0):
     """A quick ``fig01``-style end-to-end run (WL 7000, consolidation).
 
@@ -197,6 +237,7 @@ BENCHMARKS = (
     ("acquire_release_churn_2000", bench_acquire_release_churn, 3),
     ("cancel_under_load_2000", bench_cancel_under_load, 3),
     ("store_handoff", bench_store_handoff, 3),
+    ("server_policy_step", bench_server_policy_step, 3),
     ("fig01_quick", bench_fig01_quick, 3),
     ("fig01_instrumented", bench_fig01_instrumented, 3),
 )

@@ -47,6 +47,7 @@ from .experiments import (
     fig11_nx3_xmysql,
     fig12_throughput,
     headline_utilization,
+    policy_matrix,
 )
 from .metrics.export import (
     chrome_trace_to_json,
@@ -81,6 +82,7 @@ EXPERIMENTS = {
     "fig11": "NX=3, I/O millibottleneck (no CTQO)",
     "fig12": "throughput vs concurrency: 2000 threads vs async",
     "headline": "the abstract's 43% vs 83% utilization claim",
+    "policy_matrix": "admission x concurrency x remediation hybrids at WL 7000",
 }
 
 
@@ -134,6 +136,24 @@ def _run_fig12(args):
     return 0
 
 
+def _run_policy_matrix(args):
+    cells = policy_matrix.run(duration=args.duration or 40.0)
+    print(policy_matrix.report(cells))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, cell in cells.items():
+            request_log_to_csv(
+                os.path.join(args.out, f"policy_{name}_requests.csv"),
+                cell["result"].log,
+            )
+            run_summary_to_json(
+                os.path.join(args.out, f"policy_{name}_summary.json"),
+                cell["result"],
+            )
+        print(f"\n[raw data written to {args.out}/]")
+    return 0 if not policy_matrix.check_claims(cells) else 1
+
+
 def _run_headline(args):
     points = headline_utilization.run(duration=args.duration or 60.0)
     print(headline_utilization.report(points))
@@ -159,6 +179,8 @@ def _cmd_run(args):
             status |= _run_fig12(args)
         elif name == "headline":
             status |= _run_headline(args)
+        elif name == "policy_matrix":
+            status |= _run_policy_matrix(args)
         else:
             print(f"unknown experiment {name!r}; try 'list'",
                   file=sys.stderr)
@@ -247,6 +269,14 @@ def _cmd_diagnose(args):
         )
         run = panel["result"]
         heading = f"fig01 @ WL {args.workload}, {duration:.0f}s"
+    elif name == "policy_matrix":
+        duration = args.duration or 40.0
+        cell = policy_matrix.run_one(
+            args.variant, clients=args.workload, duration=duration, bus=bus
+        )
+        run = cell["result"]
+        heading = (f"policy_matrix/{args.variant} @ WL {args.workload}, "
+                   f"{duration:.0f}s")
     else:
         module = _TIMELINES[name]
         result = run_timeline(module.SPEC, duration=args.duration, bus=bus)
@@ -349,12 +379,18 @@ def build_parser():
         "diagnose",
         help="run an experiment and print the CTQO causal post-mortem",
     )
-    diag_parser.add_argument("experiment",
-                             choices=["fig01"] + sorted(_TIMELINES))
+    diag_parser.add_argument(
+        "experiment",
+        choices=["fig01", "policy_matrix"] + sorted(_TIMELINES),
+    )
     diag_parser.add_argument("--duration", type=float, default=None,
                              help="simulated seconds (default: the figure's)")
     diag_parser.add_argument("--workload", type=int, default=7000,
-                             help="client count for fig01 (default 7000)")
+                             help="client count for fig01/policy_matrix "
+                                  "(default 7000)")
+    diag_parser.add_argument("--variant", default="shed_web",
+                             choices=sorted(policy_matrix.VARIANTS),
+                             help="policy_matrix grid cell to diagnose")
     diag_parser.add_argument("--examples", type=int, default=3,
                              help="example causal chains to print")
     diag_parser.add_argument("--out", default=None,

@@ -63,11 +63,26 @@ class RunResult:
     def dropped_packets(self):
         return self.system.total_drops()
 
+    @property
+    def sheds(self):
+        """Server display name → packets 503'd there."""
+        return self.system.shed_counts()
+
+    @property
+    def shed_packets(self):
+        return self.system.total_sheds()
+
     def summary(self):
         """Client-side digest over the measured window."""
         out = self.log.summary(self.measured_duration)
         out["drops_by_server"] = self.drops
         out["dropped_packets"] = self.dropped_packets
+        # shed keys appear only when a load-shedding admission actually
+        # fired, so classic (drop/retransmit-only) runs keep their
+        # golden summaries byte-identical
+        if self.shed_packets:
+            out["sheds_by_server"] = self.sheds
+            out["shed_packets"] = self.shed_packets
         return out
 
     # figure-oriented accessors ----------------------------------------
@@ -179,6 +194,17 @@ class RunResult:
                     monitor.queues[name], server.max_sys_q_depth,
                     name=name, slack=overflow_slack,
                 )
+            if getattr(server.listener, "sheds", 0):
+                # a load-shedding admission 503s while the backlog stays
+                # empty, so the overflowing resource is the lightweight
+                # queue itself: segment its occupancy against the
+                # admission depth (MaxSysQDepth minus the backlog part)
+                occupancy = monitor.occupancy.get(name)
+                if occupancy is not None:
+                    depth = server.max_sys_q_depth - server.listener.backlog
+                    overflow[name] = list(overflow[name]) + overflow_episodes(
+                        occupancy, depth, name=name, slack=overflow_slack,
+                    )
         attributor = CtqoAttributor(
             [self.names["web"], self.names["app"], self.names["db"]],
             vm_of=self.vm_to_server(), window=window,

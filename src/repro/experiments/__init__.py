@@ -14,6 +14,7 @@ fig10_nx3_xtomcat         Fig 10 — NX=3, no CTQO (CPU millibottleneck)
 fig11_nx3_xmysql          Fig 11 — NX=3, no CTQO (I/O millibottleneck)
 fig12_throughput          Fig 12 — 2000 threads vs async throughput
 deep_chain                extension — multi-hop CTQO in 4/5-tier chains
+policy_matrix             extension — invocation-policy hybrids at WL 7000
 replication               extension — replicas dilute but keep CTQO
 validation                substrate check — simulator vs queueing theory
 cause_variety             §III — CPU/disk/GC/network causes, same CTQO
@@ -44,6 +45,7 @@ from . import (  # noqa: F401
     fig11_nx3_xmysql,
     fig12_throughput,
     headline_utilization,
+    policy_matrix,
 )
 from . import runner  # noqa: F401
 from .runner import (

@@ -196,6 +196,9 @@ REGISTRY = {
         _spec("validation", "validation",
               "simulator vs closed-form queueing theory",
               quick={"duration": 12.0, "workloads": [2000, 7000]}),
+        _spec("policy_matrix", "policy_matrix",
+              "admission x concurrency x remediation hybrids at WL 7000",
+              quick={"duration": 16.0}),
         _spec("cause_variety", "cause_variety",
               "CPU/disk/GC/network causes, same CTQO",
               quick={"duration": 12.0, "causes": ["cpu", "io"]}),

@@ -42,6 +42,10 @@ class CausalChain:
     overflow: object            # detector Episode, or None
     millibottleneck: object     # Millibottleneck/Episode, or None
     direction: object           # "upstream" / "downstream" / None
+    #: how the packet left the fast path: a silent TCP "drop" (the
+    #: paper's mechanism) or an explicit 503 "shed" by a load-shedding
+    #: admission policy
+    cause: str = "drop"
 
     @property
     def complete(self):
@@ -60,7 +64,8 @@ class CausalChain:
         )
         if self.drop_site is None:
             return f"{head}: no packet drop recorded (slow, not dropped)"
-        parts = [f"dropped at {self.drop_site} t={self.drop_time:.2f}s"]
+        verb = "shed (503)" if self.cause == "shed" else "dropped"
+        parts = [f"{verb} at {self.drop_site} t={self.drop_time:.2f}s"]
         if self.overflow is not None:
             parts.append(
                 f"backlog overflow [{self.overflow.start:.2f}s, "
@@ -113,7 +118,15 @@ class AttributionReport:
     def drop_sites(self):
         """Counter of drop sites over attributed (dropped) requests."""
         return Counter(
-            c.drop_site for c in self.chains if c.drop_site is not None
+            c.drop_site for c in self.chains
+            if c.drop_site is not None and c.cause == "drop"
+        )
+
+    def shed_sites(self):
+        """Counter of 503 sites over attributed (shed) requests."""
+        return Counter(
+            c.drop_site for c in self.chains
+            if c.drop_site is not None and c.cause == "shed"
         )
 
     def by_millibottleneck(self):
@@ -150,6 +163,12 @@ class AttributionReport:
             lines.append(
                 "drop sites: "
                 + ", ".join(f"{s}: {n}" for s, n in sorted(sites.items()))
+            )
+        shed = self.shed_sites()
+        if shed:
+            lines.append(
+                "shed sites (503): "
+                + ", ".join(f"{s}: {n}" for s, n in sorted(shed.items()))
             )
         for mb, chains in self.by_millibottleneck():
             direction = Counter(c.direction for c in chains).most_common(1)
@@ -236,10 +255,19 @@ class CtqoAttributor:
         tail = {id(r): r for r in log.vlrt(vlrt_threshold)}
         for record in log.dropped_requests():
             tail.setdefault(id(record), record)
+        if hasattr(log, "shed_requests"):
+            for record in log.shed_requests():
+                tail.setdefault(id(record), record)
         chains = []
         for record in sorted(tail.values(), key=lambda r: r.start):
+            cause = "drop"
             if record.drops:
                 drop_time, drop_site = record.drops[0]
+            elif getattr(record, "sheds", None):
+                # no silent drop, but an explicit 503 from a bounded
+                # admission — same causal walk, different fault kind
+                drop_time, drop_site = record.sheds[0]
+                cause = "shed"
             else:
                 drop_time = drop_site = None
             overflow = None
@@ -268,6 +296,7 @@ class CtqoAttributor:
                     overflow=overflow,
                     millibottleneck=millibottleneck,
                     direction=direction,
+                    cause=cause,
                 )
             )
         return AttributionReport(chains, self.tier_order)

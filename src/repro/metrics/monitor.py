@@ -23,7 +23,12 @@ monitoring averages millibottlenecks away entirely.  The
   gauge is what the CTQO attribution engine segments into overflow
   episodes — the accept queue is the resource that actually drops
   packets, and its capacity is fixed even when ``MaxSysQDepth`` grows
-  (Apache's second process).
+  (Apache's second process);
+- per-server *policy-event* counters where the server's stats expose
+  them (cumulative, sampled like collectl's counters): requests shed
+  with a 503 by a bounded admission, downstream retries issued by a
+  remediation policy, and breaker fast-fails — the observables the
+  policy-matrix experiments are built on.
 """
 
 from __future__ import annotations
@@ -58,11 +63,16 @@ class SystemMonitor:
         self.occupancy = {}
         self.backlog = {}
         self.headroom = {}
+        self.sheds = {}
+        self.retries = {}
+        self.breaker_fast_fails = {}
         self._vms = {}
         self._servers = {}
         # servers with the full gauge interface (occupancy + listener);
         # minimal test doubles are monitored for queue depth only
         self._gauged = {}
+        # servers with policy-event counters (a ServerStats `stats`)
+        self._counted = {}
         self._last_runnable = {}
         self._last_consumed = {}
         self._last_iowait = {}
@@ -92,6 +102,12 @@ class SystemMonitor:
             self.occupancy[name] = TimeSeries(f"occupancy:{name}")
             self.backlog[name] = TimeSeries(f"backlog:{name}")
             self.headroom[name] = TimeSeries(f"headroom:{name}")
+        stats = getattr(server, "stats", None)
+        if stats is not None and hasattr(stats, "shed"):
+            self._counted[name] = stats
+            self.sheds[name] = TimeSeries(f"sheds:{name}")
+            self.retries[name] = TimeSeries(f"retries:{name}")
+            self.breaker_fast_fails[name] = TimeSeries(f"breaker:{name}")
         return self
 
     def start(self):
@@ -133,6 +149,12 @@ class SystemMonitor:
             self.backlog[name].append(now, server.listener.backlog_length)
             self.headroom[name].append(
                 now, server.max_sys_q_depth - server.queue_depth()
+            )
+        for name, stats in self._counted.items():
+            self.sheds[name].append(now, stats.shed)
+            self.retries[name].append(now, stats.retries)
+            self.breaker_fast_fails[name].append(
+                now, stats.breaker_fast_fails
             )
 
     def __repr__(self):

@@ -31,13 +31,14 @@ class RequestRecord:
         "end",
         "attempts",
         "drops",
+        "sheds",
         "failed",
         "error",
         "trace",
     )
 
     def __init__(self, request_id, kind, start, end, attempts=1, drops=(),
-                 failed=False, error=None, trace=None):
+                 sheds=(), failed=False, error=None, trace=None):
         self.request_id = request_id
         self.kind = kind
         self.start = start
@@ -45,6 +46,9 @@ class RequestRecord:
         self.attempts = attempts
         #: (time, listener_name) per dropped packet anywhere in the tree.
         self.drops = list(drops)
+        #: (time, listener_name) per packet refused with a 503 by a
+        #: load-shedding admission anywhere in the tree.
+        self.sheds = list(sheds)
         self.failed = failed
         self.error = error
         #: full event trace, kept only when the workload generator's
@@ -58,6 +62,10 @@ class RequestRecord:
     @property
     def was_dropped(self):
         return bool(self.drops)
+
+    @property
+    def was_shed(self):
+        return bool(self.sheds)
 
     @property
     def first_drop_time(self):
@@ -194,6 +202,17 @@ class RequestLog:
 
     def dropped_requests(self):
         return [r for r in self.records if r.was_dropped]
+
+    def shed_sites(self):
+        """Counter of listener names that 503'd this log's packets."""
+        sites = Counter()
+        for record in self.records:
+            for _time, name in record.sheds:
+                sites[name] += 1
+        return sites
+
+    def shed_requests(self):
+        return [r for r in self.records if r.was_shed]
 
     def summary(self, duration):
         """One-dict digest used by experiment reports.

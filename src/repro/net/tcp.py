@@ -31,7 +31,33 @@ from __future__ import annotations
 from ..sim.events import SlimEvent
 from ..sim.resources import Store
 
-__all__ = ["ConnectionTimeout", "Exchange", "Listener", "NetworkFabric"]
+__all__ = ["SHED", "ConnectionTimeout", "Exchange", "Listener",
+           "NetworkFabric"]
+
+
+class _Shed:
+    """Sentinel an acceptor returns for an *actively rejected* packet.
+
+    Unlike a drop (kernel backlog full, silent, retransmitted ~3 s
+    later) a shed packet was accepted at the TCP level and answered
+    immediately with an application-level refusal (a 503), so the
+    fabric must neither retransmit it nor count it as dropped.  Truthy
+    on purpose: legacy ``if listener.deliver(...)`` callers keep
+    treating it as "not dropped".
+    """
+
+    __slots__ = ()
+
+    def __bool__(self):
+        return True
+
+    def __repr__(self):
+        return "SHED"
+
+
+#: returned by :meth:`Listener.deliver` (and load-shedding acceptors)
+#: when the packet was refused with an immediate error reply.
+SHED = _Shed()
 
 
 class ConnectionTimeout(Exception):
@@ -141,6 +167,12 @@ class Listener:
         self.drops = 0
         #: (time, exchange) for every dropped packet, for micro-analysis.
         self.drop_log = []
+        #: packets refused with an immediate 503 by a load-shedding
+        #: acceptor (see :data:`SHED`) — the bounded-LiteQ alternative
+        #: to silently dropping into the retransmission schedule.
+        self.sheds = 0
+        #: (time, exchange) per shed packet, mirroring ``drop_log``.
+        self.shed_log = []
         self.delivered = 0
 
     @property
@@ -157,11 +189,18 @@ class Listener:
         return self.accept_queue.try_get()
 
     def deliver(self, exchange):
-        """A packet arrives; returns True if admitted, False if dropped."""
+        """A packet arrives; returns True if admitted, False if dropped,
+        or :data:`SHED` if the acceptor refused it with an error reply."""
         try:
-            if self.acceptor is not None and self.acceptor(exchange):
-                self.delivered += 1
-                return True
+            if self.acceptor is not None:
+                verdict = self.acceptor(exchange)
+                if verdict is SHED:
+                    self.sheds += 1
+                    self.shed_log.append((self.sim.now, exchange))
+                    return SHED
+                if verdict:
+                    self.delivered += 1
+                    return True
             if self.accept_queue.put(exchange):
                 self.delivered += 1
                 return True
@@ -230,6 +269,7 @@ class NetworkFabric:
         #: global counters for quick experiment summaries
         self.packets_sent = 0
         self.packets_dropped = 0
+        self.packets_shed = 0
         self.requests_timed_out = 0
 
     def listener(self, name, backlog=128):
@@ -270,7 +310,20 @@ class NetworkFabric:
 
     def _arrive(self, exchange):
         bus = self._bus
-        if exchange.listener.deliver(exchange):
+        verdict = exchange.listener.deliver(exchange)
+        if verdict is SHED:
+            # refused with an immediate error reply: no retransmission,
+            # but record the refusal on the root trace (like drops) so
+            # attribution can walk the causal chain for shed requests
+            self.packets_shed += 1
+            if bus is not None:
+                bus.emit("net.shed", exchange.listener.name,
+                         exchange.attempts)
+            record = getattr(exchange.payload, "record", None)
+            if record is not None:
+                record(self.sim.now, "shed", exchange.listener.name)
+            return
+        if verdict:
             exchange.delivered_at = self.sim.now
             if bus is not None:
                 bus.emit("net.deliver", exchange.listener.name,

@@ -1,13 +1,55 @@
-"""Server models: synchronous (RPC) and asynchronous (event-driven)."""
+"""Server models, composed from pluggable invocation policies.
+
+The classic pair — :class:`SyncServer` (RPC) and :class:`AsyncServer`
+(event-driven) — are presets over :class:`PolicyServer`, which accepts
+any admission × concurrency × remediation combination; see
+``docs/ARCHITECTURE.md``.
+"""
 
 from .async_server import DEFAULT_LITE_Q_DEPTH, AsyncServer
-from .base import BaseServer, ServerStats
+from .base import BaseServer, ServerStats, advance_servlet
+from .policies import (
+    AdmissionSpec,
+    CircuitBreaker,
+    ConcurrencySpec,
+    EagerAdmission,
+    EventLoopConcurrency,
+    KernelBacklogAdmission,
+    NoRemediation,
+    RemediationSpec,
+    SheddingAdmission,
+    ThreadPoolConcurrency,
+    TierPolicy,
+    TimeoutRetry,
+    build_admission,
+    build_concurrency,
+    build_remediation,
+)
+from .runtime import PolicyServer, policy_server
 from .sync_server import SyncServer
 
 __all__ = [
+    "AdmissionSpec",
     "AsyncServer",
     "BaseServer",
+    "CircuitBreaker",
+    "ConcurrencySpec",
     "DEFAULT_LITE_Q_DEPTH",
+    "EagerAdmission",
+    "EventLoopConcurrency",
+    "KernelBacklogAdmission",
+    "NoRemediation",
+    "PolicyServer",
+    "RemediationSpec",
     "ServerStats",
+    "SheddingAdmission",
     "SyncServer",
+    "ThreadPoolConcurrency",
+    "TierPolicy",
+    "TimeoutRetry",
+    "advance_servlet",
+    "build_admission",
+    "build_concurrency",
+    "build_remediation",
+    "policy_server",
 ]

@@ -24,13 +24,21 @@ Three consequences, all observed in the paper:
 - **no thread-count overhead** — the runnable set stays tiny no matter
   how many requests are parked, so throughput does not collapse at high
   concurrency (Fig 12).
+
+Since the policy refactor this class is a thin **preset** over
+:class:`~repro.servers.runtime.PolicyServer`:
+
+    eager LiteQ admission × event-loop concurrency × no remediation
+
+kept for its name, its constructor signature and its attributes
+(``inflight``, ``lite_q_depth``, ``ready_events``, ...), which the
+experiments, monitors and tests all rely on.
 """
 
 from __future__ import annotations
 
-from ..apps.servlet import Call, Compute, Response, ServletError
-from ..sim.resources import Store
-from .base import BaseServer
+from .policies import EagerAdmission, EventLoopConcurrency, NoRemediation
+from .runtime import PolicyServer
 
 __all__ = ["AsyncServer", "DEFAULT_LITE_Q_DEPTH"]
 
@@ -38,19 +46,7 @@ __all__ = ["AsyncServer", "DEFAULT_LITE_Q_DEPTH"]
 DEFAULT_LITE_Q_DEPTH = 65535
 
 
-class _Task:
-    """One admitted request's continuation state."""
-
-    __slots__ = ("exchange", "gen", "send_value", "throw_value")
-
-    def __init__(self, server, exchange):
-        self.exchange = exchange
-        self.gen = server.handler(server.ctx, exchange.payload)
-        self.send_value = None
-        self.throw_value = None
-
-
-class AsyncServer(BaseServer):
+class AsyncServer(PolicyServer):
     """Event-driven server with a lightweight queue and loop workers.
 
     Parameters
@@ -63,175 +59,23 @@ class AsyncServer(BaseServer):
     backlog:
         Kernel accept queue, still present but nearly always empty
         because admission is immediate.
+    pace_rate:
+        Downstream-call pacing (requests/second).  An *extension*
+        beyond the paper: it bounds the batch-flood rate an async
+        tier emits right after its own millibottleneck (Fig 9's
+        downstream CTQO), trading added queueing delay inside this
+        tier for the downstream's bounded queues.  None = unpaced,
+        the paper's behaviour.
     """
 
     def __init__(self, sim, fabric, name, vm, handler,
                  lite_q_depth=DEFAULT_LITE_Q_DEPTH, workers=1, backlog=128,
                  pace_rate=None):
-        if lite_q_depth < 1:
-            raise ValueError(f"lite_q_depth must be >= 1, got {lite_q_depth}")
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        if pace_rate is not None and pace_rate <= 0:
-            raise ValueError(f"pace_rate must be positive, got {pace_rate}")
-        super().__init__(sim, fabric, name, vm, handler, backlog=backlog)
-        self.lite_q_depth = lite_q_depth
-        self.workers = workers
-        #: downstream-call pacing (requests/second).  An *extension*
-        #: beyond the paper: it bounds the batch-flood rate an async
-        #: tier emits right after its own millibottleneck (Fig 9's
-        #: downstream CTQO), trading added queueing delay inside this
-        #: tier for the downstream's bounded queues.  None = unpaced,
-        #: the paper's behaviour.
-        self.pace_rate = pace_rate
-        self._next_send_at = 0.0
-        self.inflight = 0
-        self._ready = Store(sim, name=f"{name}.events")
-        self.listener.acceptor = self._admit
-        for _ in range(workers):
-            sim.process(self._worker())
-
-    # ------------------------------------------------------------------
-    @property
-    def max_sys_q_depth(self):
-        """Effective bound before this server declines packets: its
-        LiteQDepth (plus the backlog that packets then fall back to)."""
-        return self.lite_q_depth + self.listener.backlog
-
-    def queue_depth(self):
-        """Admitted (ready, executing or awaiting downstream) requests
-        plus the accept-queue occupancy — the figures' metric."""
-        return self.inflight + self.listener.backlog_length
-
-    def occupancy(self):
-        """Lightweight-queue occupancy (admitted, unanswered requests)."""
-        return self.inflight
-
-    @property
-    def ready_events(self):
-        """Continuations waiting for a loop worker right now."""
-        return len(self._ready)
-
-    # ------------------------------------------------------------------
-    # admission
-    # ------------------------------------------------------------------
-    def _admit(self, exchange):
-        """Eager acceptor: admit into the lightweight queue, or decline."""
-        if self.inflight >= self.lite_q_depth:
-            return False
-        self._start_task(exchange)
-        return True
-
-    def _start_task(self, exchange):
-        self.inflight += 1
-        self.stats.arrivals += 1
-        self._note_queue_depth()
-        self._ready.put(_Task(self, exchange))
-
-    def _drain_backlog(self):
-        """Pull packets that overflowed into the kernel backlog while the
-        lightweight queue was full (only possible near LiteQDepth)."""
-        while self.inflight < self.lite_q_depth:
-            exchange = self.listener.try_accept()
-            if exchange is None:
-                return
-            self._start_task(exchange)
-
-    # ------------------------------------------------------------------
-    # the event loop
-    # ------------------------------------------------------------------
-    def _worker(self):
-        """One loop worker: run ready continuations, one CPU stage at a
-        time; never blocks on downstream calls."""
-        while True:
-            task = yield self._ready.get()
-            keep_running = True
-            while keep_running:
-                try:
-                    if task.throw_value is not None:
-                        step = task.gen.throw(task.throw_value)
-                    else:
-                        step = task.gen.send(task.send_value)
-                except StopIteration as stop:
-                    self._finish(task, Response.success(stop.value))
-                    break
-                except ServletError as exc:
-                    self.stats.failed += 1
-                    self._finish(task, Response.failure(str(exc)),
-                                 count_completed=False)
-                    break
-                task.send_value = None
-                task.throw_value = None
-                if isinstance(step, Compute):
-                    # the loop worker executes the stage itself
-                    yield self.vm.execute(step.work)
-                elif isinstance(step, Call):
-                    self._issue_call(task, step)
-                    keep_running = False  # continuation parked
-                else:
-                    raise TypeError(
-                        f"{self.name}: servlet yielded {step!r}, expected "
-                        "Compute or Call"
-                    )
-
-    def _finish(self, task, response, count_completed=True):
-        request = task.exchange.payload
-        request.record(self.sim.now, "reply" if response.ok else "error",
-                       self.name)
-        task.exchange.reply(response)
-        if count_completed:
-            self.stats.completed += 1
-        self.inflight -= 1
-        self._drain_backlog()
-
-    def _issue_call(self, task, step):
-        """Fire a downstream call; the response callback re-enqueues the
-        task — no worker is held while the call is outstanding."""
-        request = task.exchange.payload
-        route = self._routes.get(step.target)
-        if route is None:
-            task.throw_value = ServletError(
-                f"{self.name} has no route to tier {step.target!r}"
-            )
-            self._ready.put(task)
-            return
-        replicas, pool, route_label = route
-        target_listener = replicas.next()
-        self.stats.downstream_calls += 1
-
-        def do_send(_grant=None):
-            sub = request.child(step.operation, self.sim.now,
-                                work_hint=step.work_hint)
-            sub.record(self.sim.now, "call", route_label)
-            exchange = self.fabric.send(target_listener, sub)
-            exchange.response.add_callback(on_response)
-
-        def paced_send(_grant=None):
-            if self.pace_rate is None:
-                do_send()
-                return
-            now = self.sim.now
-            send_at = max(now, self._next_send_at)
-            self._next_send_at = send_at + 1.0 / self.pace_rate
-            if send_at <= now:
-                do_send()
-            else:
-                self.sim.call_at(send_at, do_send)
-
-        def on_response(event):
-            if pool is not None:
-                pool.release()
-            if event.failed:
-                self.stats.downstream_failures += 1
-                task.throw_value = ServletError(str(event.value))
-            elif not event.value.ok:
-                self.stats.downstream_failures += 1
-                task.throw_value = ServletError(event.value.error)
-            else:
-                task.send_value = event.value.value
-            self._ready.put(task)
-
-        if pool is not None:
-            pool.acquire().add_callback(paced_send)
-        else:
-            paced_send()
+        super().__init__(
+            sim, fabric, name, vm, handler,
+            admission=EagerAdmission(lite_q_depth),
+            concurrency=EventLoopConcurrency(workers=workers,
+                                             pace_rate=pace_rate),
+            remediation=NoRemediation(),
+            backlog=backlog,
+        )

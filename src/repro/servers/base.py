@@ -20,7 +20,15 @@ from ..apps.servlet import Call, Compute, Response, ServletContext, ServletError
 from ..net.tcp import ConnectionTimeout
 from ..sim.resources import Resource
 
-__all__ = ["BaseServer", "ServerStats"]
+__all__ = [
+    "STEP_CALL",
+    "STEP_COMPUTE",
+    "STEP_DONE",
+    "STEP_FAIL",
+    "BaseServer",
+    "ServerStats",
+    "advance_servlet",
+]
 
 
 class ServerStats:
@@ -33,6 +41,9 @@ class ServerStats:
         "downstream_calls",
         "downstream_failures",
         "peak_queue_depth",
+        "shed",
+        "retries",
+        "breaker_fast_fails",
     )
 
     def __init__(self):
@@ -42,9 +53,58 @@ class ServerStats:
         self.downstream_calls = 0
         self.downstream_failures = 0
         self.peak_queue_depth = 0
+        #: requests refused with a 503 by a load-shedding admission
+        self.shed = 0
+        #: downstream attempts re-issued by a retry remediation
+        self.retries = 0
+        #: downstream calls failed instantly by an open circuit breaker
+        self.breaker_fast_fails = 0
 
     def snapshot(self):
         return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: outcome tags of one servlet-driver step — see :func:`advance_servlet`
+STEP_COMPUTE, STEP_CALL, STEP_DONE, STEP_FAIL = range(4)
+
+
+def advance_servlet(name, gen, send_value, throw_value):
+    """Advance one servlet continuation by a single step.
+
+    This is *the* servlet-driver step, shared by every concurrency
+    policy: the thread-pool driver loops over it while holding a thread
+    (``BaseServer._drive``), the event-loop driver runs it one stage at
+    a time and parks the continuation across downstream calls.  Returns
+    a ``(tag, payload)`` pair:
+
+    ``(STEP_COMPUTE, seconds)``
+        the servlet wants CPU;
+    ``(STEP_CALL, step)``
+        the servlet wants a downstream :class:`Call`;
+    ``(STEP_DONE, value)``
+        the servlet returned ``value``;
+    ``(STEP_FAIL, exc)``
+        the servlet raised :class:`ServletError` ``exc``.
+
+    Anything else the servlet yields is a programming error and raises
+    ``TypeError`` into the driver (killing its worker, not the server).
+    """
+    try:
+        if throw_value is not None:
+            step = gen.throw(throw_value)
+        else:
+            step = gen.send(send_value)
+    except StopIteration as stop:
+        return STEP_DONE, stop.value
+    except ServletError as exc:
+        return STEP_FAIL, exc
+    if isinstance(step, Compute):
+        return STEP_COMPUTE, step.work
+    if isinstance(step, Call):
+        return STEP_CALL, step
+    raise TypeError(
+        f"{name}: servlet yielded {step!r}, expected Compute or Call"
+    )
 
 
 class _RoundRobin:
@@ -106,6 +166,10 @@ class BaseServer:
         #: per downstream call instead of three.
         self._routes = {}
         self.stats = ServerStats()
+        #: downstream invoker used by the drivers; a remediation policy
+        #: (repro.servers.policies) rebinds this to wrap ``_invoke``
+        #: with timeouts/retries/circuit breaking
+        self._call = self._invoke
 
     # ------------------------------------------------------------------
     # wiring
@@ -122,7 +186,17 @@ class BaseServer:
         which is exactly how MySQL's effective ``MaxSysQDepth`` seen
         from a synchronous Tomcat becomes ~50 in the paper.  With
         replicas the pool covers the whole group.
+
+        Re-wiring an already-connected target is rejected: silently
+        overwriting the route would leak the old pool ``Resource``
+        (with any waiters still queued on it) and invalidate the
+        round-robin state mid-run.
         """
+        if target in self._routes:
+            raise ValueError(
+                f"{self.name} is already connected to {target!r}; "
+                "routes are fixed once wired"
+            )
         if isinstance(listener, (list, tuple)):
             listeners = list(listener)
             if not listeners:
@@ -170,44 +244,37 @@ class BaseServer:
         # locals bound once per request: the loop below resumes for every
         # CPU stage and downstream call of every request on every tier
         sim = self.sim
+        name = self.name
         request = exchange.payload
-        request.record(sim.now, "start", self.name)
+        request.record(sim.now, "start", name)
         gen = self.handler(self.ctx, request)
-        send = gen.send
-        throw = gen.throw
         execute = self.vm.execute
+        call = self._call
         to_send = None
         to_throw = None
         while True:
-            try:
-                if to_throw is not None:
-                    step = throw(to_throw)
-                else:
-                    step = send(to_send)
-            except StopIteration as stop:
-                request.record(sim.now, "reply", self.name)
-                exchange.reply(Response.success(stop.value))
-                self.stats.completed += 1
-                return
-            except ServletError as exc:
-                request.record(sim.now, "error", f"{self.name}: {exc}")
-                exchange.reply(Response.failure(str(exc)))
-                self.stats.failed += 1
-                return
-            to_send = None
-            to_throw = None
-            if isinstance(step, Compute):
-                yield execute(step.work)
-            elif isinstance(step, Call):
+            tag, payload = advance_servlet(name, gen, to_send, to_throw)
+            if tag == STEP_COMPUTE:
+                to_send = None
+                to_throw = None
+                yield execute(payload)
+            elif tag == STEP_CALL:
+                to_send = None
+                to_throw = None
                 try:
-                    to_send = yield from self._invoke(step, request)
+                    to_send = yield from call(payload, request)
                 except ServletError as exc:
                     to_throw = exc
+            elif tag == STEP_DONE:
+                request.record(sim.now, "reply", name)
+                exchange.reply(Response.success(payload))
+                self.stats.completed += 1
+                return
             else:
-                raise TypeError(
-                    f"{self.name}: servlet yielded {step!r}, expected "
-                    "Compute or Call"
-                )
+                request.record(sim.now, "error", f"{name}: {payload}")
+                exchange.reply(Response.failure(str(payload)))
+                self.stats.failed += 1
+                return
 
     def _invoke(self, step, request):
         """Issue one downstream call; returns the response payload.

@@ -14,16 +14,30 @@ too, packets drop.  The overflow threshold is the paper's
 Apache's prefork/worker behaviour of spawning a *second process* with a
 fresh thread pool under sustained saturation — the second queue-depth
 plateau at ~428 in Fig 3(b) — is modelled by ``spawn_extra_process``.
+
+Since the policy refactor this class is a thin **preset** over
+:class:`~repro.servers.runtime.PolicyServer`:
+
+    kernel-backlog admission × thread-pool concurrency × no remediation
+
+kept for its name, its constructor signature and its attributes
+(``busy_threads``, ``thread_capacity``, ...), which the experiments,
+monitors and tests all rely on.
 """
 
 from __future__ import annotations
 
-from .base import BaseServer
+from .policies import (
+    KernelBacklogAdmission,
+    NoRemediation,
+    ThreadPoolConcurrency,
+)
+from .runtime import PolicyServer
 
 __all__ = ["SyncServer"]
 
 
-class SyncServer(BaseServer):
+class SyncServer(PolicyServer):
     """Thread-pool server with blocking downstream calls.
 
     Parameters
@@ -42,75 +56,15 @@ class SyncServer(BaseServer):
     def __init__(self, sim, fabric, name, vm, handler, threads=150,
                  backlog=128, spawn_extra_process=False, spawn_after=0.5,
                  max_processes=2):
-        if threads < 1:
-            raise ValueError(f"threads must be >= 1, got {threads}")
-        super().__init__(sim, fabric, name, vm, handler, backlog=backlog)
-        self.threads_per_process = threads
-        self.thread_capacity = threads
-        self.processes = 1
-        self.max_processes = max_processes if spawn_extra_process else 1
-        self.spawn_after = spawn_after
-        self.busy_threads = 0
-        self._saturated_since = None
-        for _ in range(threads):
-            sim.process(self._worker())
-        if spawn_extra_process:
-            sim.process(self._process_spawner())
-
-    # ------------------------------------------------------------------
-    @property
-    def max_sys_q_depth(self):
-        """Current overflow threshold (grows if a process was spawned)."""
-        return self.thread_capacity + self.listener.backlog
-
-    def queue_depth(self):
-        """Busy threads + accept-queue occupancy (the figures' metric)."""
-        return self.busy_threads + self.listener.backlog_length
-
-    def occupancy(self):
-        """Thread-pool occupancy (the fine-grained gauge's numerator)."""
-        return self.busy_threads
-
-    # ------------------------------------------------------------------
-    def _worker(self):
-        """One server thread: accept, drive the servlet, repeat."""
-        accept = self.listener.accept
-        stats = self.stats
-        note_depth = self._note_queue_depth
-        drive = self._drive
-        while True:
-            exchange = yield accept()
-            stats.arrivals += 1
-            self.busy_threads += 1
-            note_depth()
-            try:
-                yield from drive(exchange)
-            finally:
-                self.busy_threads -= 1
-
-    def _process_spawner(self):
-        """Watch for sustained thread exhaustion; spawn a second process.
-
-        Mirrors Apache's process manager: the paper observes the second
-        process (and the jump of MaxSysQDepth from 278 to 428) only
-        after the first pool has been fully consumed for a while.
-        """
-        poll = 0.05
-        while self.processes < self.max_processes:
-            yield poll
-            saturated = self.busy_threads >= self.thread_capacity
-            if not saturated:
-                self._saturated_since = None
-                continue
-            if self._saturated_since is None:
-                self._saturated_since = self.sim.now
-                continue
-            if self.sim.now - self._saturated_since >= self.spawn_after:
-                self._spawn_process()
-                self._saturated_since = None
-
-    def _spawn_process(self):
-        self.processes += 1
-        self.thread_capacity += self.threads_per_process
-        for _ in range(self.threads_per_process):
-            self.sim.process(self._worker())
+        super().__init__(
+            sim, fabric, name, vm, handler,
+            admission=KernelBacklogAdmission(),
+            concurrency=ThreadPoolConcurrency(
+                threads=threads,
+                spawn_extra_process=spawn_extra_process,
+                spawn_after=spawn_after,
+                max_processes=max_processes,
+            ),
+            remediation=NoRemediation(),
+            backlog=backlog,
+        )

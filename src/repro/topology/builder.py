@@ -15,6 +15,7 @@ from ..metrics.monitor import SystemMonitor
 from ..metrics.trace import RequestLog
 from ..net.tcp import NetworkFabric
 from ..servers.async_server import AsyncServer
+from ..servers.runtime import policy_server
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from .configs import SystemConfig, server_names
@@ -85,6 +86,16 @@ class NTierSystem:
     def total_drops(self):
         return sum(self.drop_counts().values())
 
+    def shed_counts(self):
+        """Tier display name → packets 503'd by that server's admission."""
+        return {
+            self.names[tier]: self.servers[tier].listener.sheds
+            for tier in (WEB_TIER, APP_TIER, DB_TIER)
+        }
+
+    def total_sheds(self):
+        return sum(self.shed_counts().values())
+
     def __repr__(self):
         stack = "-".join(
             self.names[t] for t in (WEB_TIER, APP_TIER, DB_TIER)
@@ -142,7 +153,13 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
         host = host_overrides.get(tier)
         if host is None:
             host = Host(sim, cores=max(1, vcpus), name=f"{name}-host")
-        is_async = getattr(config, f"{_tier_attr(tier)}_is_async")
+        # the thread-count overhead model only applies to tiers whose
+        # concurrency actually multiplies threads with load
+        policy = config.tier_policy(_tier_attr(tier))
+        if policy is not None:
+            is_async = policy.concurrency.kind == "eventloop"
+        else:
+            is_async = getattr(config, f"{_tier_attr(tier)}_is_async")
         vm = host.add_vm(
             f"{name}-vm",
             vcpus=vcpus,
@@ -152,7 +169,13 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
         system.vms[tier] = vm
 
     # --- web tier -----------------------------------------------------
-    if config.web_is_async:
+    if config.web_policy is not None:
+        system.servers[WEB_TIER] = policy_server(
+            sim, system.fabric, system.names[WEB_TIER], system.vms[WEB_TIER],
+            handlers[WEB_TIER], config.web_policy,
+            backlog=config.web_backlog,
+        )
+    elif config.web_is_async:
         system.servers[WEB_TIER] = AsyncServer(
             sim, system.fabric, system.names[WEB_TIER], system.vms[WEB_TIER],
             handlers[WEB_TIER],
@@ -172,7 +195,13 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
         )
 
     # --- app tier -----------------------------------------------------
-    if config.app_is_async:
+    if config.app_policy is not None:
+        system.servers[APP_TIER] = policy_server(
+            sim, system.fabric, system.names[APP_TIER], system.vms[APP_TIER],
+            handlers[APP_TIER], config.app_policy,
+            backlog=config.app_backlog,
+        )
+    elif config.app_is_async:
         # XTomcat: NIO connector (huge lightweight queue) feeding the
         # regular servlet executor pool — requests park in the connector
         # queue instead of the kernel backlog, and executors never block
@@ -194,7 +223,13 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
         )
 
     # --- db tier ------------------------------------------------------
-    if config.db_is_async:
+    if config.db_policy is not None:
+        system.servers[DB_TIER] = policy_server(
+            sim, system.fabric, system.names[DB_TIER], system.vms[DB_TIER],
+            handlers[DB_TIER], config.db_policy,
+            backlog=config.db_backlog,
+        )
+    elif config.db_is_async:
         system.servers[DB_TIER] = AsyncServer(
             sim, system.fabric, system.names[DB_TIER], system.vms[DB_TIER],
             handlers[DB_TIER],
@@ -214,7 +249,11 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
     system.servers[WEB_TIER].connect(APP_TIER, system.servers[APP_TIER].listener)
     # A synchronous Tomcat talks to MySQL through a bounded JDBC pool;
     # the asynchronous connector multiplexes and needs no pool.
-    pool = None if config.app_is_async else config.db_pool_size
+    if config.app_policy is not None:
+        app_blocks = config.app_policy.concurrency.kind == "threads"
+    else:
+        app_blocks = not config.app_is_async
+    pool = config.db_pool_size if app_blocks else None
     system.servers[APP_TIER].connect(
         DB_TIER, system.servers[DB_TIER].listener, pool_size=pool
     )

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps.servlet import Call, Compute, Request, ServletContext
+from ..apps.servlet import Call, Compute, Request
 from ..cpu.host import Host
 from ..metrics.monitor import SystemMonitor
 from ..metrics.trace import RequestLog, RequestRecord
 from ..net.tcp import ConnectionTimeout, NetworkFabric
 from ..servers.async_server import AsyncServer
+from ..servers.policies import RemediationSpec, build_remediation
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from ..units import ms
@@ -55,6 +56,10 @@ class TierSpec:
     post_work: float = ms(0.4)
     calls_to_next: int = 1
     stochastic: bool = True
+    #: optional :class:`~repro.servers.policies.RemediationSpec` applied
+    #: to this tier's *outgoing* calls (timeout+retry+breaker); None
+    #: keeps the paper's trust-TCP behaviour.
+    remediation: RemediationSpec = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.sync and self.threads < 1:
@@ -63,6 +68,12 @@ class TierSpec:
             raise ValueError(f"{self.name}: workers must be >= 1")
         if self.calls_to_next < 1:
             raise ValueError(f"{self.name}: calls_to_next must be >= 1")
+        if (self.remediation is not None
+                and not isinstance(self.remediation, RemediationSpec)):
+            raise ValueError(
+                f"{self.name}: remediation must be a RemediationSpec or "
+                f"None, got {self.remediation!r}"
+            )
 
     @property
     def max_sys_q_depth(self):
@@ -169,6 +180,9 @@ class ChainSystem:
                 drops=[
                     (t, d) for t, e, d in request.root.trace if e == "drop"
                 ],
+                sheds=[
+                    (t, d) for t, e, d in request.root.trace if e == "shed"
+                ],
                 failed=failed, error=error,
             )
         )
@@ -237,6 +251,13 @@ def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
                 lite_q_depth=spec.lite_q_depth, workers=spec.workers,
                 backlog=spec.backlog,
             )
+        if spec.remediation is not None and spec.remediation.kind != "none":
+            # rebind the outgoing-call invokers after construction: the
+            # preset classes fix admission/concurrency, but remediation
+            # composes with either driver
+            remediation = build_remediation(spec.remediation)
+            remediation.bind(server)
+            server.remediation = remediation
         system.hosts.append(host)
         system.vms.append(vm)
         system.servers.append(server)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..servers.policies import TierPolicy
+
 __all__ = ["SystemConfig", "server_names"]
 
 
@@ -84,6 +86,17 @@ class SystemConfig:
     # --- application mix override (None = calibrated default mix) ---
     interaction_specs: list = field(default=None, repr=False)
 
+    # --- per-tier invocation-policy overrides ------------------------
+    # None keeps the nx-derived preset for that tier (byte-identical to
+    # the classic SyncServer/AsyncServer); a
+    # :class:`repro.servers.policies.TierPolicy` replaces it with any
+    # admission x concurrency x remediation composition — bounded
+    # load-shedding queues, LiteQ-fronted thread pools, caller-side
+    # retries with circuit breakers (see experiments/policy_matrix.py).
+    web_policy: TierPolicy = field(default=None, repr=False)
+    app_policy: TierPolicy = field(default=None, repr=False)
+    db_policy: TierPolicy = field(default=None, repr=False)
+
     def __post_init__(self):
         if not 0 <= self.nx <= 3:
             raise ValueError(f"nx must be in 0..3, got {self.nx}")
@@ -92,6 +105,16 @@ class SystemConfig:
                 raise ValueError(f"{name} must be >= 1")
         if self.db_pool_size < 1:
             raise ValueError("db_pool_size must be >= 1")
+        for name in ("web_policy", "app_policy", "db_policy"):
+            policy = getattr(self, name)
+            if policy is not None and not isinstance(policy, TierPolicy):
+                raise ValueError(
+                    f"{name} must be a TierPolicy or None, got {policy!r}"
+                )
+
+    def tier_policy(self, tier_attr):
+        """Policy override for ``"web"``/``"app"``/``"db"``, or None."""
+        return getattr(self, f"{tier_attr}_policy")
 
     # convenient predicates --------------------------------------------
     @property

@@ -25,13 +25,17 @@ __all__ = ["ClosedLoopPopulation", "MmppOpenLoop", "OpenLoopPoisson",
            "ScriptedBurst"]
 
 
-def _drops_from_trace(request):
-    """Collect (time, listener) drop entries recorded on the root trace."""
-    return [
-        (time, detail)
-        for time, event, detail in request.root.trace
-        if event == "drop"
-    ]
+def _faults_from_trace(request):
+    """Collect (time, listener) drop and shed entries recorded on the
+    root trace — one walk for both fault kinds."""
+    drops = []
+    sheds = []
+    for time, event, detail in request.root.trace:
+        if event == "drop":
+            drops.append((time, detail))
+        elif event == "shed":
+            sheds.append((time, detail))
+    return drops, sheds
 
 
 class _GeneratorBase:
@@ -82,6 +86,7 @@ class _GeneratorBase:
         except ConnectionTimeout as exc:
             failed = True
             error = str(exc)
+        drops, sheds = _faults_from_trace(request)
         self.log.add(
             RequestRecord(
                 request.id,
@@ -89,7 +94,8 @@ class _GeneratorBase:
                 start=request.created_at,
                 end=self.sim.now,
                 attempts=exchange.attempts,
-                drops=_drops_from_trace(request),
+                drops=drops,
+                sheds=sheds,
                 failed=failed,
                 error=error,
                 trace=self._kept_trace(request, failed),

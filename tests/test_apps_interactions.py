@@ -10,7 +10,7 @@ from repro.apps import (
     full_catalog,
     read_write_mix,
 )
-from repro.apps.rubbos import APP_TIER, DB_TIER, WEB_TIER
+from repro.apps.rubbos import APP_TIER, DB_TIER
 from repro.sim import Simulator
 from repro.units import ms
 

@@ -35,6 +35,9 @@ TINY = {
     "validation": dict(duration=10.0, params={"workloads": [2000]}),
     "cause_variety": dict(duration=12.0, params={"causes": ["cpu"]}),
     "nx_sweep": dict(duration=10.0, params={"nx": 1, "clients": 3000}),
+    "policy_matrix": dict(
+        duration=12.0, params={"variants": ["shed_web"], "clients": 3000},
+    ),
 }
 
 

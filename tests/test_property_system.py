@@ -12,7 +12,6 @@ These encode the paper's structural claims as properties:
 5. identical seeds give identical systems, whatever the parameters.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -46,6 +46,7 @@ def test_stats_snapshot_keys():
     assert set(snapshot) == {
         "arrivals", "completed", "failed", "downstream_calls",
         "downstream_failures", "peak_queue_depth",
+        "shed", "retries", "breaker_fast_fails",
     }
     assert all(v == 0 for v in snapshot.values())
 

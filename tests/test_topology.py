@@ -3,7 +3,7 @@
 import pytest
 
 from repro.servers import AsyncServer, SyncServer
-from repro.topology import SystemConfig, build_system, server_names
+from repro.topology import SystemConfig, server_names
 
 from conftest import build_tiny_system
 

@@ -110,7 +110,8 @@ def test_deep_sync_chain_cascades_to_front():
     drops = system.drop_counts()
     assert drops["tier1"] > 0
     # every intermediate tier filled to its MaxSysQDepth
-    monitor = system.monitor or system.attach_monitor()
+    if system.monitor is None:
+        system.attach_monitor()
 
 
 def test_deep_sync_chain_queue_fill_order():

@@ -40,6 +40,7 @@ __all__ = [
     "bench_fig01_quick",
     "bench_kernel_callbacks",
     "bench_numeric_yield",
+    "bench_scaleout_quick",
     "bench_server_policy_step",
     "bench_store_handoff",
     "default_scale",
@@ -230,6 +231,24 @@ def bench_fig01_instrumented(scale=1.0):
     return len(panel["result"].log)
 
 
+def bench_scaleout_quick(scale=1.0):
+    """A quick replicated-tier run: 3 replicas/tier, hedged routing.
+
+    The replication layer triples the server count and routes every
+    hop through a :class:`~repro.servers.replica.ReplicaGroup`
+    (balancer pick, per-replica pools, hedge timers), so this guards
+    the scale-out request path the same way ``fig01_quick`` guards the
+    1/1/1 stack.  Uses the hedged variant — the most machinery per
+    request — under the experiment's stall schedule.
+    """
+    from .experiments.scaleout import run_one
+
+    duration = max(9.0, 17.0 * scale)
+    cell = run_one("rpc_hedged", clients=2000, duration=duration,
+                   warmup=1.0, seed=42)
+    return cell["summary"]["requests"]
+
+
 #: name -> (workload, wall-clock repeats); best-of-repeats is recorded.
 BENCHMARKS = (
     ("kernel_callbacks", bench_kernel_callbacks, 3),
@@ -240,6 +259,7 @@ BENCHMARKS = (
     ("server_policy_step", bench_server_policy_step, 3),
     ("fig01_quick", bench_fig01_quick, 3),
     ("fig01_instrumented", bench_fig01_instrumented, 3),
+    ("scaleout_quick", bench_scaleout_quick, 3),
 )
 
 

@@ -48,6 +48,7 @@ from .experiments import (
     fig12_throughput,
     headline_utilization,
     policy_matrix,
+    scaleout,
 )
 from .metrics.export import (
     chrome_trace_to_json,
@@ -83,6 +84,14 @@ EXPERIMENTS = {
     "fig12": "throughput vs concurrency: 2000 threads vs async",
     "headline": "the abstract's 43% vs 83% utilization claim",
     "policy_matrix": "admission x concurrency x remediation hybrids at WL 7000",
+    "scaleout": "load balancing + hedging across 3 replicas/tier at WL 7000",
+}
+
+#: diagnosable experiments that run named variant cells: module plus
+#: the default cell ``repro diagnose`` picks when --variant is omitted
+_VARIANT_EXPERIMENTS = {
+    "policy_matrix": (policy_matrix, "shed_web"),
+    "scaleout": (scaleout, "rpc_round_robin"),
 }
 
 
@@ -154,6 +163,24 @@ def _run_policy_matrix(args):
     return 0 if not policy_matrix.check_claims(cells) else 1
 
 
+def _run_scaleout(args):
+    cells = scaleout.run(duration=args.duration or 40.0)
+    print(scaleout.report(cells))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, cell in cells.items():
+            request_log_to_csv(
+                os.path.join(args.out, f"scaleout_{name}_requests.csv"),
+                cell["result"].log,
+            )
+            run_summary_to_json(
+                os.path.join(args.out, f"scaleout_{name}_summary.json"),
+                cell["result"],
+            )
+        print(f"\n[raw data written to {args.out}/]")
+    return 0 if not scaleout.check_claims(cells) else 1
+
+
 def _run_headline(args):
     points = headline_utilization.run(duration=args.duration or 60.0)
     print(headline_utilization.report(points))
@@ -181,6 +208,8 @@ def _cmd_run(args):
             status |= _run_headline(args)
         elif name == "policy_matrix":
             status |= _run_policy_matrix(args)
+        elif name == "scaleout":
+            status |= _run_scaleout(args)
         else:
             print(f"unknown experiment {name!r}; try 'list'",
                   file=sys.stderr)
@@ -262,21 +291,27 @@ def _cmd_diagnose(args):
         recorder = EventRecorder(bus, capacity=args.events)
 
     name = args.experiment
-    if name == "fig01":
+    if name in _VARIANT_EXPERIMENTS:
+        module, default_variant = _VARIANT_EXPERIMENTS[name]
+        variant = args.variant or default_variant
+        if variant not in module.VARIANTS:
+            print(f"unknown {name} variant {variant!r}; valid variants: "
+                  + ", ".join(sorted(module.VARIANTS)), file=sys.stderr)
+            return 2
+        duration = args.duration or 40.0
+        cell = module.run_one(
+            variant, clients=args.workload, duration=duration, bus=bus
+        )
+        run = cell["result"]
+        heading = (f"{name}/{variant} @ WL {args.workload}, "
+                   f"{duration:.0f}s")
+    elif name == "fig01":
         duration = args.duration or 45.0
         panel = fig01_histograms.run_one(
             args.workload, duration=duration, warmup=5.0, bus=bus
         )
         run = panel["result"]
         heading = f"fig01 @ WL {args.workload}, {duration:.0f}s"
-    elif name == "policy_matrix":
-        duration = args.duration or 40.0
-        cell = policy_matrix.run_one(
-            args.variant, clients=args.workload, duration=duration, bus=bus
-        )
-        run = cell["result"]
-        heading = (f"policy_matrix/{args.variant} @ WL {args.workload}, "
-                   f"{duration:.0f}s")
     else:
         module = _TIMELINES[name]
         result = run_timeline(module.SPEC, duration=args.duration, bus=bus)
@@ -381,16 +416,17 @@ def build_parser():
     )
     diag_parser.add_argument(
         "experiment",
-        choices=["fig01", "policy_matrix"] + sorted(_TIMELINES),
+        choices=["fig01"] + sorted(_VARIANT_EXPERIMENTS) + sorted(_TIMELINES),
     )
     diag_parser.add_argument("--duration", type=float, default=None,
                              help="simulated seconds (default: the figure's)")
     diag_parser.add_argument("--workload", type=int, default=7000,
-                             help="client count for fig01/policy_matrix "
-                                  "(default 7000)")
-    diag_parser.add_argument("--variant", default="shed_web",
-                             choices=sorted(policy_matrix.VARIANTS),
-                             help="policy_matrix grid cell to diagnose")
+                             help="client count for fig01/policy_matrix/"
+                                  "scaleout (default 7000)")
+    diag_parser.add_argument("--variant", default=None,
+                             help="grid cell to diagnose (policy_matrix: "
+                                  "default shed_web; scaleout: default "
+                                  "rpc_round_robin)")
     diag_parser.add_argument("--examples", type=int, default=3,
                              help="example causal chains to print")
     diag_parser.add_argument("--out", default=None,

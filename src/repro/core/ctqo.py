@@ -80,7 +80,15 @@ class CtqoAnalyzer:
         if len(tier_order) < 2:
             raise ValueError("tier_order needs at least two tiers")
         self.tier_order = list(tier_order)
-        self._position = {name: i for i, name in enumerate(self.tier_order)}
+        self._position = {}
+        for index, entry in enumerate(self.tier_order):
+            # an entry may be a list of replica names sharing one tier
+            # position (the replicated scale-out topology)
+            if isinstance(entry, (list, tuple)):
+                for name in entry:
+                    self._position[name] = index
+            else:
+                self._position[entry] = index
         self.vm_of = vm_of
         self.window = window
 

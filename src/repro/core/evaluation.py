@@ -35,6 +35,11 @@ CONSOLIDATION_BURST_JOBS = 400
 CONSOLIDATION_SHARES = 30.0
 
 
+def _one(obj):
+    """First replica when a replicated system hands back a list."""
+    return obj[0] if isinstance(obj, list) else obj
+
+
 class RunResult:
     """Everything observable from one finished scenario run."""
 
@@ -97,8 +102,8 @@ class RunResult:
 
     def queue_max(self):
         return {
-            self.names[tier]: int(self.monitor.queues[self.names[tier]].max())
-            for tier in ("web", "app", "db")
+            name: int(self.monitor.queues[name].max())
+            for name, _server in self.system.server_items()
         }
 
     def cpu_mean(self):
@@ -110,8 +115,8 @@ class RunResult:
         annotations describe.
         """
         return {
-            self.names[tier]: self.monitor.host_cpu[self.names[tier]].mean()
-            for tier in ("web", "app", "db")
+            name: self.monitor.host_cpu[name].mean()
+            for name, _vm in self.system.vm_items()
         }
 
     def highest_avg_cpu(self):
@@ -137,29 +142,33 @@ class RunResult:
         A consolidation antagonist maps to the tier it is co-located
         with, since its bursts *are* that tier's millibottlenecks.
         """
-        vm_of = {self.names[t]: self.names[t] for t in ("web", "app", "db")}
+        host_items = self.system.host_items()
+        vm_of = {name: name for name, _host in host_items}
         for injector in self.injectors:
             vm = getattr(injector, "vm", None)
             if vm is None:
                 continue
-            for tier in ("web", "app", "db"):
-                if self.system.hosts[tier] is vm.host:
-                    vm_of[vm.name] = self.names[tier]
+            for name, host in host_items:
+                if host is vm.host:
+                    vm_of[vm.name] = name
         return vm_of
+
+    def _tier_order(self):
+        """Attributor tier order: plain names, with a tier's replicas
+        grouped into a sub-list when it is replicated."""
+        return [
+            group[0] if len(group) == 1 else group
+            for group in self.system.tier_groups()
+        ]
 
     def ctqo_events(self, **kwargs):
         vm_of = self.vm_to_server()
-        analyzer = CtqoAnalyzer(
-            [self.names["web"], self.names["app"], self.names["db"]],
-            vm_of=vm_of,
-        )
+        analyzer = CtqoAnalyzer(self._tier_order(), vm_of=vm_of)
         return analyzer.attribute_drops(
             self.millibottlenecks(**kwargs),
             {
-                self.names[tier]: [
-                    t for t, _ex in self.system.servers[tier].listener.drop_log
-                ]
-                for tier in ("web", "app", "db")
+                name: [t for t, _ex in server.listener.drop_log]
+                for name, server in self.system.server_items()
             },
         )
 
@@ -177,9 +186,7 @@ class RunResult:
 
         monitor = self.monitor
         overflow = {}
-        for tier in ("web", "app", "db"):
-            name = self.names[tier]
-            server = self.system.servers[tier]
+        for name, server in self.system.server_items():
             backlog = monitor.backlog.get(name)
             if backlog is not None:
                 # the accept queue is the resource that actually drops:
@@ -206,7 +213,7 @@ class RunResult:
                         occupancy, depth, name=name, slack=overflow_slack,
                     )
         attributor = CtqoAttributor(
-            [self.names["web"], self.names["app"], self.names["db"]],
+            self._tier_order(),
             vm_of=self.vm_to_server(), window=window,
             tolerance=monitor.interval + 1e-9,
         )
@@ -262,14 +269,19 @@ class Scenario:
     def with_consolidation(self, tier, times=None, period=None,
                            burst_cpu=CONSOLIDATION_BURST_CPU,
                            burst_jobs=CONSOLIDATION_BURST_JOBS,
-                           shares=CONSOLIDATION_SHARES):
-        """Consolidate a bursty antagonist VM onto ``tier``'s host."""
+                           shares=CONSOLIDATION_SHARES, name=None):
+        """Consolidate a bursty antagonist VM onto ``tier``'s host.
+
+        ``name`` labels the antagonist VM in monitors and diagnosis
+        output; the default keeps the historical ``sysbursty-mysql``
+        (changing it would rename golden-record series).
+        """
         if (times is None) == (period is None):
             raise ValueError("give exactly one of times= or period=")
         self._injector_specs.append(
             ("consolidation", dict(tier=tier, times=times, period=period,
                                    burst_cpu=burst_cpu, burst_jobs=burst_jobs,
-                                   shares=shares))
+                                   shares=shares, name=name))
         )
         return self
 
@@ -333,11 +345,16 @@ class Scenario:
         injectors = []
         for kind, spec in self._injector_specs:
             if kind == "consolidation":
+                extra = (
+                    {} if spec.get("name") is None
+                    else {"name": spec["name"]}
+                )
                 injector = ColocationInjector(
                     sim, system.host_of(spec["tier"]),
                     burst_cpu_seconds=spec["burst_cpu"],
                     burst_jobs=spec["burst_jobs"],
                     shares=spec["shares"],
+                    **extra,
                 )
                 if spec["times"] is not None:
                     injector.scripted(spec["times"])
@@ -348,19 +365,19 @@ class Scenario:
                 monitor.watch_vm(injector.vm.name, injector.vm)
             elif kind == "logflush":
                 injector = LogFlushInjector(
-                    sim, system.vms[spec["tier"]],
+                    sim, _one(system.vms[spec["tier"]]),
                     period=spec["period"], duration=spec["duration"],
                     offset=spec["offset"],
                 ).start()
             elif kind == "gc":
                 injector = GcPauseInjector(
-                    sim, system.vms[spec["tier"]],
+                    sim, _one(system.vms[spec["tier"]]),
                     period=spec["period"], min_pause=spec["min_pause"],
                     max_pause=spec["max_pause"],
                 ).start()
             elif kind == "netjam":
                 injector = NetworkJamInjector(
-                    sim, system.servers[spec["tier"]].listener,
+                    sim, _one(system.servers[spec["tier"]]).listener,
                     period=spec["period"], duration=spec["duration"],
                     offset=spec["offset"],
                 ).start()

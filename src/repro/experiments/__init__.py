@@ -16,6 +16,7 @@ fig12_throughput          Fig 12 — 2000 threads vs async throughput
 deep_chain                extension — multi-hop CTQO in 4/5-tier chains
 policy_matrix             extension — invocation-policy hybrids at WL 7000
 replication               extension — replicas dilute but keep CTQO
+scaleout                  extension — balancing/hedging across replicas
 validation                substrate check — simulator vs queueing theory
 cause_variety             §III — CPU/disk/GC/network causes, same CTQO
 headline_utilization      abstract — 43 % sync vs 83 % async claim
@@ -46,6 +47,7 @@ from . import (  # noqa: F401
     fig12_throughput,
     headline_utilization,
     policy_matrix,
+    scaleout,
 )
 from . import runner  # noqa: F401
 from .runner import (
@@ -82,4 +84,5 @@ __all__ = [
     "fig12_throughput",
     "headline_utilization",
     "run_timeline",
+    "scaleout",
 ]

@@ -193,6 +193,9 @@ REGISTRY = {
         _spec("replication", "replication",
               "replicas dilute but keep CTQO",
               quick={"duration": 18.0, "replicas": [2]}),
+        _spec("scaleout", "scaleout",
+              "balancing and hedging across replicated tiers at WL 7000",
+              quick={"duration": 20.0}),
         _spec("validation", "validation",
               "simulator vs closed-form queueing theory",
               quick={"duration": 12.0, "workloads": [2000, 7000]}),

@@ -63,6 +63,9 @@ async def run_comparison(duration=4.0, rate=120.0, stall_at=1.0,
         await injector
         summary = client.summary()
         summary["drops_by_tier"] = {t.name: t.drops for t in tiers}
+        summary["downstream_drops_by_tier"] = {
+            t.name: t.downstream_drops for t in tiers
+        }
         summary["peak_queue"] = {t.name: t.peak_queue for t in tiers}
         results[kind] = summary
         for tier in tiers:
@@ -80,8 +83,12 @@ def main():
             print(f"  {key:20s} {value}")
         print()
     sync_drops = sum(results["sync"]["drops_by_tier"].values())
+    sync_downstream = sum(
+        results["sync"]["downstream_drops_by_tier"].values()
+    )
     async_drops = sum(results["async"]["drops_by_tier"].values())
-    print(f"sync stack dropped {sync_drops} connections during the stall; "
+    print(f"sync stack dropped {sync_drops} connections during the stall "
+          f"({sync_downstream} more requests failed on downstream drops); "
           f"async stack dropped {async_drops}.")
     return results
 

@@ -43,7 +43,14 @@ class LiveTier:
         self.calls_to_next = calls_to_next
         self.port = None
         self.server = None
+        #: local admission drops: connections this tier itself refused
+        #: (closed unreplied) because its queue bound was hit.
         self.drops = 0
+        #: downstream-propagated drops: requests this tier admitted but
+        #: failed upstream because a *downstream* tier dropped the call.
+        #: Disjoint from :attr:`drops` — summing both double-counts
+        #: nothing.
+        self.downstream_drops = 0
         self.served = 0
         self.peak_queue = 0
         self._stalled = asyncio.Event()
@@ -89,6 +96,11 @@ class LiveTier:
         try:
             await write_message(writer, payload)
             return await read_message(reader)
+        except ConnectionError as exc:
+            # whether a downstream drop surfaces as clean EOF (Dropped
+            # from read) or as a reset on the write is a race on the
+            # close; both are the same event, so normalise
+            raise Dropped(f"downstream reset: {exc}")
         finally:
             writer.close()
             with contextlib.suppress(Exception):
@@ -150,16 +162,37 @@ class SyncTier(LiveTier):
             return
         self._waiting += 1
         self._note_queue(self.queue_depth())
-        async with self._slot_free:
-            await self._slot_free.wait_for(lambda: self._busy < self.threads)
+        got_slot = False
+        try:
+            async with self._slot_free:
+                # a parked client may hang up before a thread frees; the
+                # predicate re-runs at every notify_all (i.e. whenever a
+                # slot opens — exactly when the stale waiter would
+                # otherwise seize it), so the EOF check keeps a dead
+                # connection from ever occupying a thread
+                await self._slot_free.wait_for(
+                    lambda: self._busy < self.threads or reader.at_eof()
+                )
+                if not reader.at_eof():
+                    self._busy += 1  # held from here to the reply
+                    got_slot = True
+        finally:
             self._waiting -= 1
-            self._busy += 1  # the slot is held from here to the reply
+        if not got_slot:
+            # client disconnected while parked in the accept queue: it
+            # was admitted (not a drop) and never serviced (not a
+            # serve) — just release its queue slot
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            return
         try:
             request = await read_message(reader)
             try:
                 response = await self._service(request)
             except Dropped:
                 # downstream dropped us beyond retry: fail upstream
+                self.downstream_drops += 1
                 response = {"ok": False, "error": "downstream drop"}
             await write_message(writer, response)
             self.served += 1
@@ -202,6 +235,7 @@ class AsyncTier(LiveTier):
             try:
                 response = await self._service(request)
             except Dropped:
+                self.downstream_drops += 1
                 response = {"ok": False, "error": "downstream drop"}
             await write_message(writer, response)
             self.served += 1

@@ -200,7 +200,13 @@ class CtqoAttributor:
     ----------
     tier_order:
         Server names from most-upstream to most-downstream
-        (e.g. ``["apache", "tomcat", "mysql"]``).
+        (e.g. ``["apache", "tomcat", "mysql"]``).  An entry may itself
+        be a list of names — the *replicas* of one tier — which then
+        share that tier's position (``["apache", ["tomcat1",
+        "tomcat2"], "mysql"]``): a drop at any replica classifies
+        against a millibottleneck on any other server by tier distance,
+        and replica-to-replica of the same tier counts as downstream
+        (the flood arrives at a peer's queue, not above it).
     vm_of:
         Mapping from VM names (as millibottlenecks report them) to
         server names — a consolidation antagonist maps to its victim
@@ -218,7 +224,13 @@ class CtqoAttributor:
         if len(tier_order) < 2:
             raise ValueError("tier_order needs at least two tiers")
         self.tier_order = list(tier_order)
-        self._position = {name: i for i, name in enumerate(self.tier_order)}
+        self._position = {}
+        for index, entry in enumerate(self.tier_order):
+            if isinstance(entry, (list, tuple)):
+                for name in entry:
+                    self._position[name] = index
+            else:
+                self._position[entry] = index
         self.vm_of = vm_of or {}
         self.window = window
         self.tolerance = tolerance

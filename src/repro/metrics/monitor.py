@@ -66,8 +66,11 @@ class SystemMonitor:
         self.sheds = {}
         self.retries = {}
         self.breaker_fast_fails = {}
+        self.outstanding = {}
+        self.hedges = {}
         self._vms = {}
         self._servers = {}
+        self._groups = {}
         # servers with the full gauge interface (occupancy + listener);
         # minimal test doubles are monitored for queue depth only
         self._gauged = {}
@@ -108,6 +111,18 @@ class SystemMonitor:
             self.sheds[name] = TimeSeries(f"sheds:{name}")
             self.retries[name] = TimeSeries(f"retries:{name}")
             self.breaker_fast_fails[name] = TimeSeries(f"breaker:{name}")
+        return self
+
+    def watch_group(self, name, group):
+        """Record a :class:`~repro.servers.replica.ReplicaGroup`'s
+        per-replica outstanding calls (``<name>[i]`` series) and its
+        cumulative hedges-issued counter as ``name``."""
+        self._groups[name] = group
+        for index in range(len(group.listeners)):
+            self.outstanding[f"{name}[{index}]"] = TimeSeries(
+                f"outstanding:{name}[{index}]"
+            )
+        self.hedges[name] = TimeSeries(f"hedges:{name}")
         return self
 
     def start(self):
@@ -156,6 +171,10 @@ class SystemMonitor:
             self.breaker_fast_fails[name].append(
                 now, stats.breaker_fast_fails
             )
+        for name, group in self._groups.items():
+            for index, count in enumerate(group.outstanding):
+                self.outstanding[f"{name}[{index}]"].append(now, count)
+            self.hedges[name].append(now, group.hedges_issued)
 
     def __repr__(self):
         return (

@@ -121,11 +121,19 @@ class RequestLog:
         return len(self.completed) / duration
 
     def percentile(self, q):
-        """q-th percentile (0-100) of completed response times."""
-        times = self.response_times()
-        if not times:
-            return 0.0
-        return float(np.percentile(times, q))
+        """q-th percentile (0-100) of completed response times.
+
+        Delegates to :func:`repro.core.tail.percentiles` — the two
+        percentile implementations used to be separate near-duplicates
+        that could drift apart on interpolation semantics; now there is
+        exactly one.
+        """
+        # lazy import: repro.core's package __init__ pulls in the
+        # evaluation harness, which (via the topology builders) imports
+        # this module — a top-level import would be circular
+        from ..core.tail import percentiles
+
+        return percentiles(self.response_times(), qs=(q,))[q]
 
     # ------------------------------------------------------------------
     # tail analyses

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..apps.servlet import Call, Compute, Response, ServletContext, ServletError
 from ..net.tcp import ConnectionTimeout
 from ..sim.resources import Resource
+from .replica import ReplicaGroup
 
 __all__ = [
     "STEP_CALL",
@@ -121,6 +122,12 @@ class _RoundRobin:
         self._index = (self._index + 1) % len(self.listeners)
         return listener
 
+    def send(self, fabric, payload):
+        """Dispatch ``payload`` to the next replica; returns the
+        :class:`~repro.net.tcp.Exchange` (same surface as
+        :meth:`repro.servers.replica.ReplicaGroup.send`)."""
+        return fabric.send(self.next(), payload)
+
     def __len__(self):
         return len(self.listeners)
 
@@ -178,7 +185,10 @@ class BaseServer:
         """Route :class:`Call` steps naming ``target`` to ``listener``.
 
         ``listener`` may also be a list of listeners — replicas of the
-        downstream tier — which are used round-robin per call.
+        downstream tier — which are used round-robin per call, or a
+        :class:`~repro.servers.replica.ReplicaGroup` for pluggable
+        balancing, per-replica pools and hedging (the group then owns
+        all pooling, so ``pool_size`` must be None).
 
         ``pool_size`` installs a caller-side connection pool (the
         Tomcat→MySQL JDBC pool of 50): at most that many outstanding
@@ -197,7 +207,14 @@ class BaseServer:
                 f"{self.name} is already connected to {target!r}; "
                 "routes are fixed once wired"
             )
-        if isinstance(listener, (list, tuple)):
+        if isinstance(listener, ReplicaGroup):
+            if pool_size is not None:
+                raise ValueError(
+                    f"{self.name}->{target}: a ReplicaGroup manages its "
+                    "own per-replica pools; pool_size must be None"
+                )
+            self.downstream[target] = listener
+        elif isinstance(listener, (list, tuple)):
             listeners = list(listener)
             if not listeners:
                 raise ValueError(f"{self.name}->{target}: empty replica list")
@@ -289,14 +306,13 @@ class BaseServer:
                 f"{self.name} has no route to tier {step.target!r}"
             )
         replicas, pool, label = route
-        target_listener = replicas.next()
         self.stats.downstream_calls += 1
         if pool is not None:
             yield pool.acquire()
         try:
             sub = request.child(step.operation, self.sim.now, work_hint=step.work_hint)
             sub.record(self.sim.now, "call", label)
-            exchange = self.fabric.send(target_listener, sub)
+            exchange = replicas.send(self.fabric, sub)
             try:
                 response = yield exchange.response
             except ConnectionTimeout as exc:

@@ -422,7 +422,6 @@ class EventLoopConcurrency(ConcurrencyPolicy):
             server._ready.put(task)
             return
         replicas, pool, route_label = route
-        target_listener = replicas.next()
         server.stats.downstream_calls += 1
         sim = server.sim
 
@@ -430,7 +429,7 @@ class EventLoopConcurrency(ConcurrencyPolicy):
             sub = request.child(step.operation, sim.now,
                                 work_hint=step.work_hint)
             sub.record(sim.now, "call", route_label)
-            exchange = server.fabric.send(target_listener, sub)
+            exchange = replicas.send(server.fabric, sub)
             exchange.response.add_callback(on_response)
 
         def paced_send(_grant=None):
@@ -621,11 +620,10 @@ class TimeoutRetry(RemediationPolicy):
                     raise ServletError(
                         f"{label}: circuit open, failing fast"
                     )
-                target_listener = replicas.next()
                 sub = request.child(step.operation, sim.now,
                                     work_hint=step.work_hint)
                 sub.record(sim.now, "call", label)
-                exchange = server.fabric.send(target_listener, sub)
+                exchange = replicas.send(server.fabric, sub)
                 timer = sim.timeout(self.timeout)
                 error = None
                 try:
@@ -698,11 +696,10 @@ class TimeoutRetry(RemediationPolicy):
                 request.record(sim.now, "breaker_open", label)
                 resume_fail(f"{label}: circuit open, failing fast")
                 return
-            target_listener = replicas.next()
             sub = request.child(step.operation, sim.now,
                                 work_hint=step.work_hint)
             sub.record(sim.now, "call", label)
-            exchange = server.fabric.send(target_listener, sub)
+            exchange = replicas.send(server.fabric, sub)
             settled = {"done": False}
 
             def on_response(event):

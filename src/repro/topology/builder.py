@@ -15,12 +15,15 @@ from ..metrics.monitor import SystemMonitor
 from ..metrics.trace import RequestLog
 from ..net.tcp import NetworkFabric
 from ..servers.async_server import AsyncServer
+from ..servers.replica import ReplicaGroup
 from ..servers.runtime import policy_server
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from .configs import SystemConfig, server_names
 
-__all__ = ["NTierSystem", "build_system"]
+__all__ = ["NTierSystem", "ReplicatedNTierSystem", "build_system"]
+
+_TIERS = (WEB_TIER, APP_TIER, DB_TIER)
 
 
 class NTierSystem:
@@ -96,6 +99,22 @@ class NTierSystem:
     def total_sheds(self):
         return sum(self.shed_counts().values())
 
+    # replica-agnostic iteration (shared surface with the replicated
+    # system, so RunResult and attribution handle both uniformly) ------
+    def server_items(self):
+        """(display name, server) pairs, tier order, one per replica."""
+        return [(self.names[t], self.servers[t]) for t in _TIERS]
+
+    def vm_items(self):
+        return [(self.names[t], self.vms[t]) for t in _TIERS]
+
+    def host_items(self):
+        return [(self.names[t], self.hosts[t]) for t in _TIERS]
+
+    def tier_groups(self):
+        """Tier-ordered display-name groups (replicas share a group)."""
+        return [[self.names[t]] for t in _TIERS]
+
     def __repr__(self):
         stack = "-".join(
             self.names[t] for t in (WEB_TIER, APP_TIER, DB_TIER)
@@ -129,6 +148,17 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
             "pass the bus to the existing simulator, not to build_system: "
             "components capture sim.bus at construction"
         )
+    if config.is_replicated:
+        # any tier with > 1 replica takes the scale-out build path; the
+        # classic path below is untouched so 1/1/1 systems stay
+        # byte-identical to their golden records
+        if host_overrides:
+            raise ValueError(
+                "host_overrides is not supported with replicated tiers; "
+                "consolidate via Scenario.with_consolidation instead"
+            )
+        sim = sim or Simulator(seed=config.seed, bus=bus)
+        return _build_replicated_system(config, sim, name_prefix)
     sim = sim or Simulator(seed=config.seed, bus=bus)
     host_overrides = host_overrides or {}
     system = NTierSystem(sim, config, name_prefix=name_prefix)
@@ -262,3 +292,270 @@ def build_system(config=None, sim=None, host_overrides=None, name_prefix="",
 
 def _tier_attr(tier):
     return {WEB_TIER: "web", APP_TIER: "app", DB_TIER: "db"}[tier]
+
+
+# ======================================================================
+# scale-out: replicated tiers behind load balancers
+# ======================================================================
+class ReplicatedNTierSystem(NTierSystem):
+    """An n-tier system whose tiers are replica groups.
+
+    ``servers``/``vms``/``hosts`` map each tier to a *list* (one entry
+    per replica) and ``replica_names`` to the matching display names
+    (``tomcat1``..``tomcatN``; a 1-replica tier keeps the plain name).
+    ``names`` keeps the tier → first-replica mapping so tier-keyed
+    accessors still resolve.  Clients enter through ``entry`` — a
+    :class:`~repro.servers.replica.ReplicaGroup` when the web tier is
+    replicated — and every replicated route in ``groups`` balances,
+    pools and (optionally) hedges per the config.
+    """
+
+    def __init__(self, sim, config, name_prefix=""):
+        super().__init__(sim, config, name_prefix=name_prefix)
+        base = {
+            tier: name_prefix + name
+            for tier, name in server_names(config).items()
+        }
+        self.replica_names = {}
+        for tier in _TIERS:
+            count = config.tier_replicas(_tier_attr(tier))
+            if count == 1:
+                self.replica_names[tier] = [base[tier]]
+            else:
+                self.replica_names[tier] = [
+                    f"{base[tier]}{i + 1}" for i in range(count)
+                ]
+        # tier-keyed accessors resolve to the first replica
+        self.names = {tier: self.replica_names[tier][0] for tier in _TIERS}
+        self.hosts = {tier: [] for tier in _TIERS}
+        self.vms = {tier: [] for tier in _TIERS}
+        self.servers = {tier: [] for tier in _TIERS}
+        #: route label → ReplicaGroup (client entry + per-caller groups)
+        self.groups = {}
+        self.client_group = None
+
+    # ------------------------------------------------------------------
+    @property
+    def entry(self):
+        if self.client_group is not None:
+            return self.client_group
+        return self.servers[WEB_TIER][0].listener
+
+    def host_of(self, tier, replica=0):
+        return self.hosts[tier][replica]
+
+    def server_items(self):
+        return [
+            (name, server)
+            for tier in _TIERS
+            for name, server in zip(self.replica_names[tier],
+                                    self.servers[tier])
+        ]
+
+    def vm_items(self):
+        return [
+            (name, vm)
+            for tier in _TIERS
+            for name, vm in zip(self.replica_names[tier], self.vms[tier])
+        ]
+
+    def host_items(self):
+        return [
+            (name, host)
+            for tier in _TIERS
+            for name, host in zip(self.replica_names[tier], self.hosts[tier])
+        ]
+
+    def tier_groups(self):
+        return [list(self.replica_names[tier]) for tier in _TIERS]
+
+    def attach_monitor(self, interval=None):
+        """Monitor every replica's VM and server, plus every replica
+        group's per-replica outstanding counts."""
+        if self.monitor is None:
+            self.monitor = SystemMonitor(
+                self.sim, interval=interval or self.config.monitor_interval
+            )
+            for name, vm in self.vm_items():
+                self.monitor.watch_vm(name, vm)
+            for name, server in self.server_items():
+                self.monitor.watch_server(name, server)
+            for label, group in self.groups.items():
+                self.monitor.watch_group(label, group)
+            self.monitor.start()
+        return self.monitor
+
+    def drop_counts(self):
+        """Replica display name → packets dropped at that replica."""
+        return {
+            name: server.listener.drops
+            for name, server in self.server_items()
+        }
+
+    def shed_counts(self):
+        return {
+            name: server.listener.sheds
+            for name, server in self.server_items()
+        }
+
+    def group_stats(self):
+        """Route label → cumulative balancer/hedging counters."""
+        return {label: group.stats() for label, group in self.groups.items()}
+
+    def hedge_totals(self):
+        """Aggregate hedging counters across every route."""
+        totals = {"hedges_issued": 0, "hedge_wins": 0,
+                  "hedge_losses": 0, "hedges_cancelled": 0}
+        for group in self.groups.values():
+            for key in totals:
+                totals[key] += getattr(group, key)
+        return totals
+
+    def __repr__(self):
+        stack = "-".join(
+            f"{server_names(self.config)[t]}x{len(self.servers[t])}"
+            for t in _TIERS
+        )
+        return f"<ReplicatedNTierSystem nx={self.config.nx} {stack}>"
+
+
+def _tier_server(sim, system, config, tier, name, vm, handler):
+    """Build one server of ``tier`` named ``name`` — the same per-tier
+    policy/async/sync selection as the classic build path."""
+    attr = _tier_attr(tier)
+    policy = config.tier_policy(attr)
+    fabric = system.fabric
+    if policy is not None:
+        return policy_server(
+            sim, fabric, name, vm, handler, policy,
+            backlog=getattr(config, f"{attr}_backlog"),
+        )
+    if attr == "web":
+        if config.web_is_async:
+            return AsyncServer(
+                sim, fabric, name, vm, handler,
+                lite_q_depth=config.lite_q_depth,
+                workers=config.nginx_workers,
+                backlog=config.web_backlog,
+            )
+        return SyncServer(
+            sim, fabric, name, vm, handler,
+            threads=config.web_threads,
+            backlog=config.web_backlog,
+            spawn_extra_process=config.web_spawn_extra_process,
+            spawn_after=config.web_spawn_after,
+            max_processes=config.web_max_processes,
+        )
+    if attr == "app":
+        if config.app_is_async:
+            return AsyncServer(
+                sim, fabric, name, vm, handler,
+                lite_q_depth=config.lite_q_depth,
+                workers=config.xtomcat_workers,
+                backlog=config.app_backlog,
+                pace_rate=config.xtomcat_pace_rate,
+            )
+        return SyncServer(
+            sim, fabric, name, vm, handler,
+            threads=config.app_threads,
+            backlog=config.app_backlog,
+        )
+    if config.db_is_async:
+        return AsyncServer(
+            sim, fabric, name, vm, handler,
+            lite_q_depth=config.xmysql_queue,
+            workers=config.xmysql_slots,
+            backlog=config.db_backlog,
+        )
+    return SyncServer(
+        sim, fabric, name, vm, handler,
+        threads=config.db_threads,
+        backlog=config.db_backlog,
+    )
+
+
+def _route_group(system, caller_name, tier, pool_size=None):
+    """A fresh caller-owned ReplicaGroup over ``tier``'s listeners."""
+    config = system.config
+    listeners = [server.listener for server in system.servers[tier]]
+    hedging = config.hedging if len(listeners) > 1 else None
+    label = f"{caller_name}->{_tier_attr(tier)}"
+    group = ReplicaGroup(
+        system.sim, label, listeners,
+        balancer=config.balancer, hedging=hedging, pool_size=pool_size,
+    )
+    system.groups[label] = group
+    return group
+
+
+def _build_replicated_system(config, sim, name_prefix):
+    """The scale-out twin of :func:`build_system`: every tier becomes a
+    list of replicas, every replicated route a ReplicaGroup."""
+    system = ReplicatedNTierSystem(sim, config, name_prefix=name_prefix)
+    handlers = system.app.handlers()
+
+    overhead = None
+    if config.thread_overhead:
+        overhead = ThreadOverheadModel(
+            switch_cost=config.switch_cost,
+            gc_cost=config.gc_cost,
+            free_threads=config.free_threads,
+        )
+
+    # every replica on its own VM on its own host (scale-*out*, not up)
+    for tier, vcpus in (
+        (WEB_TIER, 1),
+        (APP_TIER, config.app_vcpus),
+        (DB_TIER, 1),
+    ):
+        attr = _tier_attr(tier)
+        policy = config.tier_policy(attr)
+        if policy is not None:
+            is_async = policy.concurrency.kind == "eventloop"
+        else:
+            is_async = getattr(config, f"{attr}_is_async")
+        for name in system.replica_names[tier]:
+            host = Host(sim, cores=max(1, vcpus), name=f"{name}-host")
+            vm = host.add_vm(
+                f"{name}-vm",
+                vcpus=vcpus,
+                efficiency=None if is_async else overhead,
+            )
+            server = _tier_server(
+                sim, system, config, tier, name, vm, handlers[tier]
+            )
+            system.hosts[tier].append(host)
+            system.vms[tier].append(vm)
+            system.servers[tier].append(server)
+
+    # --- wiring -------------------------------------------------------
+    # clients -> web: a shared entry group when the web tier is
+    # replicated (the generators detect .send and dispatch through it)
+    if len(system.servers[WEB_TIER]) > 1:
+        system.client_group = _route_group(system, "clients", WEB_TIER)
+
+    # web -> app: per-caller groups when the app tier is replicated
+    app_replicated = len(system.servers[APP_TIER]) > 1
+    for name, web in zip(system.replica_names[WEB_TIER],
+                         system.servers[WEB_TIER]):
+        if app_replicated:
+            web.connect(APP_TIER, _route_group(system, name, APP_TIER))
+        else:
+            web.connect(APP_TIER, system.servers[APP_TIER][0].listener)
+
+    # app -> db: the JDBC pool becomes per-replica inside the group
+    if config.app_policy is not None:
+        app_blocks = config.app_policy.concurrency.kind == "threads"
+    else:
+        app_blocks = not config.app_is_async
+    pool = config.db_pool_size if app_blocks else None
+    db_replicated = len(system.servers[DB_TIER]) > 1
+    for name, app in zip(system.replica_names[APP_TIER],
+                         system.servers[APP_TIER]):
+        if db_replicated:
+            app.connect(DB_TIER, _route_group(system, name, DB_TIER,
+                                              pool_size=pool))
+        else:
+            app.connect(DB_TIER, system.servers[DB_TIER][0].listener,
+                        pool_size=pool)
+    return system

@@ -25,6 +25,7 @@ from ..metrics.trace import RequestLog, RequestRecord
 from ..net.tcp import ConnectionTimeout, NetworkFabric
 from ..servers.async_server import AsyncServer
 from ..servers.policies import RemediationSpec, build_remediation
+from ..servers.replica import BALANCERS, HedgingSpec, ReplicaGroup
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from ..units import ms
@@ -60,6 +61,16 @@ class TierSpec:
     #: to this tier's *outgoing* calls (timeout+retry+breaker); None
     #: keeps the paper's trust-TCP behaviour.
     remediation: RemediationSpec = field(default=None, repr=False)
+    #: scale-out: replicas of this tier (``{name}1..{name}N`` when > 1,
+    #: each on its own host behind a caller-owned
+    #: :class:`~repro.servers.replica.ReplicaGroup`)
+    replicas: int = 1
+    #: how callers pick among this tier's replicas — one of
+    #: :data:`repro.servers.replica.BALANCERS`
+    balancer: str = "round_robin"
+    #: optional :class:`~repro.servers.replica.HedgingSpec` for the
+    #: routes *into* this tier (needs ``replicas >= 2``)
+    hedging: HedgingSpec = field(default=None, repr=False)
 
     def __post_init__(self):
         if self.sync and self.threads < 1:
@@ -74,6 +85,30 @@ class TierSpec:
                 f"{self.name}: remediation must be a RemediationSpec or "
                 f"None, got {self.remediation!r}"
             )
+        if self.replicas < 1:
+            raise ValueError(f"{self.name}: replicas must be >= 1")
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"{self.name}: balancer must be one of {sorted(BALANCERS)}, "
+                f"got {self.balancer!r}"
+            )
+        if self.hedging is not None:
+            if not isinstance(self.hedging, HedgingSpec):
+                raise ValueError(
+                    f"{self.name}: hedging must be a HedgingSpec or None, "
+                    f"got {self.hedging!r}"
+                )
+            if self.replicas < 2:
+                raise ValueError(
+                    f"{self.name}: hedging needs replicas >= 2"
+                )
+
+    @property
+    def replica_names(self):
+        """Display names: ``[name]`` or ``[name1, .., nameN]``."""
+        if self.replicas == 1:
+            return [self.name]
+        return [f"{self.name}{i + 1}" for i in range(self.replicas)]
 
     @property
     def max_sys_q_depth(self):
@@ -102,15 +137,23 @@ class ChainSystem:
         self.sim = sim
         self.specs = list(specs)
         self.fabric = fabric
-        self.names = [spec.name for spec in self.specs]
+        #: flat display names, one entry per *replica*, front tier first
+        self.names = [
+            name for spec in self.specs for name in spec.replica_names
+        ]
         self.hosts = []
         self.vms = []
         self.servers = []
+        #: route label -> ReplicaGroup, for every replicated hop
+        self.groups = {}
+        self.client_group = None
         self.log = RequestLog()
         self.monitor = None
 
     @property
     def entry(self):
+        if self.client_group is not None:
+            return self.client_group
         return self.servers[0].listener
 
     @property
@@ -132,6 +175,8 @@ class ChainSystem:
             for name, vm, server in zip(self.names, self.vms, self.servers):
                 self.monitor.watch_vm(name, vm)
                 self.monitor.watch_server(name, server)
+            for label, group in self.groups.items():
+                self.monitor.watch_group(label, group)
             self.monitor.start()
         return self.monitor
 
@@ -161,7 +206,13 @@ class ChainSystem:
 
     def _one_request(self):
         request = Request("ChainRequest", "chain", self.sim.now)
-        exchange = self.fabric.send(self.entry, request)
+        entry = self.entry
+        if hasattr(entry, "send"):
+            # replicated front tier: the group balances/hedges and
+            # returns an exchange-like HedgedCall
+            exchange = entry.send(self.fabric, request)
+        else:
+            exchange = self.fabric.send(entry, request)
         failed = False
         error = None
         try:
@@ -235,37 +286,70 @@ def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
     system = ChainSystem(sim, specs, fabric)
     rng = sim.fork_rng("chain-app")
 
+    tier_servers = []
     for index, spec in enumerate(specs):
-        host = Host(sim, cores=max(1, spec.vcpus), name=f"{spec.name}-host")
-        vm = host.add_vm(f"{spec.name}-vm", vcpus=spec.vcpus)
         next_name = specs[index + 1].name if index + 1 < len(specs) else None
         handler = _chain_handler(spec, next_name, rng)
-        if spec.sync:
-            server = SyncServer(
-                sim, fabric, spec.name, vm, handler,
-                threads=spec.threads, backlog=spec.backlog,
-            )
-        else:
-            server = AsyncServer(
-                sim, fabric, spec.name, vm, handler,
-                lite_q_depth=spec.lite_q_depth, workers=spec.workers,
-                backlog=spec.backlog,
-            )
-        if spec.remediation is not None and spec.remediation.kind != "none":
-            # rebind the outgoing-call invokers after construction: the
-            # preset classes fix admission/concurrency, but remediation
-            # composes with either driver
-            remediation = build_remediation(spec.remediation)
-            remediation.bind(server)
-            server.remediation = remediation
-        system.hosts.append(host)
-        system.vms.append(vm)
-        system.servers.append(server)
+        replicas = []
+        for name in spec.replica_names:
+            host = Host(sim, cores=max(1, spec.vcpus), name=f"{name}-host")
+            vm = host.add_vm(f"{name}-vm", vcpus=spec.vcpus)
+            if spec.sync:
+                server = SyncServer(
+                    sim, fabric, name, vm, handler,
+                    threads=spec.threads, backlog=spec.backlog,
+                )
+            else:
+                server = AsyncServer(
+                    sim, fabric, name, vm, handler,
+                    lite_q_depth=spec.lite_q_depth, workers=spec.workers,
+                    backlog=spec.backlog,
+                )
+            if (spec.remediation is not None
+                    and spec.remediation.kind != "none"):
+                # rebind the outgoing-call invokers after construction:
+                # the preset classes fix admission/concurrency, but
+                # remediation composes with either driver
+                remediation = build_remediation(spec.remediation)
+                remediation.bind(server)
+                server.remediation = remediation
+            system.hosts.append(host)
+            system.vms.append(vm)
+            system.servers.append(server)
+            replicas.append(server)
+        tier_servers.append(replicas)
+
+    def route_group(caller_label, target_spec, listeners, pool_size):
+        label = f"{caller_label}->{target_spec.name}"
+        group = ReplicaGroup(
+            sim, label, listeners,
+            balancer=target_spec.balancer, hedging=target_spec.hedging,
+            pool_size=pool_size,
+        )
+        system.groups[label] = group
+        return group
 
     for index in range(len(specs) - 1):
-        system.servers[index].connect(
-            specs[index + 1].name,
-            system.servers[index + 1].listener,
-            pool_size=specs[index].pool_to_next,
+        caller_spec, target_spec = specs[index], specs[index + 1]
+        targets = tier_servers[index + 1]
+        for caller_name, caller in zip(caller_spec.replica_names,
+                                       tier_servers[index]):
+            if len(targets) > 1:
+                caller.connect(
+                    target_spec.name,
+                    route_group(caller_name, target_spec,
+                                [s.listener for s in targets],
+                                caller_spec.pool_to_next),
+                )
+            else:
+                caller.connect(
+                    target_spec.name, targets[0].listener,
+                    pool_size=caller_spec.pool_to_next,
+                )
+
+    if specs[0].replicas > 1:
+        system.client_group = route_group(
+            "clients", specs[0],
+            [s.listener for s in tier_servers[0]], None,
         )
     return system

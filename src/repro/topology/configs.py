@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..servers.policies import TierPolicy
+from ..servers.replica import BALANCERS, HedgingSpec
 
 __all__ = ["SystemConfig", "server_names"]
 
@@ -86,6 +87,21 @@ class SystemConfig:
     # --- application mix override (None = calibrated default mix) ---
     interaction_specs: list = field(default=None, repr=False)
 
+    # --- scale-out: per-tier replica groups --------------------------
+    # 1 everywhere keeps the paper's 1/1/1 topology (and the classic
+    # single-server build path, byte-identical to previous releases);
+    # any tier > 1 switches to the replicated builder, where every tier
+    # becomes a ReplicaGroup behind ``balancer`` and per-replica pools.
+    web_replicas: int = 1
+    app_replicas: int = 1
+    db_replicas: int = 1
+    #: replica-selection policy for every replicated route — one of
+    #: :data:`repro.servers.replica.BALANCERS`
+    balancer: str = "round_robin"
+    #: optional :class:`repro.servers.replica.HedgingSpec` applied to
+    #: every route whose downstream tier has >= 2 replicas
+    hedging: HedgingSpec = field(default=None, repr=False)
+
     # --- per-tier invocation-policy overrides ------------------------
     # None keeps the nx-derived preset for that tier (byte-identical to
     # the classic SyncServer/AsyncServer); a
@@ -111,10 +127,38 @@ class SystemConfig:
                 raise ValueError(
                     f"{name} must be a TierPolicy or None, got {policy!r}"
                 )
+        for name in ("web_replicas", "app_replicas", "db_replicas"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.balancer not in BALANCERS:
+            raise ValueError(
+                f"balancer must be one of {sorted(BALANCERS)}, "
+                f"got {self.balancer!r}"
+            )
+        if self.hedging is not None:
+            if not isinstance(self.hedging, HedgingSpec):
+                raise ValueError(
+                    f"hedging must be a HedgingSpec or None, "
+                    f"got {self.hedging!r}"
+                )
+            if not self.is_replicated:
+                raise ValueError(
+                    "hedging needs at least one tier with >= 2 replicas"
+                )
 
     def tier_policy(self, tier_attr):
         """Policy override for ``"web"``/``"app"``/``"db"``, or None."""
         return getattr(self, f"{tier_attr}_policy")
+
+    def tier_replicas(self, tier_attr):
+        """Replica count for ``"web"``/``"app"``/``"db"``."""
+        return getattr(self, f"{tier_attr}_replicas")
+
+    @property
+    def is_replicated(self):
+        """True when any tier has more than one replica."""
+        return max(self.web_replicas, self.app_replicas,
+                   self.db_replicas) > 1
 
     # convenient predicates --------------------------------------------
     @property

@@ -75,7 +75,13 @@ class _GeneratorBase:
         """Generator: issue one interaction, wait, record the outcome."""
         request = Request(spec.name, spec.name, self.sim.now)
         self.issued += 1
-        exchange = self.fabric.send(self.entry, request)
+        entry = self.entry
+        if hasattr(entry, "send"):
+            # a ReplicaGroup entry: balancing/hedging across front-tier
+            # replicas; returns an exchange-like HedgedCall
+            exchange = entry.send(self.fabric, request)
+        else:
+            exchange = self.fabric.send(entry, request)
         failed = False
         error = None
         try:

@@ -66,6 +66,26 @@ def test_run_all_executes_subset_and_writes_records(tmp_path, capsys):
     assert list(records) == ["validation[workloads=[2000, 7000]]@s42"]
 
 
+def test_diagnose_rejects_bogus_variant(capsys):
+    """An unknown variant must fail fast with a one-line error that
+    lists the valid choices — before any simulation runs."""
+    assert main(["diagnose", "scaleout", "--variant", "bogus"]) == 2
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "bogus" in err
+    from repro.experiments import scaleout
+
+    for variant in scaleout.VARIANTS:
+        assert variant in err
+
+
+def test_diagnose_rejects_bogus_policy_matrix_variant(capsys):
+    assert main(["diagnose", "policy_matrix", "--variant", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "nope" in err
+    assert "shed_web" in err
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -38,6 +38,11 @@ TINY = {
     "policy_matrix": dict(
         duration=12.0, params={"variants": ["shed_web"], "clients": 3000},
     ),
+    # 17 s fits one full burst triple (bases 8/11/14 + 2.2 s stall), so
+    # the hedging and balancing paths actually fire under the stall
+    "scaleout": dict(
+        duration=17.0, params={"variants": ["rpc_hedged"], "clients": 2000},
+    ),
 }
 
 

@@ -1,0 +1,63 @@
+"""Tests for the scale-out experiment (repro.experiments.scaleout)."""
+
+import pytest
+
+from repro.experiments import scaleout
+
+
+def test_stall_times_are_rto_spaced_triples():
+    times = scaleout.stall_times(40.0, 5.0)
+    assert times and len(times) % 3 == 0
+    for i in range(0, len(times), 3):
+        a, b, c = times[i:i + 3]
+        # spacing == the TCP RTO, so a packet dropped in burst k
+        # retransmits straight into burst k+1 (the 6/9 s modes)
+        assert b - a == pytest.approx(scaleout.BURST_SPACING)
+        assert c - b == pytest.approx(scaleout.BURST_SPACING)
+    assert times[0] > 5.0                              # clear of warmup
+    assert times[-1] + scaleout.BURST_CPU < 40.0       # ends inside run
+
+
+def test_bursts_stay_millibottlenecks():
+    # the detectors cap episodes at 2.5 s; a longer burst would be
+    # filtered out and per-replica attribution coverage would collapse
+    assert scaleout.BURST_CPU < 2.5
+
+
+def test_run_rejects_unknown_variant():
+    with pytest.raises(ValueError, match="unknown variant"):
+        scaleout.run(variants=["nope"])
+
+
+def test_outcomes_report_unrun_variants_as_unknown():
+    outcomes = scaleout.scaleout_outcomes({})
+    assert all(ev["holds"] is None for ev in outcomes.values())
+    assert scaleout.attribution_coverage({}) == 1.0
+
+
+@pytest.mark.integration
+@pytest.mark.slow
+def test_round_robin_reproduces_modes_with_per_replica_attribution():
+    """Claim (a): blind rotation keeps feeding the stalled replica —
+    the 3/6/9 s modes reappear on <= ~1/N of requests, and every drop
+    resolves to the stalled *replica's* own queue overflow."""
+    cell = scaleout.run_one("rpc_round_robin", clients=7000, duration=25.0)
+    assert cell["modes"].get(1, 0) > 0
+    assert cell["modes"].get(2, 0) > 0
+    drops = cell["drops_by_replica"]
+    assert sum(drops.values()) > 0
+    share = drops.get(cell["stalled_replica"], 0) / sum(drops.values())
+    assert share >= 0.9
+    assert cell["summary"]["vlrt_fraction"] <= 1.0 / scaleout.REPLICAS
+    assert cell["attribution"]["coverage"] >= 0.9
+
+
+@pytest.mark.integration
+@pytest.mark.slow
+def test_async_stack_absorbs_the_same_stall():
+    """Claim (d): the fully asynchronous stack needs no routing
+    cleverness — same stall, no drops, no VLRT."""
+    cell = scaleout.run_one("async_round_robin", clients=7000,
+                            duration=25.0)
+    assert cell["summary"]["vlrt"] == 0
+    assert cell["summary"]["dropped_packets"] == 0

@@ -113,6 +113,80 @@ def test_async_tier_lite_q_depth_still_bounds():
     assert sum(1 for r in results if isinstance(r, dict)) == 2
 
 
+def test_sync_tier_releases_queue_slot_when_parked_client_hangs_up():
+    """A client that disconnects while parked in the accept queue must
+    give its ``_waiting`` slot back without taking a thread, without
+    counting as served and without counting as a drop (it was
+    admitted)."""
+
+    async def scenario():
+        tier = SyncTier("leaf", threads=1, backlog=4, service_time=0.4)
+        await tier.start()
+        try:
+            # occupy the single thread with a slow request
+            slow = asyncio.ensure_future(one_request(tier.address()))
+            await asyncio.sleep(0.1)
+            assert tier._busy == 1
+            # park a client in the accept queue, then hang up on it
+            ghost_reader, ghost_writer = await asyncio.open_connection(
+                *tier.address()
+            )
+            await asyncio.sleep(0.05)
+            assert tier._waiting == 1
+            ghost_writer.close()
+            await ghost_writer.wait_closed()
+            # park a live client behind the ghost; when the thread
+            # frees, it (not the ghost) must get the slot
+            live = asyncio.ensure_future(one_request(tier.address()))
+            response = await slow
+            live_response = await live
+            # let the ghost's handler finish unwinding
+            await asyncio.sleep(0.05)
+        finally:
+            await tier.stop()
+        return tier, response, live_response
+
+    tier, response, live_response = run(scenario())
+    assert response["ok"] and live_response["ok"]
+    assert tier.served == 2          # the ghost is not a serve...
+    assert tier.drops == 0           # ...and was admitted, so not a drop
+    assert tier._waiting == 0        # the parked slot was released
+    assert tier._busy == 0
+    assert tier.queue_depth() == 0
+
+
+def test_drop_taxonomy_separates_local_and_downstream():
+    """``drops`` counts connections a tier itself refused; a request
+    that fails because a *downstream* tier dropped it lands in
+    ``downstream_drops`` on the upstream tier instead."""
+
+    async def scenario():
+        db = SyncTier("db", threads=1, backlog=0, service_time=0.2)
+        await db.start()
+        web = SyncTier("web", threads=8, backlog=8, service_time=0.001,
+                       downstream=db.address())
+        await web.start()
+        try:
+            tasks = [
+                asyncio.ensure_future(one_request(web.address()))
+                for _ in range(6)
+            ]
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            await web.stop()
+            await db.stop()
+        return web, db, results
+
+    web, db, results = run(scenario())
+    failed = [r for r in results
+              if isinstance(r, dict) and not r.get("ok")]
+    # web admitted everything: its failures are purely propagated
+    assert web.drops == 0
+    assert web.downstream_drops > 0
+    assert web.downstream_drops == db.drops == len(failed)
+    assert db.downstream_drops == 0  # the leaf has no downstream
+
+
 def test_tier_parameter_validation():
     with pytest.raises(ValueError):
         SyncTier("x", threads=0)
@@ -254,3 +328,8 @@ def test_live_demo_comparison_qualitative():
     assert sync_drops > 0
     assert async_drops == 0
     assert results["async"]["failed"] == 0
+    # taxonomy: the async stack propagates no downstream drops either,
+    # and the sync stack's summary keeps the two counters separate
+    assert sum(results["async"]["downstream_drops_by_tier"].values()) == 0
+    assert set(results["sync"]["downstream_drops_by_tier"]) == \
+        set(results["sync"]["drops_by_tier"])

@@ -39,6 +39,42 @@ def test_percentiles():
     assert log.percentile(99) == pytest.approx(0.099, rel=0.02)
 
 
+def test_percentile_agrees_with_core_tail_on_small_n():
+    """The log delegates to core.tail.percentiles: the two public
+    percentile surfaces must agree exactly, including the awkward
+    small-n interpolation cases."""
+    from repro.core.tail import percentiles
+
+    times = [0.010, 0.020, 0.070]
+    log = RequestLog()
+    for i, rt in enumerate(times):
+        log.add(record(i, 0.0, rt))
+    for q in (0, 25, 50, 75, 90, 95, 99, 99.9, 100):
+        assert log.percentile(q) == percentiles(times, qs=(q,))[q]
+
+
+def test_percentile_agrees_with_core_tail_on_exact_boundaries():
+    from repro.core.tail import percentiles
+
+    times = [i / 10.0 for i in range(1, 11)]  # 0.1 .. 1.0
+    log = RequestLog()
+    for i, rt in enumerate(times):
+        log.add(record(i, 0.0, rt))
+    # q=0/100 hit the extremes exactly; q=50 interpolates midway
+    assert log.percentile(0) == pytest.approx(0.1)
+    assert log.percentile(100) == pytest.approx(1.0)
+    assert log.percentile(50) == pytest.approx(0.55)
+    for q in (0, 10, 50, 90, 100):
+        assert log.percentile(q) == percentiles(times, qs=(q,))[q]
+
+
+def test_percentile_empty_log_matches_core_tail_zero():
+    from repro.core.tail import percentiles
+
+    assert RequestLog().percentile(99) == 0.0
+    assert percentiles([], qs=(99,))[99] == 0.0
+
+
 def test_vlrt_selects_slow_and_failed():
     log = RequestLog()
     log.add(record(1, 0.0, 0.01))

@@ -1,0 +1,219 @@
+"""Unit tests for replica groups, balancers and hedging
+(repro.servers.replica)."""
+
+import pytest
+
+from repro.net import NetworkFabric
+from repro.servers.replica import (
+    HedgingSpec,
+    LeastOutstandingBalancer,
+    PowerOfTwoChoicesBalancer,
+    ReplicaGroup,
+    RoundRobinBalancer,
+    build_balancer,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+@pytest.fixture
+def fabric(sim):
+    # zero latency keeps the hedging timeline arithmetic exact
+    return NetworkFabric(sim, latency=0.0, rto=3.0, max_retransmits=3)
+
+
+class FakeGroup:
+    """Just enough surface for ``balancer.pick``: listeners + loads."""
+
+    def __init__(self, outstanding):
+        self.outstanding = list(outstanding)
+        self.listeners = [object()] * len(outstanding)
+
+
+def serve(sim, listener, delay=0.0):
+    """Accept loop replying after ``delay`` (concurrent per exchange)."""
+
+    def handle(exchange):
+        if delay:
+            yield delay
+        exchange.reply(("ok", listener.name))
+
+    def loop():
+        while True:
+            exchange = yield listener.accept()
+            sim.process(handle(exchange))
+
+    return sim.process(loop())
+
+
+def group_of(sim, fabric, n=3, delays=None, **kwargs):
+    listeners = [fabric.listener(f"r{i}", backlog=64) for i in range(n)]
+    for i, listener in enumerate(listeners):
+        serve(sim, listener, delay=(delays or {}).get(i, 0.0))
+    return ReplicaGroup(sim, "grp", listeners, **kwargs)
+
+
+def client(sim, group, fabric, collect):
+    def proc():
+        call = group.send(fabric, f"req{len(collect)}")
+        value = yield call.response
+        collect.append((sim.now, value, call.attempts))
+
+    return sim.process(proc())
+
+
+# ----------------------------------------------------------------------
+# balancer selection
+# ----------------------------------------------------------------------
+def test_round_robin_rotates_in_index_order():
+    balancer = RoundRobinBalancer()
+    group = FakeGroup([0, 0, 0])
+    assert [balancer.pick(group) for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+
+def test_least_outstanding_picks_minimum():
+    balancer = LeastOutstandingBalancer()
+    assert balancer.pick(FakeGroup([3, 1, 2])) == 1
+    assert balancer.pick(FakeGroup([5, 4, 0])) == 2
+
+
+def test_least_outstanding_breaks_ties_toward_lowest_index():
+    balancer = LeastOutstandingBalancer()
+    assert balancer.pick(FakeGroup([2, 1, 1])) == 1
+    assert balancer.pick(FakeGroup([0, 0, 0])) == 0
+
+
+@pytest.mark.parametrize("kind", ["random", "power_of_two"])
+def test_stochastic_balancers_are_deterministic_per_seed(kind):
+    def picks(seed):
+        sim = Simulator(seed=seed)
+        balancer = build_balancer(kind, sim.fork_rng("lb/grp"))
+        group = FakeGroup([0, 0, 0, 0])
+        return [balancer.pick(group) for _ in range(30)]
+
+    assert picks(5) == picks(5)
+    assert picks(5) != picks(6)
+
+
+def test_power_of_two_prefers_the_less_loaded_sample():
+    sim = Simulator(seed=3)
+    balancer = PowerOfTwoChoicesBalancer(sim.fork_rng("lb/x"))
+    group = FakeGroup([0, 10, 10])
+    chosen = [balancer.pick(group) for _ in range(60)]
+    # whenever replica 0 lands in the sampled pair (~2/3 of draws) it
+    # must win; the loaded replicas appear only when 0 was not sampled
+    assert chosen.count(0) >= 30
+    assert set(chosen) <= {0, 1, 2}
+
+
+def test_power_of_two_singleton_group_short_circuits():
+    sim = Simulator(seed=3)
+    balancer = PowerOfTwoChoicesBalancer(sim.fork_rng("lb/x"))
+    assert balancer.pick(FakeGroup([7])) == 0
+
+
+# ----------------------------------------------------------------------
+# group dispatch
+# ----------------------------------------------------------------------
+def test_group_send_round_robin_end_to_end(sim, fabric):
+    group = group_of(sim, fabric, n=3)
+    collect = []
+    for _ in range(6):
+        client(sim, group, fabric, collect)
+    sim.run(until=1.0)
+    assert len(collect) == 6
+    assert group.sent == [2, 2, 2]
+    assert group.outstanding == [0, 0, 0]
+    replied_by = sorted(value[1] for _t, value, _a in collect)
+    assert replied_by == ["r0", "r0", "r1", "r1", "r2", "r2"]
+
+
+def test_group_validation():
+    sim = Simulator(seed=1)
+    fabric = NetworkFabric(sim)
+    with pytest.raises(ValueError, match="needs >= 1 listener"):
+        ReplicaGroup(sim, "empty", [])
+    listener = fabric.listener("solo")
+    with pytest.raises(ValueError, match="hedging needs >= 2"):
+        ReplicaGroup(sim, "solo", [listener], hedging=HedgingSpec())
+    with pytest.raises(ValueError, match="unknown balancer"):
+        ReplicaGroup(sim, "bad", [listener], balancer="bogus")
+    with pytest.raises(ValueError, match="hedging must be"):
+        ReplicaGroup(sim, "bad2", [listener, listener], hedging=42)
+
+
+def test_hedging_spec_validation():
+    with pytest.raises(ValueError, match="quantile"):
+        HedgingSpec(quantile=100.0)
+    with pytest.raises(ValueError, match="window"):
+        HedgingSpec(min_samples=50, window=10)
+
+
+# ----------------------------------------------------------------------
+# hedging: first response wins, loser releases its slot
+# ----------------------------------------------------------------------
+def test_hedge_win_fires_once_and_loser_releases_pool_slot(sim, fabric):
+    # replica 0 answers in 1.0 s, replica 1 immediately; the hedge
+    # (deferred 0.05 s while the window is cold) must win, the caller
+    # must see exactly one response, and the losing leg must hand its
+    # pool connection back when it finally completes
+    group = group_of(
+        sim, fabric, n=2, delays={0: 1.0},
+        hedging=HedgingSpec(initial_delay=0.05), pool_size=1,
+    )
+    collect = []
+    client(sim, group, fabric, collect)
+    sim.run(until=0.5)
+    assert len(collect) == 1
+    t, value, _attempts = collect[0]
+    assert value == ("ok", "r1")
+    assert t == pytest.approx(0.05)
+    assert group.hedges_issued == 1
+    assert group.hedge_wins == 1
+    assert group.hedge_losses == 0  # the slow leg is still in flight
+    sim.run(until=2.0)
+    assert group.hedge_losses == 1  # ... and is wasted work once done
+    assert group.outstanding == [0, 0]
+    # the slot came back: two more requests (one lands on each replica)
+    # both complete, which they could not if the loser leaked its slot
+    for _ in range(2):
+        client(sim, group, fabric, collect)
+    sim.run(until=5.0)
+    assert len(collect) == 3
+    assert group.outstanding == [0, 0]
+
+
+def test_hedge_queued_on_busy_pool_is_cancelled_when_primary_wins(sim, fabric):
+    # R1 occupies replica 0's single connection for a full second.  R2
+    # (primary replica 1, 0.3 s) hedges toward replica 0 at 0.15 s; the
+    # hedge queues behind R1's connection and must be *cancelled* — not
+    # transmitted — when R2's own primary answers first.
+    group = group_of(
+        sim, fabric, n=2, delays={0: 1.0, 1: 0.3},
+        hedging=HedgingSpec(initial_delay=0.1), pool_size=1,
+    )
+    collect = []
+    client(sim, group, fabric, collect)           # R1 at t=0 -> r0
+    sim.call_in(0.05, lambda: client(sim, group, fabric, collect))  # R2 -> r1
+    sim.run(until=3.0)
+    assert len(collect) == 2
+    assert group.hedges_cancelled >= 1
+    assert group.outstanding == [0, 0]
+    # cancelled legs never reached the wire
+    assert group.hedges_issued == 2
+    assert sum(group.sent) == group.hedges_issued + 2
+
+
+def test_unhedged_group_issues_no_hedges(sim, fabric):
+    group = group_of(sim, fabric, n=3, delays={0: 0.4})
+    collect = []
+    for _ in range(6):
+        client(sim, group, fabric, collect)
+    sim.run(until=2.0)
+    assert len(collect) == 6
+    assert group.hedges_issued == 0
+    assert group.stats()["hedge_wins"] == 0

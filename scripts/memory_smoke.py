@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""CI memory-budget smoke for the streaming metric path (docs/SCALE.md).
+
+Pushes a scaled-down million-client run (default 200k open-loop
+requests) through the full nx=0 stack with ``RequestLog(streaming=True)``
+under ``tracemalloc`` and asserts:
+
+- the run issued exactly the requested number of requests;
+- the retained-exact-record count stays within the retention bound
+  (only VLRT/dropped/shed/failed requests keep records);
+- peak traced memory stays under the budget — the whole point of the
+  streaming log is that metric memory is O(occupied sketch buckets),
+  not O(requests), so the peak is set by in-flight simulation state
+  and the 50 ms monitor series, both independent of request count.
+
+Usage::
+
+    python scripts/memory_smoke.py [--requests N] [--rate R]
+                                   [--budget-mb MB]
+"""
+
+import argparse
+import os
+import sys
+import time
+import tracemalloc
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+
+def run_streaming(requests, rate):
+    from repro.core.evaluation import Scenario
+    from repro.topology.configs import SystemConfig
+
+    duration = requests / rate + 20.0
+    scenario = Scenario(
+        SystemConfig(nx=0, seed=42, streaming=True),
+        duration=duration, warmup=0.0,
+    ).with_consolidation("app", period=7.0)
+    scenario.with_open_loop(rate, max_requests=requests)
+    return scenario.run()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=200_000)
+    parser.add_argument("--rate", type=float, default=1000.0)
+    parser.add_argument("--budget-mb", type=float, default=256.0,
+                        help="peak tracemalloc budget in MiB")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    tracemalloc.start()
+    result = run_streaming(args.requests, args.rate)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    wall = time.time() - started
+
+    log = result.log
+    retained = len(log.records)
+    retain_cap = max(20_000, args.requests // 5)
+    peak_mb = peak / (1024 * 1024)
+    print(f"streaming smoke: {len(log):,} requests in {wall:.1f} s "
+          f"({len(log) / wall:,.0f} req/s wall), {retained:,} exact "
+          f"records retained, peak {peak_mb:.1f} MiB "
+          f"(budget {args.budget_mb:.0f} MiB)")
+
+    failures = []
+    if len(log) != args.requests:
+        failures.append(f"issued {len(log)} of {args.requests} requests")
+    if retained > retain_cap:
+        failures.append(f"retained {retained} exact records "
+                        f"(cap {retain_cap})")
+    if peak_mb > args.budget_mb:
+        failures.append(f"peak memory {peak_mb:.1f} MiB exceeds the "
+                        f"{args.budget_mb:.0f} MiB budget")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ __all__ = [
     "bench_cancel_under_load",
     "bench_fig01_instrumented",
     "bench_fig01_quick",
+    "bench_fig01_streaming_1m",
     "bench_kernel_callbacks",
     "bench_numeric_yield",
     "bench_scaleout_quick",
@@ -231,6 +232,49 @@ def bench_fig01_instrumented(scale=1.0):
     return len(panel["result"].log)
 
 
+def bench_fig01_streaming_1m(scale=1.0):
+    """One million requests through the fig01 stack, streaming metrics.
+
+    The scale acceptance workload (docs/SCALE.md): an array-backed
+    Poisson open loop at 1000 req/s drives the synchronous stack under
+    the fig01 consolidation schedule until exactly
+    ``1_000_000 * scale`` requests have been issued, with the request
+    log in streaming mode.  Every request is counted and folded into
+    the latency sketch; only VLRT/dropped/shed requests keep exact
+    records, so metric memory stays O(1) in the request count (the CI
+    memory smoke, ``scripts/memory_smoke.py``, asserts the byte
+    budget).  ``--smoke`` (scale 0.25) runs the same workload at 250k
+    requests.
+    """
+    from .core.evaluation import Scenario
+    from .topology.configs import SystemConfig
+
+    requests = max(20_000, int(1_000_000 * scale))
+    rate = 1000.0
+    # arrivals stop at the request target; leave a drain window longer
+    # than the worst TCP retransmission ladder (3 RTOs = 9 s) so every
+    # issued request resolves before the horizon
+    duration = requests / rate + 20.0
+    scenario = Scenario(
+        SystemConfig(nx=0, seed=42, streaming=True),
+        duration=duration, warmup=0.0,
+    ).with_consolidation("app", period=7.0)
+    scenario.with_open_loop(rate, max_requests=requests)
+    result = scenario.run()
+    log = result.log
+    if len(log) != requests:
+        raise AssertionError(
+            f"streaming run issued {len(log)} of {requests} requests"
+        )
+    retained = len(log.records)
+    if retained > max(20_000, requests // 5):
+        raise AssertionError(
+            f"streaming log retained {retained} exact records for "
+            f"{requests} requests — tail-only retention is broken"
+        )
+    return requests
+
+
 def bench_scaleout_quick(scale=1.0):
     """A quick replicated-tier run: 3 replicas/tier, hedged routing.
 
@@ -260,6 +304,7 @@ BENCHMARKS = (
     ("fig01_quick", bench_fig01_quick, 3),
     ("fig01_instrumented", bench_fig01_instrumented, 3),
     ("scaleout_quick", bench_scaleout_quick, 3),
+    ("fig01_streaming_1m", bench_fig01_streaming_1m, 1),
 )
 
 

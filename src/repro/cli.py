@@ -96,8 +96,11 @@ _VARIANT_EXPERIMENTS = {
 
 
 def _run_timeline(name, args):
+    from .experiments.timeline import run_timeline
+
     module = _TIMELINES[name]
-    result = module.run(duration=args.duration)
+    result = run_timeline(module.SPEC, duration=args.duration,
+                          streaming=args.streaming)
     print(result.report())
     if getattr(args, "diagnose", False):
         from .core.diagnosis import diagnose
@@ -126,7 +129,8 @@ def _export_timeline(name, result, out_dir):
 
 def _run_fig01(args):
     duration = args.duration or 90.0
-    panels = fig01_histograms.run(duration=duration)
+    panels = fig01_histograms.run(duration=duration,
+                                  streaming=args.streaming)
     print(fig01_histograms.report(panels))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -140,13 +144,15 @@ def _run_fig01(args):
 
 
 def _run_fig12(args):
-    sweep = fig12_throughput.run(duration=args.duration or 25.0)
+    sweep = fig12_throughput.run(duration=args.duration or 25.0,
+                                 streaming=args.streaming)
     print(fig12_throughput.report(sweep))
     return 0
 
 
 def _run_policy_matrix(args):
-    cells = policy_matrix.run(duration=args.duration or 40.0)
+    cells = policy_matrix.run(duration=args.duration or 40.0,
+                              streaming=args.streaming)
     print(policy_matrix.report(cells))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -164,7 +170,8 @@ def _run_policy_matrix(args):
 
 
 def _run_scaleout(args):
-    cells = scaleout.run(duration=args.duration or 40.0)
+    cells = scaleout.run(duration=args.duration or 40.0,
+                         streaming=args.streaming)
     print(scaleout.report(cells))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -182,7 +189,8 @@ def _run_scaleout(args):
 
 
 def _run_headline(args):
-    points = headline_utilization.run(duration=args.duration or 60.0)
+    points = headline_utilization.run(duration=args.duration or 60.0,
+                                      streaming=args.streaming)
     print(headline_utilization.report(points))
     return 0
 
@@ -196,6 +204,20 @@ def _cmd_list(_args):
 
 def _cmd_run(args):
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.streaming:
+        from .experiments.runner import STREAMING_UNSUPPORTED
+
+        unsupported = sorted(set(names) & STREAMING_UNSUPPORTED)
+        if unsupported:
+            print(f"error: {', '.join(unsupported)} need(s) the exact "
+                  "per-request log and cannot run with --streaming",
+                  file=sys.stderr)
+            return 2
+        if args.out:
+            print("error: --out exports per-request records, which "
+                  "--streaming does not retain; drop one of the two",
+                  file=sys.stderr)
+            return 2
     status = 0
     for name in names:
         if name in _TIMELINES:
@@ -238,12 +260,23 @@ def _cmd_run_all(args):
         if not names:
             print("--jobs given but names no experiments", file=sys.stderr)
             return 2
+    if args.streaming:
+        selected = names if names is not None else list(runner.REGISTRY)
+        unsupported = sorted(set(selected) & runner.STREAMING_UNSUPPORTED)
+        if unsupported:
+            print(f"error: {', '.join(unsupported)} need(s) the exact "
+                  "per-request log and cannot run with --streaming "
+                  "(use --jobs to exclude it)", file=sys.stderr)
+            return 2
     try:
         jobs = runner.expand_jobs(names=names, seeds=args.seeds,
                                   base_seed=args.seed, quick=args.quick)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.streaming:
+        for job in jobs:
+            job.params["streaming"] = True
     if not jobs:
         print("nothing to run (is --seeds 0?)", file=sys.stderr)
         return 2
@@ -383,6 +416,10 @@ def build_parser():
                             help="directory for raw CSV/JSON export")
     run_parser.add_argument("--diagnose", action="store_true",
                             help="append the automated CTQO post-mortem")
+    run_parser.add_argument("--streaming", action="store_true",
+                            help="use the O(1)-memory streaming request "
+                                 "log (sketch percentiles, exact tail "
+                                 "records only — see docs/SCALE.md)")
     run_parser.set_defaults(handler=_cmd_run)
 
     run_all_parser = sub.add_parser(
@@ -406,6 +443,10 @@ def build_parser():
                                 help="extra attempts for crashed/failed jobs")
     run_all_parser.add_argument("--out", default=None,
                                 help="write merged records JSON to this file")
+    run_all_parser.add_argument("--streaming", action="store_true",
+                                help="run every job with the O(1)-memory "
+                                     "streaming request log (rejected for "
+                                     "exact-record experiments: fig02)")
     run_all_parser.add_argument("--list", action="store_true",
                                 help="list the registry and exit")
     run_all_parser.set_defaults(handler=_cmd_run_all)

@@ -21,6 +21,7 @@ from ..topology.builder import build_system
 from ..topology.configs import SystemConfig
 from ..workload.burst import BurstModulator
 from ..workload.generators import ClosedLoopPopulation, ScriptedBurst
+from ..workload.openloop import ArrayOpenLoop
 from .ctqo import CtqoAnalyzer
 from .millibottleneck import find_all
 
@@ -262,6 +263,7 @@ class Scenario:
         self.bus = bus
         self._injector_specs = []
         self._scripted_bursts = []
+        self._open_loop = None
 
     # ------------------------------------------------------------------
     # millibottleneck sources
@@ -325,22 +327,50 @@ class Scenario:
         )
         return self
 
+    def with_open_loop(self, rate, distribution="poisson", shape=2.5,
+                       sigma=1.0, max_requests=None, batch_size=None):
+        """Replace the closed-loop client population with an
+        array-backed open-loop stream (:class:`ArrayOpenLoop`) at
+        ``rate`` req/s — the million-request workload engine.  The
+        ``clients`` count is ignored when an open loop is attached."""
+        spec = dict(rate=rate, distribution=distribution, shape=shape,
+                    sigma=sigma, max_requests=max_requests)
+        if batch_size is not None:
+            spec["batch_size"] = batch_size
+        self._open_loop = spec
+        return self
+
     # ------------------------------------------------------------------
     def run(self):
         """Build, run, and package the experiment."""
         system = build_system(self.config, bus=self.bus)
         sim = system.sim
+        if self.config.streaming and self.warmup:
+            # a streaming log cannot re-filter folded records post-hoc;
+            # declare the warm-up cutoff before the first request
+            system.log.set_warmup(self.warmup)
         monitor = system.attach_monitor()
 
-        modulator = None
-        if self.burst_index > 1:
-            modulator = BurstModulator.from_index(sim, self.burst_index)
-        population = ClosedLoopPopulation(
-            sim, system.fabric, system.entry, system.app, system.log,
-            clients=self.clients, think_mean=self.think_mean,
-            modulator=modulator,
-        )
-        population.start()
+        if self._open_loop is not None:
+            if self.burst_index > 1:
+                raise ValueError(
+                    "burst_index modulates closed-loop think times; "
+                    "use a pareto/lognormal open loop for bursty arrivals"
+                )
+            ArrayOpenLoop(
+                sim, system.fabric, system.entry, system.app, system.log,
+                horizon=self.duration, **self._open_loop,
+            ).start()
+        else:
+            modulator = None
+            if self.burst_index > 1:
+                modulator = BurstModulator.from_index(sim, self.burst_index)
+            population = ClosedLoopPopulation(
+                sim, system.fabric, system.entry, system.app, system.log,
+                clients=self.clients, think_mean=self.think_mean,
+                modulator=modulator,
+            )
+            population.start()
 
         injectors = []
         for kind, spec in self._injector_specs:

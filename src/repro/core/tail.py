@@ -9,6 +9,8 @@ that fingerprint on raw response-time arrays.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 __all__ = [
@@ -72,12 +74,38 @@ def mode_times(response_times, spacing=3.0, tolerance=0.5):
     return {mode: sums[mode] / counts[mode] for mode in sums}
 
 
-def percentiles(response_times, qs=(50, 90, 95, 99, 99.9)):
-    """Named percentiles of a response-time array (seconds)."""
+def percentiles(response_times, qs=(50, 90, 95, 99, 99.9),
+                method="linear"):
+    """Named percentiles of a response-time array (seconds).
+
+    ``method="linear"`` (the default, and what every exact-mode summary
+    reports) interpolates between order statistics like
+    ``np.percentile``.  ``method="nearest_rank"`` returns the order
+    statistic of rank ``max(1, ceil(q/100 * n))`` — an actual sample,
+    never a value between two modes of a multi-modal distribution.
+    This is the oracle the streaming latency sketch's error bound is
+    stated against (see :mod:`repro.metrics.sketch`).
+
+    Edge cases are defined, not accidental: an empty input yields 0.0
+    for every q; a single sample is every percentile of itself.
+    """
+    for q in qs:
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
     times = np.asarray(list(response_times), dtype=float)
     if times.size == 0:
         return {q: 0.0 for q in qs}
-    return {q: float(np.percentile(times, q)) for q in qs}
+    if method == "linear":
+        return {q: float(np.percentile(times, q)) for q in qs}
+    if method == "nearest_rank":
+        ordered = np.sort(times)
+        return {
+            q: float(ordered[max(1, math.ceil(q / 100.0 * ordered.size)) - 1])
+            for q in qs
+        }
+    raise ValueError(
+        f"method must be 'linear' or 'nearest_rank', got {method!r}"
+    )
 
 
 def tail_heaviness(response_times):

@@ -36,8 +36,10 @@ def _apply_cause(scenario, cause, duration):
     raise ValueError(f"unknown cause {cause!r}")
 
 
-def run_point(cause, nx, clients=7000, duration=28.0, warmup=5.0, seed=42):
-    scenario = Scenario(SystemConfig(nx=nx, seed=seed), clients=clients,
+def run_point(cause, nx, clients=7000, duration=28.0, warmup=5.0, seed=42,
+              streaming=False):
+    scenario = Scenario(SystemConfig(nx=nx, seed=seed, streaming=streaming),
+                        clients=clients,
                         duration=duration, warmup=warmup)
     _apply_cause(scenario, cause, duration)
     result = scenario.run()
@@ -53,14 +55,14 @@ def run_point(cause, nx, clients=7000, duration=28.0, warmup=5.0, seed=42):
     }
 
 
-def run(causes=CAUSES, duration=28.0, seed=42):
+def run(causes=CAUSES, duration=28.0, seed=42, streaming=False):
     """{(cause, 'sync'|'async'): point}."""
     out = {}
     for cause in causes:
         out[(cause, "sync")] = run_point(cause, 0, duration=duration,
-                                         seed=seed)
+                                         seed=seed, streaming=streaming)
         out[(cause, "async")] = run_point(cause, 3, duration=duration,
-                                          seed=seed)
+                                          seed=seed, streaming=streaming)
     return out
 
 
@@ -68,7 +70,8 @@ def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
     causes = tuple(config.params.get("causes", CAUSES))
     points = run(causes=causes, duration=config.duration or 28.0,
-                 seed=config.seed)
+                 seed=config.seed,
+                 streaming=bool(config.params.get("streaming", False)))
     return {
         "points": {
             f"{cause}/{stack}": point

@@ -39,9 +39,11 @@ def _chain_specs(depth, sync):
     return specs
 
 
-def run(depth=5, sync=True, duration=30.0, stall_at=12.0, seed=42):
+def run(depth=5, sync=True, duration=30.0, stall_at=12.0, seed=42,
+        streaming=False):
     """One chain run with a freeze-millibottleneck at the deepest tier."""
-    system = build_chain(_chain_specs(depth, sync), seed=seed)
+    system = build_chain(_chain_specs(depth, sync), seed=seed,
+                         streaming=streaming)
     monitor = system.attach_monitor()
     system.open_loop(RATE)
     deepest = system.vms[-1]
@@ -59,12 +61,15 @@ def run(depth=5, sync=True, duration=30.0, stall_at=12.0, seed=42):
     }
 
 
-def run_depth_sweep(depths=(3, 4, 5), duration=30.0, seed=42):
+def run_depth_sweep(depths=(3, 4, 5), duration=30.0, seed=42,
+                    streaming=False):
     """{depth: {"sync": result, "async": result}}."""
     return {
         depth: {
-            "sync": run(depth, sync=True, duration=duration, seed=seed),
-            "async": run(depth, sync=False, duration=duration, seed=seed),
+            "sync": run(depth, sync=True, duration=duration, seed=seed,
+                        streaming=streaming),
+            "async": run(depth, sync=False, duration=duration, seed=seed,
+                         streaming=streaming),
         }
         for depth in depths
     }
@@ -75,7 +80,9 @@ def run_experiment(config):
     depths = tuple(config.params.get("depths", (3, 4, 5)))
     sweep = run_depth_sweep(depths=depths,
                             duration=config.duration or 30.0,
-                            seed=config.seed)
+                            seed=config.seed,
+                            streaming=bool(
+                                config.params.get("streaming", False)))
     return {
         f"{depth}-{kind}": {
             "summary": result["summary"],

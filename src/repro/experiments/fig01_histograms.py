@@ -14,7 +14,6 @@ each showing the bulk of requests at milliseconds plus clusters near
 from __future__ import annotations
 
 from ..core.evaluation import Scenario
-from ..core.tail import multimodal_clusters, semilog_histogram
 from ..topology.configs import SystemConfig
 from .report import format_table, histogram_rows
 
@@ -27,36 +26,41 @@ WORKLOADS = (4000, 7000, 8000)
 BURST_PERIOD = 7.0
 
 
-def run_one(clients, duration=120.0, warmup=10.0, seed=42, bus=None):
+def run_one(clients, duration=120.0, warmup=10.0, seed=42, bus=None,
+            streaming=False):
     """One workload level; returns a dict with the figure's content.
 
     ``bus`` (an :class:`~repro.sim.instrument.EventBus`) turns on the
     instrumentation hooks for the run; the default ``None`` keeps the
-    hot paths on their zero-cost disabled branch.
+    hot paths on their zero-cost disabled branch.  ``streaming=True``
+    runs with the O(1)-memory request log: identical workload and
+    counts, histogram re-binned from the latency sketch (docs/SCALE.md).
     """
     scenario = Scenario(
-        SystemConfig(nx=0, seed=seed), clients=clients,
+        SystemConfig(nx=0, seed=seed, streaming=streaming), clients=clients,
         duration=duration, warmup=warmup, bus=bus,
     ).with_consolidation("app", period=BURST_PERIOD)
     result = scenario.run()
-    rts = result.log.response_times(include_failures=True)
     summary = result.summary()
     return {
         "clients": clients,
         "throughput_rps": summary["throughput_rps"],
         "highest_avg_cpu": result.highest_avg_cpu(),
-        "histogram": semilog_histogram(rts, bin_width=0.25, max_time=10.0),
-        "modes": multimodal_clusters(rts),
+        "histogram": result.log.semilog_histogram(bin_width=0.25,
+                                                  max_time=10.0),
+        "modes": result.log.cluster_counts(),
         "vlrt": summary["vlrt"],
         "dropped_packets": summary["dropped_packets"],
         "result": result,
     }
 
 
-def run(duration=120.0, warmup=10.0, seed=42, workloads=WORKLOADS):
+def run(duration=120.0, warmup=10.0, seed=42, workloads=WORKLOADS,
+        streaming=False):
     """All three panels; returns ``{clients: panel_dict}``."""
     return {
-        clients: run_one(clients, duration=duration, warmup=warmup, seed=seed)
+        clients: run_one(clients, duration=duration, warmup=warmup,
+                         seed=seed, streaming=streaming)
         for clients in workloads
     }
 
@@ -65,7 +69,8 @@ def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
     workloads = tuple(config.params.get("workloads", WORKLOADS))
     panels = run(duration=config.duration or 120.0, seed=config.seed,
-                 workloads=workloads)
+                 workloads=workloads,
+                 streaming=bool(config.params.get("streaming", False)))
     return {
         "panels": {
             str(clients): {

@@ -44,6 +44,12 @@ def run(duration=60.0, warmup=5.0, seed=42):
 
 def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
+    if config.params.get("streaming"):
+        raise ValueError(
+            "fig02 needs the exact per-request log (the emergent-"
+            "consolidation analysis reads both coupled systems' full "
+            "record lists); run it without streaming"
+        )
     result = run(duration=config.duration or 60.0, seed=config.seed)
     return {
         "summary": result["summary"],

@@ -41,25 +41,30 @@ _SYNC_CONFIG = SystemConfig(
 _ASYNC_CONFIG = SystemConfig(nx=3)
 
 
-def run_point(config, concurrency, duration=25.0, warmup=5.0, seed=42):
+def run_point(config, concurrency, duration=25.0, warmup=5.0, seed=42,
+              streaming=False):
     """Throughput of one (configuration, concurrency) point."""
     scenario = Scenario(
-        replace(config, seed=seed), clients=concurrency,
+        replace(config, seed=seed, streaming=streaming),
+        clients=concurrency,
         think_mean=THINK_MEAN, duration=duration, warmup=warmup,
     )
     result = scenario.run()
     return result.summary()["throughput_rps"]
 
 
-def run(levels=CONCURRENCY_LEVELS, duration=25.0, warmup=5.0, seed=42):
+def run(levels=CONCURRENCY_LEVELS, duration=25.0, warmup=5.0, seed=42,
+        streaming=False):
     """The full sweep: {"synchronous": {...}, "asynchronous": {...}}."""
     out = {"synchronous": {}, "asynchronous": {}}
     for concurrency in levels:
         out["synchronous"][concurrency] = run_point(
-            _SYNC_CONFIG, concurrency, duration, warmup, seed
+            _SYNC_CONFIG, concurrency, duration, warmup, seed,
+            streaming=streaming,
         )
         out["asynchronous"][concurrency] = run_point(
-            _ASYNC_CONFIG, concurrency, duration, warmup, seed
+            _ASYNC_CONFIG, concurrency, duration, warmup, seed,
+            streaming=streaming,
         )
     return out
 
@@ -68,7 +73,8 @@ def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
     levels = tuple(config.params.get("levels", CONCURRENCY_LEVELS))
     sweep = run(levels=levels, duration=config.duration or 25.0,
-                seed=config.seed)
+                seed=config.seed,
+                streaming=bool(config.params.get("streaming", False)))
     return {
         stack: {str(level): tput for level, tput in points.items()}
         for stack, points in sweep.items()

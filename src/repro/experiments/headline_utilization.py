@@ -23,9 +23,11 @@ WORKLOADS = (4000, 5500, 7000, 8000)
 BURST_PERIOD = 7.0
 
 
-def run_point(nx, clients, duration=60.0, warmup=10.0, seed=42):
+def run_point(nx, clients, duration=60.0, warmup=10.0, seed=42,
+              streaming=False):
     scenario = Scenario(
-        SystemConfig(nx=nx, seed=seed), clients=clients,
+        SystemConfig(nx=nx, seed=seed, streaming=streaming),
+        clients=clients,
         duration=duration, warmup=warmup,
     ).with_consolidation("app", period=BURST_PERIOD)
     result = scenario.run()
@@ -40,13 +42,15 @@ def run_point(nx, clients, duration=60.0, warmup=10.0, seed=42):
     }
 
 
-def run(duration=60.0, warmup=10.0, seed=42, workloads=WORKLOADS):
+def run(duration=60.0, warmup=10.0, seed=42, workloads=WORKLOADS,
+        streaming=False):
     """{(nx, clients): point} for nx in {0 (sync), 3 (async)}."""
     out = {}
     for clients in workloads:
         for nx in (0, 3):
             out[(nx, clients)] = run_point(
-                nx, clients, duration=duration, warmup=warmup, seed=seed
+                nx, clients, duration=duration, warmup=warmup, seed=seed,
+                streaming=streaming,
             )
     return out
 
@@ -55,7 +59,8 @@ def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
     workloads = tuple(config.params.get("workloads", WORKLOADS))
     points = run(duration=config.duration or 60.0, seed=config.seed,
-                 workloads=workloads)
+                 workloads=workloads,
+                 streaming=bool(config.params.get("streaming", False)))
     return {
         "points": {
             f"nx{nx}/wl{clients}": point

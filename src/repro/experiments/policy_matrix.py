@@ -37,7 +37,6 @@ bar.
 from __future__ import annotations
 
 from ..core.evaluation import Scenario
-from ..core.tail import multimodal_clusters
 from ..servers.policies import RemediationSpec, TierPolicy
 from ..topology.configs import SystemConfig
 from .report import format_table
@@ -97,29 +96,29 @@ ATTRIBUTED_VARIANTS = ("rpc_baseline", "shed_web", "db_stall")
 
 
 def build_scenario(variant, clients=7000, duration=40.0, warmup=5.0,
-                   seed=42, bus=None):
+                   seed=42, bus=None, streaming=False):
     """The Scenario for one grid cell (same workload, same schedule)."""
     spec = VARIANTS[variant]
-    config = SystemConfig(nx=0, seed=seed, **spec["policies"])
+    config = SystemConfig(nx=0, seed=seed, streaming=streaming,
+                          **spec["policies"])
     return Scenario(
         config, clients=clients, duration=duration, warmup=warmup, bus=bus,
     ).with_consolidation(spec["stall"], period=BURST_PERIOD)
 
 
 def run_one(variant, clients=7000, duration=40.0, warmup=5.0, seed=42,
-            bus=None):
+            bus=None, streaming=False):
     """Run one cell; returns a dict with the cell's observables."""
     result = build_scenario(
         variant, clients=clients, duration=duration, warmup=warmup,
-        seed=seed, bus=bus,
+        seed=seed, bus=bus, streaming=streaming,
     ).run()
-    rts = result.log.response_times(include_failures=True)
     summary = result.summary()
     report = result.attribution()
     return {
         "variant": variant,
         "summary": summary,
-        "modes": multimodal_clusters(rts),
+        "modes": result.log.cluster_counts(),
         "queue_max": result.queue_max(),
         "server_stats": {
             result.names[tier]: result.system.servers[tier].stats.snapshot()
@@ -137,7 +136,8 @@ def run_one(variant, clients=7000, duration=40.0, warmup=5.0, seed=42,
     }
 
 
-def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None):
+def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None,
+        streaming=False):
     """All requested cells; returns ``{variant: cell_dict}``."""
     names = tuple(variants) if variants is not None else tuple(VARIANTS)
     for name in names:
@@ -146,7 +146,7 @@ def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None):
             raise ValueError(f"unknown variant {name!r}; known: {known}")
     return {
         name: run_one(name, clients=clients, duration=duration,
-                      warmup=warmup, seed=seed)
+                      warmup=warmup, seed=seed, streaming=streaming)
         for name in names
     }
 
@@ -254,6 +254,7 @@ def run_experiment(config):
         seed=config.seed,
         clients=int(config.params.get("clients", 7000)),
         variants=variants,
+        streaming=bool(config.params.get("streaming", False)),
     )
     return {
         "cells": {

@@ -84,7 +84,8 @@ def build_replicated(config=None, replicas=2, sim=None):
         server.connect("db", db.listener, pool_size=config.db_pool_size)
 
     return {
-        "sim": sim, "fabric": fabric, "app": app, "log": RequestLog(),
+        "sim": sim, "fabric": fabric, "app": app,
+        "log": RequestLog(streaming=config.streaming),
         "web": web, "apps": app_servers, "db": db,
         "hosts": {"web": web_host, "apps": app_hosts, "db": db_host},
         "vms": {"web": web_vm, "apps": app_vms, "db": db_vm},
@@ -92,17 +93,22 @@ def build_replicated(config=None, replicas=2, sim=None):
 
 
 def run(replicas=2, clients=7000, duration=40.0, warmup=5.0,
-        burst_times=(15.0, 25.0), seed=42):
+        burst_times=(15.0, 25.0), seed=42, streaming=False):
     """Millibottleneck on replica 1's host; measure where drops land."""
-    system = build_replicated(SystemConfig(nx=0, seed=seed),
-                              replicas=replicas)
+    system = build_replicated(
+        SystemConfig(nx=0, seed=seed, streaming=streaming),
+        replicas=replicas,
+    )
     sim = system["sim"]
+    if streaming:
+        system["log"].set_warmup(warmup)
     monitor = SystemMonitor(sim)
     monitor.watch_server("apache", system["web"])
     for index, server in enumerate(system["apps"]):
         monitor.watch_server(server.name, server)
         monitor.watch_vm(server.name, system["vms"]["apps"][index])
     monitor.watch_server("mysql", system["db"])
+    monitor.watch_log("clients", system["log"])
     monitor.start()
 
     ClosedLoopPopulation(
@@ -139,7 +145,8 @@ def run_experiment(config):
     record = {}
     for replicas in replicas_list:
         result = run(replicas=replicas, duration=config.duration or 40.0,
-                     seed=config.seed)
+                     seed=config.seed,
+                     streaming=bool(config.params.get("streaming", False)))
         record[str(replicas)] = {
             "summary": result["summary"],
             "drops": result["drops"],

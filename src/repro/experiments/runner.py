@@ -41,6 +41,7 @@ __all__ = [
     "JobConfig",
     "REGISTRY",
     "RunReport",
+    "STREAMING_UNSUPPORTED",
     "canonical",
     "derive_seed",
     "execute_job",
@@ -50,6 +51,13 @@ __all__ = [
 ]
 
 DEFAULT_SEED = 42
+
+#: registry names that require the exact per-request log and therefore
+#: reject ``params["streaming"] = True``.  fig02 builds a bespoke pair
+#: of coupled systems whose emergent-consolidation analysis reads both
+#: systems' full record lists; everything else goes through the shared
+#: builders and runs with the O(1)-memory streaming log (docs/SCALE.md).
+STREAMING_UNSUPPORTED = frozenset({"fig02"})
 
 #: (nx levels) for the asynchrony parameter sweep entry
 NX_LEVELS = (0, 1, 2, 3)
@@ -221,9 +229,11 @@ def run_nx_point(config):
 
     nx = int(config.params.get("nx", 0))
     clients = int(config.params.get("clients", 7000))
+    streaming = bool(config.params.get("streaming", False))
     duration = config.duration or 30.0
     scenario = Scenario(
-        SystemConfig(nx=nx, seed=config.seed), clients=clients,
+        SystemConfig(nx=nx, seed=config.seed, streaming=streaming),
+        clients=clients,
         duration=duration, warmup=5.0,
     ).with_consolidation("app", times=[12.0, 19.0])
     result = scenario.run()

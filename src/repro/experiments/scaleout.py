@@ -46,7 +46,6 @@ granularity, not per-tier.
 from __future__ import annotations
 
 from ..core.evaluation import Scenario
-from ..core.tail import multimodal_clusters
 from ..servers.replica import HedgingSpec
 from ..topology.configs import SystemConfig
 from .report import format_table
@@ -116,7 +115,7 @@ def stall_times(duration, warmup):
 
 
 def build_scenario(variant, clients=7000, duration=40.0, warmup=5.0,
-                   seed=42, bus=None):
+                   seed=42, bus=None, streaming=False):
     """The Scenario for one routing regime (same stall schedule)."""
     spec = VARIANTS[variant]
     config = SystemConfig(
@@ -124,6 +123,7 @@ def build_scenario(variant, clients=7000, duration=40.0, warmup=5.0,
         web_replicas=REPLICAS, app_replicas=REPLICAS, db_replicas=REPLICAS,
         balancer=spec["balancer"],
         hedging=HedgingSpec() if spec["hedged"] else None,
+        streaming=streaming,
     )
     return Scenario(
         config, clients=clients, duration=duration, warmup=warmup, bus=bus,
@@ -134,20 +134,19 @@ def build_scenario(variant, clients=7000, duration=40.0, warmup=5.0,
 
 
 def run_one(variant, clients=7000, duration=40.0, warmup=5.0, seed=42,
-            bus=None):
+            bus=None, streaming=False):
     """Run one regime; returns a dict with the cell's observables."""
     result = build_scenario(
         variant, clients=clients, duration=duration, warmup=warmup,
-        seed=seed, bus=bus,
+        seed=seed, bus=bus, streaming=streaming,
     ).run()
     system = result.system
     stalled = system.names[STALLED_TIER]  # first replica = the victim
-    rts = result.log.response_times(include_failures=True)
     report = result.attribution()
     return {
         "variant": variant,
         "summary": result.summary(),
-        "modes": multimodal_clusters(rts),
+        "modes": result.log.cluster_counts(),
         "queue_max": result.queue_max(),
         "stalled_replica": stalled,
         "drops_by_replica": result.drops,
@@ -163,7 +162,8 @@ def run_one(variant, clients=7000, duration=40.0, warmup=5.0, seed=42,
     }
 
 
-def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None):
+def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None,
+        streaming=False):
     """All requested regimes; returns ``{variant: cell_dict}``."""
     names = tuple(variants) if variants is not None else tuple(VARIANTS)
     for name in names:
@@ -172,7 +172,7 @@ def run(duration=40.0, warmup=5.0, seed=42, clients=7000, variants=None):
             raise ValueError(f"unknown variant {name!r}; known: {known}")
     return {
         name: run_one(name, clients=clients, duration=duration,
-                      warmup=warmup, seed=seed)
+                      warmup=warmup, seed=seed, streaming=streaming)
         for name in names
     }
 
@@ -311,6 +311,7 @@ def run_experiment(config):
         seed=config.seed,
         clients=int(config.params.get("clients", 7000)),
         variants=variants,
+        streaming=bool(config.params.get("streaming", False)),
     )
     return {
         "cells": {

@@ -211,6 +211,7 @@ def timeline_record(spec, config):
     result = run_timeline(
         spec, duration=config.duration,
         clients=config.params.get("clients"), seed=config.seed,
+        streaming=bool(config.params.get("streaming", False)),
     )
     return {
         "figure": spec.figure,
@@ -220,16 +221,23 @@ def timeline_record(spec, config):
     }
 
 
-def run_timeline(spec, duration=None, clients=None, seed=None, bus=None):
+def run_timeline(spec, duration=None, clients=None, seed=None, bus=None,
+                 streaming=False):
     """Execute a timeline spec (optionally rescaled) and wrap the result.
 
     ``bus`` (an :class:`~repro.sim.instrument.EventBus`) switches the
     instrumentation hooks on for this run; ``None`` (the default) keeps
-    them on the zero-cost disabled branch.
+    them on the zero-cost disabled branch.  ``streaming=True`` runs the
+    figure with the O(1)-memory request log (docs/SCALE.md); the three
+    panels and claim checks are unchanged — they only need counters,
+    monitors, and the exactly-retained VLRT records.
     """
     spec = spec.scaled(duration=duration, clients=clients, seed=seed)
+    config = spec.build_config()
+    if streaming:
+        config = replace(config, streaming=True)
     scenario = Scenario(
-        spec.build_config(), clients=spec.clients,
+        config, clients=spec.clients,
         duration=spec.duration, warmup=spec.warmup, bus=bus,
     )
     if spec.bottleneck_kind == "consolidation":

@@ -27,8 +27,9 @@ __all__ = ["WORKLOADS", "run", "run_experiment", "report", "main"]
 WORKLOADS = (2000, 4000, 7000, 8000)
 
 
-def run_point(clients, duration=40.0, warmup=8.0, seed=42):
-    scenario = Scenario(SystemConfig(nx=0, seed=seed), clients=clients,
+def run_point(clients, duration=40.0, warmup=8.0, seed=42, streaming=False):
+    scenario = Scenario(SystemConfig(nx=0, seed=seed, streaming=streaming),
+                        clients=clients,
                         duration=duration, warmup=warmup)
     result = scenario.run()
     model = SteadyStateModel(result.system.app, think_mean=7.0)
@@ -46,15 +47,18 @@ def run_point(clients, duration=40.0, warmup=8.0, seed=42):
     }
 
 
-def run(workloads=WORKLOADS, duration=40.0, warmup=8.0, seed=42):
-    return [run_point(c, duration, warmup, seed) for c in workloads]
+def run(workloads=WORKLOADS, duration=40.0, warmup=8.0, seed=42,
+        streaming=False):
+    return [run_point(c, duration, warmup, seed, streaming=streaming)
+            for c in workloads]
 
 
 def run_experiment(config):
     """Uniform registry entry point (see repro.experiments.runner)."""
     workloads = tuple(config.params.get("workloads", WORKLOADS))
     points = run(workloads=workloads, duration=config.duration or 40.0,
-                 seed=config.seed)
+                 seed=config.seed,
+                 streaming=bool(config.params.get("streaming", False)))
     return {"points": {str(point["clients"]): point for point in points}}
 
 

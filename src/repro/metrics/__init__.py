@@ -16,6 +16,7 @@ from .export import (
     timeseries_to_csv,
 )
 from .monitor import SystemMonitor
+from .sketch import LatencySketch, StreamingStats
 from .spans import Span, narrate, retransmission_gaps, server_spans
 from .timeseries import TimeSeries
 from .trace import VLRT_THRESHOLD, RequestLog, RequestRecord
@@ -25,9 +26,11 @@ __all__ = [
     "CausalChain",
     "CtqoAttributor",
     "Episode",
+    "LatencySketch",
     "RequestLog",
     "RequestRecord",
     "Span",
+    "StreamingStats",
     "SystemMonitor",
     "TimeSeries",
     "VLRT_THRESHOLD",

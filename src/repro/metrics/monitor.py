@@ -28,7 +28,11 @@ monitoring averages millibottlenecks away entirely.  The
   them (cumulative, sampled like collectl's counters): requests shed
   with a 503 by a bounded admission, downstream retries issued by a
   remediation policy, and breaker fast-fails — the observables the
-  policy-matrix experiments are built on.
+  policy-matrix experiments are built on;
+- cumulative client-side request counts per watched
+  :class:`~repro.metrics.trace.RequestLog` (``request_counts``) —
+  O(1) per sample in both exact and streaming logs, so million-request
+  runs get an arrival/completion timeline without per-request storage.
 """
 
 from __future__ import annotations
@@ -68,9 +72,11 @@ class SystemMonitor:
         self.breaker_fast_fails = {}
         self.outstanding = {}
         self.hedges = {}
+        self.request_counts = {}
         self._vms = {}
         self._servers = {}
         self._groups = {}
+        self._logs = {}
         # servers with the full gauge interface (occupancy + listener);
         # minimal test doubles are monitored for queue depth only
         self._gauged = {}
@@ -125,6 +131,15 @@ class SystemMonitor:
         self.hedges[name] = TimeSeries(f"hedges:{name}")
         return self
 
+    def watch_log(self, name, log):
+        """Sample a :class:`~repro.metrics.trace.RequestLog`'s
+        cumulative request count (``len(log)``) as ``name`` — the
+        client-side arrival timeline.  Costs O(1) per sample whether
+        the log is exact or streaming."""
+        self._logs[name] = log
+        self.request_counts[name] = TimeSeries(f"requests:{name}")
+        return self
+
     def start(self):
         """Begin sampling; call before ``sim.run``."""
         if self._process is None:
@@ -175,6 +190,8 @@ class SystemMonitor:
             for index, count in enumerate(group.outstanding):
                 self.outstanding[f"{name}[{index}]"].append(now, count)
             self.hedges[name].append(now, group.hedges_issued)
+        for name, log in self._logs.items():
+            self.request_counts[name].append(now, len(log))
 
     def __repr__(self):
         return (

@@ -1,0 +1,272 @@
+"""Streaming latency sketches: O(1)-memory percentiles for huge runs.
+
+At WL 7000 a 40 s run produces ~4×10^4 request records; a million-client
+run produces 10^6-10^8, and keeping one Python object per request is
+what caps run length.  :class:`LatencySketch` replaces the per-request
+list with a **fixed-layout log-linear histogram** (the HdrHistogram
+bucket scheme): values are binned by power-of-two octave, each octave
+split into ``subbuckets`` equal-width linear bins.
+
+Error bound (provable from the layout)
+--------------------------------------
+A value ``v >= min_value`` lands in the bucket
+``[scale * (1 + s/B), scale * (1 + (s+1)/B))`` where
+``scale = min_value * 2**(e-1)`` is the octave base and ``B`` the
+subbucket count.  The bucket's width is ``scale / B`` and its lower
+edge is at least ``scale``, so reporting the bucket *midpoint* is off
+by at most half a width:
+
+    |estimate - v| <= scale / (2 B) <= v / (2 B)
+
+i.e. a **relative error of at most 1/(2·subbuckets)** (0.78 % at the
+default B=64) for every value at or above ``min_value``.  Values below
+``min_value`` (1 µs — far below any real response time) share bucket 0
+and carry an *absolute* error below ``min_value``.  Estimates are
+additionally clamped into ``[min_seen, max_seen]``, which can only
+shrink the error.
+
+Quantiles use **nearest-rank** semantics (rank ``ceil(q/100 · n)``),
+so a quantile estimate is the bucket-midpoint of an actual sample and
+inherits the per-value bound above — unlike interpolating definitions,
+whose output can fall between modes of a multi-modal distribution.
+
+Merging two sketches adds bucket counts, which is exactly associative
+and commutative for every count-derived statistic (quantiles, count,
+min, max); only the floating-point ``total`` accumulator is subject to
+rounding, and only at ~1 ulp per merge.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+__all__ = ["LatencySketch", "StreamingStats"]
+
+
+class LatencySketch:
+    """Mergeable log-linear histogram of non-negative values (seconds).
+
+    Parameters
+    ----------
+    min_value:
+        Values below this share bucket 0 (absolute error < min_value).
+    subbuckets:
+        Linear bins per power-of-two octave; the documented relative
+        error bound is ``1 / (2 * subbuckets)``.
+    """
+
+    __slots__ = ("min_value", "subbuckets", "buckets", "count", "total",
+                 "min_seen", "max_seen")
+
+    def __init__(self, min_value=1e-6, subbuckets=64):
+        if min_value <= 0:
+            raise ValueError(f"min_value must be positive, got {min_value}")
+        if subbuckets < 1:
+            raise ValueError(f"subbuckets must be >= 1, got {subbuckets}")
+        self.min_value = float(min_value)
+        self.subbuckets = int(subbuckets)
+        #: sparse bucket index -> count (int); layout is fixed, storage
+        #: grows only with the number of *distinct occupied* buckets,
+        #: which is bounded by the dynamic range, not the sample count.
+        self.buckets = Counter()
+        self.count = 0
+        self.total = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+    @property
+    def relative_error(self):
+        """The documented per-value relative error bound."""
+        return 1.0 / (2.0 * self.subbuckets)
+
+    def _index(self, value):
+        if value < self.min_value:
+            return 0
+        mantissa, exponent = math.frexp(value / self.min_value)
+        # value/min_value >= 1 so exponent >= 1 and mantissa in [0.5, 1)
+        sub = int((2.0 * mantissa - 1.0) * self.subbuckets)
+        if sub >= self.subbuckets:  # guard the mantissa -> 1.0 edge
+            sub = self.subbuckets - 1
+        return 1 + (exponent - 1) * self.subbuckets + sub
+
+    def _estimate(self, index):
+        """Midpoint of bucket ``index``, clamped to the observed range."""
+        if index == 0:
+            mid = self.min_value / 2.0
+        else:
+            octave, sub = divmod(index - 1, self.subbuckets)
+            scale = self.min_value * 2.0 ** octave
+            mid = scale * (1.0 + (sub + 0.5) / self.subbuckets)
+        if self.count:
+            mid = min(max(mid, self.min_seen), self.max_seen)
+        return mid
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add(self, value, count=1):
+        if value < 0:
+            raise ValueError(f"latency values must be >= 0, got {value}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.buckets[self._index(value)] += count
+        self.count += count
+        self.total += value * count
+        if value < self.min_seen:
+            self.min_seen = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    def merge(self, other):
+        """Fold ``other`` into this sketch in place (layouts must match)."""
+        if (other.min_value != self.min_value
+                or other.subbuckets != self.subbuckets):
+            raise ValueError(
+                f"cannot merge sketches with different layouts: "
+                f"({self.min_value}, {self.subbuckets}) vs "
+                f"({other.min_value}, {other.subbuckets})"
+            )
+        self.buckets.update(other.buckets)
+        self.count += other.count
+        self.total += other.total
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+        return self
+
+    def copy(self):
+        out = LatencySketch(self.min_value, self.subbuckets)
+        out.buckets = Counter(self.buckets)
+        out.count = self.count
+        out.total = self.total
+        out.min_seen = self.min_seen
+        out.max_seen = self.max_seen
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self):
+        return self.count
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def max(self):
+        return self.max_seen if self.count else 0.0
+
+    @property
+    def min(self):
+        return self.min_seen if self.count else 0.0
+
+    def quantile(self, q):
+        """Nearest-rank q-th percentile estimate (q in [0, 100]).
+
+        Returns 0.0 for an empty sketch, mirroring
+        :func:`repro.core.tail.percentiles`.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return self._estimate(index)
+        return self._estimate(max(self.buckets))  # float-safety net
+
+    def percentiles(self, qs=(50, 90, 95, 99, 99.9)):
+        return {q: self.quantile(q) for q in qs}
+
+    def histogram_points(self):
+        """Sorted ``(estimate_seconds, count)`` pairs, one per occupied
+        bucket — the raw material for re-binned presentation
+        histograms (Fig 1's semi-log view at streaming scale)."""
+        return [
+            (self._estimate(index), self.buckets[index])
+            for index in sorted(self.buckets)
+        ]
+
+    def __repr__(self):
+        return (f"<LatencySketch n={self.count} "
+                f"buckets={len(self.buckets)} "
+                f"err<={self.relative_error * 100:.2f}%>")
+
+
+class StreamingStats:
+    """Online per-run request statistics: counts, per-tier fault
+    counters and two latency sketches (completed-only and
+    completed+failed), all mergeable.
+
+    This is the state a streaming :class:`~repro.metrics.trace.RequestLog`
+    folds every :class:`~repro.metrics.trace.RequestRecord` into; its
+    memory is O(occupied buckets + distinct tier names), independent of
+    the request count.
+    """
+
+    __slots__ = ("sketch_ok", "sketch_all", "requests", "completed",
+                 "failed", "dropped_requests", "shed_requests",
+                 "drop_sites", "shed_sites", "retries")
+
+    def __init__(self, min_value=1e-6, subbuckets=64):
+        #: completed (non-failed) response times — what the exact path's
+        #: default ``response_times()`` / ``percentile()`` see
+        self.sketch_ok = LatencySketch(min_value, subbuckets)
+        #: every request's elapsed time, failures included — what
+        #: Fig 1-style histograms see
+        self.sketch_all = LatencySketch(min_value, subbuckets)
+        self.requests = 0
+        self.completed = 0
+        self.failed = 0
+        self.dropped_requests = 0
+        self.shed_requests = 0
+        #: listener name -> dropped-packet count (per-tier)
+        self.drop_sites = Counter()
+        #: listener name -> 503-shed count (per-tier)
+        self.shed_sites = Counter()
+        #: total extra send attempts (sum of attempts - 1)
+        self.retries = 0
+
+    def fold(self, record):
+        rt = record.response_time
+        self.requests += 1
+        if record.failed:
+            self.failed += 1
+        else:
+            self.completed += 1
+            self.sketch_ok.add(rt)
+        self.sketch_all.add(rt)
+        if record.drops:
+            self.dropped_requests += 1
+            for _time, name in record.drops:
+                self.drop_sites[name] += 1
+        if record.sheds:
+            self.shed_requests += 1
+            for _time, name in record.sheds:
+                self.shed_sites[name] += 1
+        self.retries += max(0, record.attempts - 1)
+
+    def merge(self, other):
+        self.sketch_ok.merge(other.sketch_ok)
+        self.sketch_all.merge(other.sketch_all)
+        self.requests += other.requests
+        self.completed += other.completed
+        self.failed += other.failed
+        self.dropped_requests += other.dropped_requests
+        self.shed_requests += other.shed_requests
+        self.drop_sites.update(other.drop_sites)
+        self.shed_sites.update(other.shed_sites)
+        self.retries += other.retries
+        return self
+
+    def __repr__(self):
+        return (f"<StreamingStats requests={self.requests} "
+                f"failed={self.failed} dropped={self.dropped_requests} "
+                f"shed={self.shed_requests}>")

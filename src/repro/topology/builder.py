@@ -51,7 +51,7 @@ class NTierSystem:
             max_retransmits=config.max_retransmits,
         )
         self.app = RubbosApplication(config.interaction_specs)
-        self.log = RequestLog()
+        self.log = RequestLog(streaming=config.streaming)
         self.hosts = {}
         self.vms = {}
         self.servers = {}
@@ -76,6 +76,7 @@ class NTierSystem:
                 name = self.names[tier]
                 self.monitor.watch_vm(name, self.vms[tier])
                 self.monitor.watch_server(name, self.servers[tier])
+            self.monitor.watch_log(self.name_prefix + "clients", self.log)
             self.monitor.start()
         return self.monitor
 
@@ -382,6 +383,7 @@ class ReplicatedNTierSystem(NTierSystem):
                 self.monitor.watch_server(name, server)
             for label, group in self.groups.items():
                 self.monitor.watch_group(label, group)
+            self.monitor.watch_log(self.name_prefix + "clients", self.log)
             self.monitor.start()
         return self.monitor
 

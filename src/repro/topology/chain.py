@@ -133,7 +133,7 @@ def uniform_chain(depth, sync=True, **overrides):
 class ChainSystem:
     """A built linear chain, with the same surface as NTierSystem."""
 
-    def __init__(self, sim, specs, fabric):
+    def __init__(self, sim, specs, fabric, streaming=False):
         self.sim = sim
         self.specs = list(specs)
         self.fabric = fabric
@@ -147,7 +147,7 @@ class ChainSystem:
         #: route label -> ReplicaGroup, for every replicated hop
         self.groups = {}
         self.client_group = None
-        self.log = RequestLog()
+        self.log = RequestLog(streaming=streaming)
         self.monitor = None
 
     @property
@@ -177,6 +177,7 @@ class ChainSystem:
                 self.monitor.watch_server(name, server)
             for label, group in self.groups.items():
                 self.monitor.watch_group(label, group)
+            self.monitor.watch_log("clients", self.log)
             self.monitor.start()
         return self.monitor
 
@@ -267,8 +268,12 @@ def _chain_handler(spec, next_name, rng):
 
 
 def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
-                max_retransmits=3):
-    """Build a linear chain from tier specs (front tier first)."""
+                max_retransmits=3, streaming=False):
+    """Build a linear chain from tier specs (front tier first).
+
+    ``streaming=True`` builds the chain's request log in streaming
+    mode (O(1) aggregates, exact tail records only — docs/SCALE.md).
+    """
     specs = list(specs)
     if len(specs) < 2:
         raise ValueError("a chain needs at least 2 tiers")
@@ -283,7 +288,7 @@ def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
     sim = sim or Simulator(seed=seed)
     fabric = NetworkFabric(sim, latency=net_latency, rto=rto,
                            max_retransmits=max_retransmits)
-    system = ChainSystem(sim, specs, fabric)
+    system = ChainSystem(sim, specs, fabric, streaming=streaming)
     rng = sim.fork_rng("chain-app")
 
     tier_servers = []

@@ -84,6 +84,12 @@ class SystemConfig:
     think_mean: float = 7.0
     monitor_interval: float = 0.05
 
+    # --- metrics mode ------------------------------------------------
+    # True builds the system's RequestLog in streaming mode: O(1)
+    # aggregate sketches plus exact records of slow/dropped/shed
+    # requests only — the million-request configuration (docs/SCALE.md).
+    streaming: bool = False
+
     # --- application mix override (None = calibrated default mix) ---
     interaction_specs: list = field(default=None, repr=False)
 

@@ -1,4 +1,5 @@
-"""Workload generation: closed-loop clients, bursts, scripted batches."""
+"""Workload generation: closed-loop clients, bursts, scripted batches,
+and array-backed open-loop streams for million-request runs."""
 
 from .burst import BurstModulator, SteadyModulator
 from .generators import (
@@ -7,12 +8,16 @@ from .generators import (
     OpenLoopPoisson,
     ScriptedBurst,
 )
+from .openloop import ArrayOpenLoop, arrival_times, numpy_seed_for
 
 __all__ = [
+    "ArrayOpenLoop",
     "BurstModulator",
     "ClosedLoopPopulation",
     "MmppOpenLoop",
     "OpenLoopPoisson",
     "ScriptedBurst",
     "SteadyModulator",
+    "arrival_times",
+    "numpy_seed_for",
 ]

@@ -66,6 +66,38 @@ def test_run_all_executes_subset_and_writes_records(tmp_path, capsys):
     assert list(records) == ["validation[workloads=[2000, 7000]]@s42"]
 
 
+def test_run_streaming_rejects_export(capsys):
+    """--out exports per-request records, which --streaming folds away:
+    the combination must fail fast with a one-line error."""
+    assert main(["run", "fig03", "--streaming", "--out", "raw"]) == 2
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "--streaming" in err
+
+
+def test_run_all_streaming_rejects_exact_record_experiments(capsys):
+    assert main(["run-all", "--jobs", "fig02,validation",
+                 "--streaming", "--quick"]) == 2
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "fig02" in err
+    assert "--jobs" in err  # tells the user how to exclude it
+
+
+@pytest.mark.integration
+@pytest.mark.slow
+def test_run_all_streaming_executes(tmp_path, capsys):
+    from repro.experiments.record import load_records
+
+    out_file = str(tmp_path / "records.json")
+    status = main(["run-all", "--jobs", "validation", "--quick",
+                   "--streaming", "--out", out_file])
+    assert status == 0
+    records = load_records(out_file)
+    (record,) = records.values()
+    assert record["params"]["streaming"] is True
+
+
 def test_diagnose_rejects_bogus_variant(capsys):
     """An unknown variant must fail fast with a one-line error that
     lists the valid choices — before any simulation runs."""

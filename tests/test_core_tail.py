@@ -66,6 +66,38 @@ def test_percentiles():
 
 def test_percentiles_empty():
     assert percentiles([], qs=(50,)) == {50: 0.0}
+    assert percentiles([], qs=(0, 50, 100),
+                       method="nearest_rank") == {0: 0.0, 50: 0.0, 100: 0.0}
+
+
+def test_percentiles_single_sample_is_every_percentile():
+    for method in ("linear", "nearest_rank"):
+        stats = percentiles([0.042], qs=(0, 1, 50, 99, 99.9, 100),
+                            method=method)
+        assert all(v == pytest.approx(0.042) for v in stats.values()), method
+
+
+def test_percentiles_nearest_rank_returns_order_statistics():
+    data = [0.4, 0.1, 0.3, 0.2]
+    stats = percentiles(data, qs=(0, 25, 50, 75, 99, 100),
+                        method="nearest_rank")
+    # rank = max(1, ceil(q/100 * 4)): every answer is an actual sample
+    assert stats[0] == 0.1
+    assert stats[25] == 0.1
+    assert stats[50] == 0.2
+    assert stats[75] == 0.3
+    assert stats[99] == 0.4
+    assert stats[100] == 0.4
+    assert set(stats.values()) <= set(data)
+
+
+def test_percentiles_validation():
+    with pytest.raises(ValueError):
+        percentiles([1.0], qs=(101,))
+    with pytest.raises(ValueError):
+        percentiles([1.0], qs=(-1,))
+    with pytest.raises(ValueError):
+        percentiles([1.0], qs=(50,), method="midpoint")
 
 
 def test_tail_heaviness_flags_retransmission_tails():

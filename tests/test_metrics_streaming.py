@@ -1,0 +1,194 @@
+"""Unit tests for the streaming RequestLog mode (repro.metrics.trace).
+
+The streaming log folds the bulk of the distribution into sketches and
+retains exact records only for the requests the tail analyses need
+(failed, dropped, shed, or slower than ``retain_threshold``).  These
+tests pin the retention contract, the warm-up protocol, the exact-only
+guard rails, and the summary edge cases (empty, single sample,
+all-VLRT) in both modes.
+"""
+
+import pytest
+
+from repro.metrics import RequestLog, RequestRecord
+
+
+def record(rid, start, rt, kind="K", drops=(), sheds=(), failed=False):
+    return RequestRecord(rid, kind, start, start + rt, drops=drops,
+                         sheds=sheds, failed=failed)
+
+
+def fill(log, times, start=0.0):
+    for index, rt in enumerate(times):
+        log.add(record(index, start, rt))
+    return log
+
+
+# ----------------------------------------------------------------------
+# retention contract
+# ----------------------------------------------------------------------
+def test_streaming_retains_only_tail_and_faulted():
+    log = RequestLog(streaming=True)
+    log.add(record(1, 0.0, 0.01))                            # folded
+    log.add(record(2, 0.0, 3.2))                             # slow: kept
+    log.add(record(3, 0.0, 0.5, failed=True))                # kept
+    log.add(record(4, 0.0, 0.02, drops=[(0.01, "apache")]))  # kept
+    log.add(record(5, 0.0, 0.02, sheds=[(0.01, "apache")]))  # kept
+    assert len(log) == 5
+    assert {r.request_id for r in log.records} == {2, 3, 4, 5}
+    assert log.stats.requests == 5
+    assert log.stats.completed == 4
+    assert log.stats.failed == 1
+
+
+def test_streaming_counters_match_exact():
+    times = [0.01, 0.02, 3.1, 6.05, 0.4]
+    exact = fill(RequestLog(), times)
+    exact.add(record(9, 0.0, 2.0, failed=True,
+                     drops=[(0.1, "apache")]))
+    stream = fill(RequestLog(streaming=True), times)
+    stream.add(record(9, 0.0, 2.0, failed=True,
+                      drops=[(0.1, "apache")]))
+    assert len(stream) == len(exact)
+    assert len(stream.vlrt()) == len(exact.vlrt())
+    assert stream.vlrt_fraction() == exact.vlrt_fraction()
+    assert stream.drop_sites() == exact.drop_sites()
+    assert stream.modes() == exact.modes()
+    assert stream.cluster_counts() == exact.cluster_counts()
+    assert stream.throughput(10.0) == exact.throughput(10.0)
+
+
+def test_streaming_percentile_within_bound_of_exact():
+    times = [0.001 * (i + 1) for i in range(500)]
+    exact = fill(RequestLog(), times)
+    stream = fill(RequestLog(streaming=True), times)
+    bound = stream.stats.sketch_ok.relative_error
+    for q in (50, 90, 99, 99.9):
+        assert stream.percentile(q) == pytest.approx(
+            exact.percentile(q), rel=3 * bound)
+
+
+def test_streaming_rejects_exact_only_accessors():
+    log = fill(RequestLog(streaming=True), [0.01, 3.2])
+    with pytest.raises(RuntimeError, match="exact per-request records"):
+        log.response_times()
+    with pytest.raises(RuntimeError, match="exact per-request records"):
+        _ = log.completed
+    # retained-record analyses still work
+    assert len(log.failures) == 0
+    assert len(log.vlrt()) == 1
+
+
+def test_streaming_vlrt_threshold_guard():
+    log = fill(RequestLog(streaming=True), [0.01, 3.2])
+    with pytest.raises(ValueError, match="retains exact records"):
+        log.vlrt(threshold=0.5)
+    assert len(log.vlrt(threshold=1.0)) == 1
+
+
+def test_streaming_mode_counts_need_safe_spacing():
+    log = fill(RequestLog(streaming=True), [0.01, 3.2])
+    with pytest.raises(ValueError, match="spacing"):
+        log.modes(spacing=1.5)  # retain_threshold 1.0 >= 1.5/2
+
+
+def test_retain_threshold_validation():
+    with pytest.raises(ValueError):
+        RequestLog(streaming=True, retain_threshold=0.0)
+    with pytest.raises(ValueError):
+        RequestLog(streaming=True, retain_threshold=1.5)
+    # exact logs ignore the threshold entirely
+    RequestLog(streaming=False, retain_threshold=99.0)
+
+
+# ----------------------------------------------------------------------
+# warm-up protocol
+# ----------------------------------------------------------------------
+def test_streaming_warmup_discards_at_add_time():
+    log = RequestLog(streaming=True).set_warmup(5.0)
+    log.add(record(1, 2.0, 3.3))   # pre-warmup: gone, even though slow
+    log.add(record(2, 6.0, 0.01))
+    assert len(log) == 1
+    assert not log.records
+    assert log.after(5.0) is log
+
+
+def test_streaming_after_rejects_other_cutoffs():
+    log = RequestLog(streaming=True).set_warmup(5.0)
+    log.add(record(1, 6.0, 0.01))
+    with pytest.raises(RuntimeError, match="cannot re-filter"):
+        log.after(2.0)
+
+
+def test_set_warmup_ordering_and_mode_guards():
+    with pytest.raises(RuntimeError, match="streaming logs only"):
+        RequestLog().set_warmup(5.0)
+    log = RequestLog(streaming=True)
+    log.add(record(1, 0.0, 0.01))
+    with pytest.raises(RuntimeError, match="before any request"):
+        log.set_warmup(5.0)
+
+
+# ----------------------------------------------------------------------
+# summary edge cases, both modes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("streaming", [False, True])
+def test_summary_empty_log(streaming):
+    summary = RequestLog(streaming=streaming).summary(10.0)
+    assert summary["requests"] == 0
+    assert summary["completed"] == 0
+    assert summary["throughput_rps"] == 0.0
+    for key in ("mean_ms", "p50_ms", "p99_ms", "p999_ms", "max_ms"):
+        assert summary[key] == 0.0
+    assert summary["vlrt"] == 0
+    assert summary["vlrt_fraction"] == 0.0
+    assert summary["drop_sites"] == {}
+
+
+@pytest.mark.parametrize("streaming", [False, True])
+def test_summary_single_sample(streaming):
+    log = fill(RequestLog(streaming=streaming), [0.040])
+    summary = log.summary(10.0)
+    assert summary["requests"] == summary["completed"] == 1
+    assert summary["throughput_rps"] == pytest.approx(0.1)
+    # a single sample is every percentile of itself (within the sketch
+    # bound in streaming mode, exactly in exact mode)
+    rel = 1e-12 if not streaming else 1.0 / 128.0
+    for key in ("mean_ms", "p50_ms", "p99_ms", "p999_ms", "max_ms"):
+        assert summary[key] == pytest.approx(40.0, rel=rel)
+    assert summary["vlrt"] == 0
+
+
+@pytest.mark.parametrize("streaming", [False, True])
+def test_summary_all_vlrt(streaming):
+    """Every request slower than the 1 s VLRT threshold — the streaming
+    log retains them all, so the two modes agree on every counter."""
+    times = [3.1, 3.2, 6.05, 9.3]
+    log = fill(RequestLog(streaming=streaming), times)
+    log.add(record(99, 0.0, 12.0, failed=True, drops=[(0.1, "apache")]))
+    summary = log.summary(20.0)
+    assert summary["requests"] == 5
+    assert summary["completed"] == 4
+    assert summary["failed"] == 1
+    assert summary["vlrt"] == 5
+    assert summary["vlrt_fraction"] == 1.0
+    assert summary["dropped_requests"] == 1
+    assert summary["drop_sites"] == {"apache": 1}
+    assert summary["max_ms"] == pytest.approx(9300.0, rel=1e-9)
+    if streaming:
+        assert len(log.records) == 5  # nothing was folded away
+
+
+@pytest.mark.parametrize("streaming", [False, True])
+def test_summary_all_failed(streaming):
+    """Latency fields describe completed requests; with none they are
+    0.0 while the counters still tell the story."""
+    log = RequestLog(streaming=streaming)
+    log.add(record(1, 0.0, 9.0, failed=True))
+    summary = log.summary(10.0)
+    assert summary["requests"] == 1
+    assert summary["completed"] == 0
+    assert summary["failed"] == 1
+    for key in ("mean_ms", "p50_ms", "p99_ms", "p999_ms", "max_ms"):
+        assert summary[key] == 0.0
+    assert summary["vlrt"] == 1

@@ -1,0 +1,243 @@
+"""Array-backed open-loop arrivals (repro.workload.openloop).
+
+The determinism contract is the whole point of this module: arrival
+streams are pure functions of ``(distribution, rate, n, seed, params)``
+and the batch size is invisible — byte-identical output for every
+chunking.  These tests pin that contract, the distributions' first and
+tail moments, the seed derivation, and the scheduling engine's exact
+``max_requests`` budget (a regression test for the off-by-one where the
+last batch over-drew by the number of spawned-but-not-started
+processes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.rubbos import RubbosApplication
+from repro.metrics import RequestLog
+from repro.net import NetworkFabric
+from repro.sim import Simulator
+from repro.workload import ArrayOpenLoop, arrival_times, numpy_seed_for
+from repro.workload.openloop import DISTRIBUTIONS, _draw_gaps
+
+from conftest import tiny_mix
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=77)
+
+
+@pytest.fixture
+def fabric(sim):
+    return NetworkFabric(sim, latency=0.0)
+
+
+@pytest.fixture
+def app():
+    return RubbosApplication(tiny_mix())
+
+
+def instant_server(sim, listener):
+    """Replies immediately to everything."""
+
+    def loop():
+        while True:
+            exchange = yield listener.accept()
+            from repro.apps.servlet import Response
+
+            exchange.reply(Response.success({"ok": True}))
+
+    return sim.process(loop())
+
+
+# ----------------------------------------------------------------------
+# pure arrival streams
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_arrival_times_batch_invariant(distribution):
+    """Same stream, byte for byte, whatever the chunking."""
+    reference = arrival_times(distribution, 200.0, 5000, seed=9,
+                              batch_size=5000)
+    for batch_size in (1, 7, 256, 1024, 8192):
+        chunked = arrival_times(distribution, 200.0, 5000, seed=9,
+                                batch_size=batch_size)
+        assert chunked.tobytes() == reference.tobytes(), batch_size
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_arrival_times_seed_determinism(distribution):
+    a = arrival_times(distribution, 50.0, 2000, seed=1234)
+    b = arrival_times(distribution, 50.0, 2000, seed=1234)
+    c = arrival_times(distribution, 50.0, 2000, seed=1235)
+    assert a.tobytes() == b.tobytes()
+    assert a.tobytes() != c.tobytes()
+
+
+def test_arrival_times_matches_single_draw_reference():
+    """The batched fold equals one straight cumsum of one big draw."""
+    rng = np.random.default_rng(31)
+    expected = np.cumsum(rng.exponential(1.0 / 100.0, 3000))
+    got = arrival_times("poisson", 100.0, 3000, seed=31, batch_size=128)
+    assert got.tobytes() == expected.tobytes()
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_arrival_streams_increase(distribution):
+    times = arrival_times(distribution, 1000.0, 5000, seed=5)
+    assert times.shape == (5000,)
+    assert times[0] > 0.0
+    assert np.all(np.diff(times) > 0)
+
+
+def test_mean_rate_all_distributions():
+    """Every law is normalized to a mean gap of 1/rate."""
+    n, rate = 200_000, 100.0
+    rng = np.random.default_rng(7)
+    for distribution, tolerance in (("poisson", 0.02), ("pareto", 0.05),
+                                    ("lognormal", 0.02)):
+        gaps = _draw_gaps(rng, distribution, rate, n, 2.5, 1.0)
+        assert float(gaps.mean()) == pytest.approx(1.0 / rate,
+                                                   rel=tolerance), distribution
+
+
+def test_pareto_is_heavier_tailed_than_poisson():
+    n, rate = 200_000, 100.0
+    exp_gaps = _draw_gaps(np.random.default_rng(3), "poisson", rate, n,
+                          2.5, 1.0)
+    par_gaps = _draw_gaps(np.random.default_rng(3), "pareto", rate, n,
+                          2.5, 1.0)
+    # survival beyond 10x the mean: e^-10 ~ 5e-5 for exponential vs
+    # a power law for Lomax(2.5)
+    threshold = 10.0 / rate
+    assert (par_gaps > threshold).mean() > 4 * (exp_gaps > threshold).mean()
+    assert par_gaps.max() > exp_gaps.max()
+
+
+def test_lognormal_median_below_mean():
+    n, rate, sigma = 200_000, 100.0, 1.0
+    gaps = _draw_gaps(np.random.default_rng(11), "lognormal", rate, n,
+                      2.5, sigma)
+    # median = exp(mu) = (1/rate) * exp(-sigma^2/2)
+    expected_median = (1.0 / rate) * np.exp(-0.5 * sigma * sigma)
+    assert float(np.median(gaps)) == pytest.approx(expected_median, rel=0.03)
+    assert float(np.median(gaps)) < float(gaps.mean())
+
+
+def test_numpy_seed_for_is_stable_and_distinct():
+    # sha256-derived: pinned literal guards cross-version reproducibility
+    assert numpy_seed_for(42, "open-loop-array") == numpy_seed_for(
+        42, "open-loop-array")
+    assert numpy_seed_for(42, "a") != numpy_seed_for(42, "b")
+    assert numpy_seed_for(1, "a") != numpy_seed_for(2, "a")
+    assert numpy_seed_for(42, "open-loop-array") == 7062403191444709309
+
+
+def test_arrival_times_validation():
+    with pytest.raises(ValueError):
+        arrival_times("weibull", 100.0, 10, seed=1)
+    with pytest.raises(ValueError):
+        arrival_times("poisson", 0.0, 10, seed=1)
+    with pytest.raises(ValueError):
+        arrival_times("pareto", 100.0, 10, seed=1, shape=1.0)
+    with pytest.raises(ValueError):
+        arrival_times("lognormal", 100.0, 10, seed=1, sigma=0.0)
+    with pytest.raises(ValueError):
+        arrival_times("poisson", 100.0, -1, seed=1)
+    with pytest.raises(ValueError):
+        arrival_times("poisson", 100.0, 10, seed=1, batch_size=0)
+    assert arrival_times("poisson", 100.0, 0, seed=1).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# the scheduling engine
+# ----------------------------------------------------------------------
+def test_engine_issues_exactly_max_requests(sim, fabric, app):
+    """The request budget is exact even when it falls mid-batch (the
+    spawned-but-not-started lag must not over-draw the final batch)."""
+    listener = fabric.listener("web", backlog=4096)
+    instant_server(sim, listener)
+    log = RequestLog()
+    ArrayOpenLoop(sim, fabric, listener, app, log, rate=500.0,
+                  max_requests=100, batch_size=64).start()
+    sim.run(until=10.0)
+    assert len(log.records) == 100
+
+
+def test_engine_respects_horizon(sim, fabric, app):
+    listener = fabric.listener("web", backlog=4096)
+    instant_server(sim, listener)
+    log = RequestLog()
+    ArrayOpenLoop(sim, fabric, listener, app, log, rate=200.0,
+                  horizon=5.0).start()
+    sim.run(until=20.0)
+    assert len(log.records) == pytest.approx(1000, rel=0.15)
+    assert all(r.start < 5.0 for r in log.records)
+
+
+def test_engine_batch_size_invisible_end_to_end(app):
+    """Two sims differing only in batch_size produce identical logs."""
+    starts = []
+    for batch_size in (16, 4096):
+        sim = Simulator(seed=77)
+        fabric = NetworkFabric(sim, latency=0.0)
+        listener = fabric.listener("web", backlog=4096)
+        instant_server(sim, listener)
+        log = RequestLog()
+        ArrayOpenLoop(sim, fabric, listener, app, log, rate=300.0,
+                      max_requests=400, batch_size=batch_size).start()
+        sim.run(until=10.0)
+        starts.append([r.start for r in log.records])
+    assert starts[0] == starts[1]
+    assert len(starts[0]) == 400
+
+
+def test_engine_throughput_matches_rate(sim, fabric, app):
+    listener = fabric.listener("web", backlog=4096)
+    instant_server(sim, listener)
+    log = RequestLog()
+    ArrayOpenLoop(sim, fabric, listener, app, log, rate=100.0).start()
+    sim.run(until=40.0)
+    assert log.throughput(40.0) == pytest.approx(100.0, rel=0.06)
+
+
+def test_engine_feeds_streaming_log(sim, fabric, app):
+    log = RequestLog(streaming=True)
+    log.set_warmup(0.0)
+    listener = fabric.listener("web", backlog=4096)
+    instant_server(sim, listener)
+    ArrayOpenLoop(sim, fabric, listener, app, log, rate=400.0,
+                  max_requests=1000).start()
+    sim.run(until=10.0)
+    assert len(log) == 1000
+    assert log.stats.completed == 1000
+    assert not log.records  # everything fast, everything folded
+    assert log.percentile(99) < 0.1
+
+
+def test_engine_start_idempotent(sim, fabric, app):
+    listener = fabric.listener("web", backlog=4096)
+    instant_server(sim, listener)
+    log = RequestLog()
+    engine = ArrayOpenLoop(sim, fabric, listener, app, log, rate=100.0,
+                           max_requests=50)
+    engine.start()
+    engine.start()  # no second arrival process
+    sim.run(until=10.0)
+    assert len(log.records) == 50
+
+
+def test_engine_validates_parameters(sim, fabric, app):
+    listener = fabric.listener("web")
+    log = RequestLog()
+    with pytest.raises(ValueError):
+        ArrayOpenLoop(sim, fabric, listener, app, log, rate=0.0)
+    with pytest.raises(ValueError):
+        ArrayOpenLoop(sim, fabric, listener, app, log, rate=100.0,
+                      max_requests=0)
+    with pytest.raises(ValueError):
+        ArrayOpenLoop(sim, fabric, listener, app, log, rate=100.0,
+                      batch_size=0)
+    with pytest.raises(ValueError):
+        ArrayOpenLoop(sim, fabric, listener, app, log, rate=100.0,
+                      distribution="weibull")

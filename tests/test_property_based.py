@@ -7,7 +7,9 @@ These pin down the invariants everything else relies on:
 - resources never exceed capacity and grant FIFO;
 - stores preserve FIFO order and never exceed capacity;
 - the tail statistics partition their input;
-- the overflow-condition model is monotone in each argument.
+- the overflow-condition model is monotone in each argument;
+- the log-linear latency sketch merges associatively/commutatively and
+  answers percentile queries within its documented relative-error bound.
 """
 
 import math
@@ -19,7 +21,7 @@ from hypothesis import strategies as st
 from repro.core.conditions import predicted_overflow
 from repro.core.tail import multimodal_clusters, percentiles
 from repro.cpu import Host
-from repro.metrics import TimeSeries
+from repro.metrics import LatencySketch, TimeSeries
 from repro.sim import Resource, Simulator, Store
 
 
@@ -179,6 +181,119 @@ def test_multimodal_clusters_partition_input(rts):
 def test_percentiles_monotone_and_bounded(rts):
     stats = percentiles(rts, qs=(1, 50, 99))
     assert min(rts) - 1e-9 <= stats[1] <= stats[50] <= stats[99] <= max(rts) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# the latency sketch (streaming metrics)
+# ----------------------------------------------------------------------
+#: response times spanning microseconds to the 10 s VLRT regime, plus
+#: values below min_value (the underflow bucket)
+_latency = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+#: adversarial fixed inputs: bucket boundaries (powers of two scaled by
+#: min_value), identical values, a lone sample, and a huge dynamic range
+_ADVERSARIAL = [
+    [1e-6 * 2.0 ** k for k in range(40)],          # octave boundaries
+    [0.003] * 500,                                  # one bucket only
+    [7.25],                                         # single sample
+    [1e-7, 1e-6, 0.001, 1.0, 9.0, 99.0],            # full dynamic range
+    [3.0 - 1e-12, 3.0, 3.0 + 1e-12] * 50,           # boundary straddling
+]
+
+
+def _fill(values, subbuckets=64):
+    sketch = LatencySketch(subbuckets=subbuckets)
+    for value in values:
+        sketch.add(value)
+    return sketch
+
+
+@given(st.lists(_latency, max_size=150), st.lists(_latency, max_size=150))
+def test_sketch_merge_commutes(a, b):
+    ab = _fill(a).merge(_fill(b))
+    ba = _fill(b).merge(_fill(a))
+    assert ab.buckets == ba.buckets
+    assert len(ab) == len(ba) == len(a) + len(b)
+    assert ab.max == ba.max and ab.min == ba.min
+    assert ab.mean == pytest.approx(ba.mean, rel=1e-12, abs=1e-15)
+    for q in (0, 50, 90, 99, 100):
+        assert ab.quantile(q) == ba.quantile(q)
+
+
+@given(st.lists(_latency, max_size=100), st.lists(_latency, max_size=100),
+       st.lists(_latency, max_size=100))
+def test_sketch_merge_associates(a, b, c):
+    left = _fill(a).merge(_fill(b)).merge(_fill(c))
+    right = _fill(a).merge(_fill(b).merge(_fill(c)))
+    assert left.buckets == right.buckets
+    assert len(left) == len(right)
+    assert left.max == right.max and left.min == right.min
+    # count-derived stats are exactly associative; the float total can
+    # differ by an ulp per regrouping
+    assert left.mean == pytest.approx(right.mean, rel=1e-12, abs=1e-15)
+    for q in (0, 50, 90, 99, 100):
+        assert left.quantile(q) == right.quantile(q)
+
+
+@given(st.lists(_latency, min_size=1, max_size=300))
+def test_sketch_percentiles_monotone_and_clamped(values):
+    sketch = _fill(values)
+    qs = (0, 10, 25, 50, 75, 90, 99, 99.9, 100)
+    estimates = [sketch.quantile(q) for q in qs]
+    for lower, higher in zip(estimates, estimates[1:]):
+        assert lower <= higher
+    # every estimate is clamped into the observed range
+    assert all(sketch.min <= e <= sketch.max for e in estimates)
+    assert sketch.max == max(values)
+    assert estimates[-1] == pytest.approx(
+        sketch.max, rel=sketch.relative_error, abs=sketch.min_value
+    )
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=300))
+@settings(max_examples=200)
+def test_sketch_relative_error_bound_random(values):
+    _assert_within_bound(values)
+
+
+@pytest.mark.parametrize("values", _ADVERSARIAL)
+def test_sketch_relative_error_bound_adversarial(values):
+    _assert_within_bound(values)
+
+
+def _assert_within_bound(values, subbuckets=64):
+    """Sketch quantiles vs the sorted-list nearest-rank oracle."""
+    sketch = _fill(values, subbuckets=subbuckets)
+    ordered = sorted(values)
+    bound = sketch.relative_error
+    assert bound == 1.0 / (2 * subbuckets)
+    for q in (1, 25, 50, 75, 90, 95, 99, 99.9):
+        exact = ordered[max(1, math.ceil(q / 100.0 * len(ordered))) - 1]
+        estimate = sketch.quantile(q)
+        if exact < sketch.min_value:
+            # underflow bucket: absolute error below min_value
+            assert abs(estimate - exact) <= sketch.min_value
+        else:
+            assert abs(estimate - exact) <= bound * exact + 1e-15, (
+                f"q={q}: |{estimate} - {exact}| > {bound} * {exact}"
+            )
+
+
+def test_sketch_underflow_bucket_and_validation():
+    sketch = LatencySketch()
+    sketch.add(0.0)
+    sketch.add(1e-9)
+    assert len(sketch) == 2
+    assert sketch.quantile(50) <= sketch.min_value
+    with pytest.raises(ValueError):
+        sketch.add(-1.0)
+    with pytest.raises(ValueError):
+        sketch.add(1.0, count=0)
+    with pytest.raises(ValueError):
+        sketch.quantile(101)
+    with pytest.raises(ValueError):
+        LatencySketch(subbuckets=32).merge(LatencySketch(subbuckets=64))
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,157 @@
+"""Exact-vs-streaming equivalence across the experiment registry.
+
+``RequestLog(streaming=True)`` must not change *what happens* in a run —
+only how the metrics are stored.  For every registry experiment these
+tests execute the same quick-scale job twice, once with the exact
+per-request log and once streaming, and require:
+
+- every count-derived payload field (requests, completed, failed, VLRT,
+  dropped/shed totals and per-site counts, modes, queue maxima,
+  throughput) identical to the exact run;
+- every sketch-answered field (``p50_ms``/``p99_ms``/``p999_ms``/
+  ``mean_ms``, re-binned histograms) excluded from the bit-for-bit
+  comparison and instead checked against a nearest-rank oracle teed out
+  of the fold path, within the sketch's documented relative-error
+  bound (``LatencySketch.relative_error``);
+- CTQO attribution coverage in streaming mode still clears the 90 %
+  acceptance bar (attribution reads the retained-exact VLRT records).
+
+The full registry sweep is ``slow``; a four-experiment representative
+subset (closed-loop, timeline, multi-tier chain, queueing validation)
+runs in the fast loop.
+"""
+
+import pytest
+
+from repro.core.tail import percentiles
+from repro.experiments.runner import (
+    REGISTRY,
+    STREAMING_UNSUPPORTED,
+    JobConfig,
+    execute_job,
+    expand_jobs,
+)
+from repro.metrics.sketch import StreamingStats
+
+#: payload keys answered from the latency sketch — approximate by
+#: design, verified separately against the teed oracle below
+SKETCH_KEYS = frozenset({
+    "mean_ms", "p50_ms", "p99_ms", "p999_ms", "measured_mean_ms",
+    "histogram",
+})
+
+#: representatives for the fast loop: one closed-loop sweep (fig01),
+#: one timeline figure (fig03), one queueing validation; everything
+#: else (including the 25 s deep_chain sweep) rides the slow sweep
+FAST = ("fig01", "fig03", "validation")
+
+SLOW = sorted(set(REGISTRY) - STREAMING_UNSUPPORTED - set(FAST))
+
+
+def assert_equivalent(exact, stream, path="payload"):
+    """Recursive structural equality, skipping sketch-derived keys."""
+    assert type(exact) is type(stream), f"{path}: {exact!r} vs {stream!r}"
+    if isinstance(exact, dict):
+        assert set(exact) == set(stream), path
+        for key, value in exact.items():
+            if key in SKETCH_KEYS:
+                continue
+            assert_equivalent(value, stream[key], f"{path}.{key}")
+    elif isinstance(exact, list):
+        assert len(exact) == len(stream), path
+        for index, (a, b) in enumerate(zip(exact, stream)):
+            assert_equivalent(a, b, f"{path}[{index}]")
+    elif isinstance(exact, float):
+        # count-derived floats (throughput, fractions, utilizations):
+        # same integer numerators over the same window
+        assert stream == pytest.approx(exact, rel=1e-9, abs=1e-12), (
+            f"{path}: {exact} vs {stream}"
+        )
+    else:
+        assert exact == stream, f"{path}: {exact!r} vs {stream!r}"
+
+
+def _assert_coverage(payload):
+    """Streaming attribution must still clear the acceptance bar."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == "attribution_coverage":
+                assert value >= 0.90, f"streaming coverage {value}"
+            else:
+                _assert_coverage(value)
+    elif isinstance(payload, list):
+        for value in payload:
+            _assert_coverage(value)
+
+
+def _assert_experiment_equivalent(name):
+    for job in expand_jobs([name], quick=True):
+        exact = execute_job(job)
+        stream = execute_job(JobConfig(
+            name=job.name, seed=job.seed, duration=job.duration,
+            params={**job.params, "streaming": True},
+        ))
+        assert_equivalent(exact["payload"], stream["payload"])
+        _assert_coverage(stream["payload"])
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_streaming_equivalence(name):
+    _assert_experiment_equivalent(name)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_streaming_equivalence_full_registry(name):
+    _assert_experiment_equivalent(name)
+
+
+def test_fig02_rejects_streaming():
+    job = expand_jobs(["fig02"], quick=True)[0]
+    job.params["streaming"] = True
+    with pytest.raises(ValueError, match="exact per-request log"):
+        execute_job(job)
+
+
+# ----------------------------------------------------------------------
+# sketch percentiles vs the nearest-rank oracle, on real run data
+# ----------------------------------------------------------------------
+def _assert_sketch_matches(sketch, values):
+    assert len(sketch) == len(values)
+    if not values:
+        return
+    oracle = percentiles(values, qs=(50, 90, 95, 99, 99.9),
+                         method="nearest_rank")
+    for q, exact in oracle.items():
+        estimate = sketch.quantile(q)
+        if exact < sketch.min_value:
+            assert abs(estimate - exact) <= sketch.min_value
+        else:
+            assert abs(estimate - exact) <= (
+                sketch.relative_error * exact + 1e-15
+            ), f"q={q}: |{estimate} - {exact}|"
+
+
+def test_streaming_percentiles_within_documented_bound(monkeypatch):
+    """Tee every folded response time out of a real streaming run and
+    hold each sketch to its documented error bound against the
+    sorted-list nearest-rank oracle."""
+    teed = {}
+    original = StreamingStats.fold
+
+    def tee_fold(self, record):
+        ok, everything, _ = teed.setdefault(id(self), ([], [], self))
+        if not record.failed:
+            ok.append(record.response_time)
+        everything.append(record.response_time)
+        return original(self, record)
+
+    monkeypatch.setattr(StreamingStats, "fold", tee_fold)
+    execute_job(JobConfig(
+        name="fig01", duration=12.0,
+        params={"workloads": [7000], "streaming": True},
+    ))
+    assert teed, "no streaming log folded anything"
+    for ok, everything, stats in teed.values():
+        _assert_sketch_matches(stats.sketch_ok, ok)
+        _assert_sketch_matches(stats.sketch_all, everything)

@@ -39,11 +39,15 @@ __all__ = [
     "bench_fig01_instrumented",
     "bench_fig01_quick",
     "bench_fig01_streaming_1m",
+    "bench_far_timer_churn",
     "bench_kernel_callbacks",
     "bench_numeric_yield",
     "bench_scaleout_quick",
     "bench_server_policy_step",
+    "bench_sketch_fold",
     "bench_store_handoff",
+    "bench_wheel_schedule",
+    "compare_results",
     "default_scale",
     "main",
     "run_benchmarks",
@@ -275,6 +279,90 @@ def bench_fig01_streaming_1m(scale=1.0):
     return requests
 
 
+def bench_wheel_schedule(scale=1.0):
+    """Scattered timer inserts across the calendar window.
+
+    ``kernel_callbacks`` schedules in nearly sorted order, which is the
+    calendar queue's append fast path; this workload permutes the
+    insert order with a multiplicative hash so successive timers land
+    in far-apart buckets — the insert pattern of a server full of
+    heterogeneous timeouts — and the dispatch sweep has to walk the
+    whole wheel.
+    """
+    count = _scaled(200_000, scale)
+    sim = Simulator(seed=1)
+
+    def tick():
+        pass
+
+    # times cover ~4 s (inside the default 8 s window), visited in
+    # hash-scrambled order
+    step = 4.0 / count
+    for i in range(count):
+        sim.call_at(((i * 2654435761) % count) * step, tick)
+    sim.run()
+    return sim.executed_events
+
+
+def bench_far_timer_churn(scale=1.0):
+    """Long-range timers crossing the wheel horizon (overflow path).
+
+    Pairs every near callback with a timer landing several windows in
+    the future — the shape of RTO and hedge timers under load — so the
+    calendar queue's overflow heap, rollover redistribution and
+    idle-jump machinery all run.  The heap kernel treats near and far
+    timers identically, so comparing this against ``wheel_schedule``
+    reads the overflow overhead in isolation.
+    """
+    count = _scaled(60_000, scale)
+    sim = Simulator(seed=1)
+
+    def tick():
+        pass
+
+    for i in range(count):
+        when = i * 1e-4
+        sim.call_at(when, tick)
+        # several wheel windows ahead: lands in the overflow heap and
+        # is redistributed into buckets by a later rollover
+        sim.call_at(when + 30.0, tick)
+    sim.run()
+    return sim.executed_events
+
+
+def bench_sketch_fold(scale=1.0):
+    """Streaming-metrics fold throughput, isolated from the simulator.
+
+    Folds pre-built :class:`~repro.metrics.trace.RequestRecord`\\ s —
+    mostly successes with a sprinkle of failures, drops and retries,
+    like a real run's mix — into one
+    :class:`~repro.metrics.sketch.StreamingStats`.  This is the
+    per-request metrics cost of million-request streaming runs.
+    """
+    from .metrics.sketch import StreamingStats
+    from .metrics.trace import RequestRecord
+
+    ops = _scaled(300_000, scale)
+    records = []
+    for i in range(1000):
+        rt = 1e-3 * (1.0 + (i * 37 % 997) / 100.0)
+        records.append(RequestRecord(
+            i, "K", 0.0, rt,
+            attempts=1 + (i % 151 == 0),
+            drops=((0.0, "app"),) if i % 193 == 0 else (),
+            sheds=((0.0, "web"),) if i % 389 == 0 else (),
+            failed=i % 97 == 0,
+        ))
+    stats = StreamingStats()
+    fold = stats.fold
+    n = len(records)
+    for i in range(ops):
+        fold(records[i % n])
+    if stats.requests != ops:
+        raise AssertionError("sketch fold lost records")
+    return ops
+
+
 def bench_scaleout_quick(scale=1.0):
     """A quick replicated-tier run: 3 replicas/tier, hedged routing.
 
@@ -301,6 +389,9 @@ BENCHMARKS = (
     ("cancel_under_load_2000", bench_cancel_under_load, 3),
     ("store_handoff", bench_store_handoff, 3),
     ("server_policy_step", bench_server_policy_step, 3),
+    ("wheel_schedule", bench_wheel_schedule, 3),
+    ("far_timer_churn", bench_far_timer_churn, 3),
+    ("sketch_fold", bench_sketch_fold, 3),
     ("fig01_quick", bench_fig01_quick, 3),
     ("fig01_instrumented", bench_fig01_instrumented, 3),
     ("scaleout_quick", bench_scaleout_quick, 3),
@@ -376,6 +467,43 @@ def write_trajectory(path, results, label, scale):
     return entry
 
 
+def compare_results(results, baseline_entry, threshold=10.0):
+    """Compare a fresh run against a recorded trajectory entry.
+
+    Matches workloads by name and compares **ops/s** (robust across
+    ``--scale`` settings, unlike wall-clock seconds); the *delta* is the
+    throughput loss in percent, positive = slower than the baseline.
+    Returns ``(lines, regressions)`` where ``lines`` is a printable
+    table and ``regressions`` lists the workloads whose loss exceeds
+    ``threshold`` percent.  Workloads absent from the baseline (newly
+    added ones) are reported but never count as regressions.
+    """
+    baseline = {r["name"]: r for r in baseline_entry.get("results", ())
+                if r.get("ops_per_sec")}
+    lines = [f"comparing against '{baseline_entry.get('label', '?')}' "
+             f"(rev {baseline_entry.get('git_rev', '?')}, "
+             f"{baseline_entry.get('timestamp', '?')})",
+             f"{'benchmark':<28} {'base ops/s':>14} {'now ops/s':>14} "
+             f"{'delta':>8}"]
+    regressions = []
+    for result in results:
+        name = result["name"]
+        now = result.get("ops_per_sec")
+        base = baseline.get(name)
+        if base is None or not now:
+            lines.append(f"{name:<28} {'-':>14} "
+                         f"{now or 0:>14,.0f} {'new':>8}")
+            continue
+        loss = 100.0 * (1.0 - now / base["ops_per_sec"])
+        flag = ""
+        if loss > threshold:
+            regressions.append(name)
+            flag = "  << regression"
+        lines.append(f"{name:<28} {base['ops_per_sec']:>14,.0f} "
+                     f"{now:>14,.0f} {loss:>+7.1f}%{flag}")
+    return lines, regressions
+
+
 def format_results(results):
     lines = [f"{'benchmark':<28} {'ops':>10} {'seconds':>10} {'ops/s':>14}"]
     for r in results:
@@ -401,7 +529,21 @@ def add_arguments(parser):
                         help="trajectory JSON path "
                              "(default: BENCH_substrate.json in the repo "
                              "root; 'none' skips writing)")
+    parser.add_argument("--compare", action="store_true",
+                        help="compare this run against the last "
+                             "trajectory entry instead of appending one; "
+                             "exit 1 on any regression beyond --threshold")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="ops/s loss (percent) counted as a "
+                             "regression by --compare (default: 10)")
     return parser
+
+
+def _default_trajectory_path():
+    # repo root = two levels above this file's package directory
+    root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    return os.path.join(root, "BENCH_substrate.json")
 
 
 def run_cli(args):
@@ -424,14 +566,35 @@ def run_cli(args):
     print(f"{'benchmark':<28} {'ops':>10} {'seconds':>10} {'ops/s':>14}")
     results = run_benchmarks(scale=scale, names=names, progress=progress)
 
+    if args.compare:
+        path = args.out if args.out not in (None, "none") \
+            else _default_trajectory_path()
+        if not os.path.exists(path):
+            print(f"no trajectory at {path} to compare against",
+                  file=sys.stderr)
+            return 2
+        with open(path) as fh:
+            entries = json.load(fh).get("entries", [])
+        if not entries:
+            print(f"trajectory at {path} has no entries", file=sys.stderr)
+            return 2
+        lines, regressions = compare_results(results, entries[-1],
+                                             threshold=args.threshold)
+        print()
+        print("\n".join(lines))
+        if regressions:
+            print(f"\nREGRESSION: {', '.join(regressions)} slower than "
+                  f"baseline by more than {args.threshold:g}%",
+                  file=sys.stderr)
+            return 1
+        print(f"\n[no regression beyond {args.threshold:g}%]")
+        return 0
+
     out = args.out
     if out is None and args.smoke:
         out = "none"
     if out is None:
-        # repo root = two levels above this file's package directory
-        root = os.path.dirname(os.path.dirname(
-            os.path.dirname(os.path.abspath(__file__))))
-        out = os.path.join(root, "BENCH_substrate.json")
+        out = _default_trajectory_path()
     if out != "none":
         label = args.label or ("smoke" if args.smoke else "bench run")
         entry = write_trajectory(out, results, label, scale)

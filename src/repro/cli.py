@@ -19,10 +19,16 @@ Subcommands
     trace, a JSONL event log and the raw CSVs.
 ``conditions [--rate R] [--duration S] [--depth N]``
     Evaluate the paper's §III overflow arithmetic for given parameters.
-``bench [--smoke] [--only NAMES] [--label TEXT] [--out FILE]``
+``bench [--smoke] [--only NAMES] [--label TEXT] [--out FILE] [--compare]``
     Run the substrate micro-benchmarks (:mod:`repro.bench`) and append
     the results to the ``BENCH_substrate.json`` trajectory; ``--smoke``
-    is the CI-sized variant (scale 0.25, no JSON write by default).
+    is the CI-sized variant (scale 0.25, no JSON write by default) and
+    ``--compare`` gates against the last trajectory entry instead of
+    appending (exit 1 beyond ``--threshold`` percent ops/s loss).
+``profile <target> [--quick] [--top N] [--sort KEY] [--out FILE]``
+    Run one experiment or benchmark workload under :mod:`cProfile` and
+    print the pstats hot-function table; ``--out`` writes a
+    snakeviz-loadable raw profile (see docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ import os
 import sys
 
 from . import bench as bench_module
+from . import profile as profile_module
 from .core.conditions import (
     minimum_millibottleneck_duration,
     predicted_overflow,
@@ -493,6 +500,13 @@ def build_parser():
     )
     bench_module.add_arguments(bench_parser)
     bench_parser.set_defaults(handler=bench_module.run_cli)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile an experiment or benchmark workload with cProfile",
+    )
+    profile_module.add_arguments(profile_parser)
+    profile_parser.set_defaults(handler=profile_module.run_cli)
     return parser
 
 

@@ -281,62 +281,74 @@ class Host:
         for vm, _d in pending:
             vm._alloc = 0.0
 
-    def _advance(self):
-        """Integrate consumption/progress from the last update to now."""
-        now = self.sim.now
-        elapsed = now - self._last_update
-        self._last_update = now
-        if elapsed <= 0:
-            return []
-        finished = []
-        for vm in self.vms:
-            heap = vm._heap
-            # `now <= frozen_until` == `is_frozen or now == frozen_until`:
-            # freezes trigger updates at both boundaries, so the whole
-            # elapsed interval was frozen for this VM.
-            if now <= vm.frozen_until:
-                if heap:
-                    vm.iowait += elapsed
-                continue
-            if not heap:
-                continue
-            n = len(heap)
-            # guest-perceived demand: runnable whether granted or not
-            vm.runnable += (n if n <= vm.vcpus else vm.vcpus) * elapsed
-            alloc = vm._alloc
-            if alloc <= 0:
-                continue
-            used = alloc * elapsed
-            vm.consumed += used
-            self.busy += used
-            efficiency = vm.efficiency
-            eff = 1.0 if efficiency is None else efficiency(n)
-            vm.effective += alloc * eff * elapsed
-            vm._progress = progress = vm._progress + (alloc / n) * eff * elapsed
-            limit = progress + _WORK_EPSILON
-            while heap and heap[0][0] <= limit:
-                _target, _seq, job = _heappop(heap)
-                vm.jobs_completed += 1
-                finished.append(job)
-        return finished
-
     def _update(self):
         """Advance accounting and fire completions; reentrancy-safe.
 
         Completion callbacks routinely submit the request's *next* CPU
         stage synchronously; those nested calls just mark the host dirty
         and the outer invocation loops until the job set is stable.
+
+        The integration pass (formerly ``_advance``) is inlined: this
+        runs on every job arrival and completion of every request.  The
+        two-phase shape is load-bearing — all completed jobs are popped
+        *before* any completion callback runs, so callbacks that freeze
+        or submit work never see a half-integrated pass.
         """
         if self._updating:
             self._dirty = True
             return
         self._updating = True
         try:
+            sim = self.sim
+            vms = self.vms
             while True:
                 self._dirty = False
-                finished = self._advance()
-                for job in finished:
-                    job.done.succeed(job)
+                # -- integrate consumption/progress since last update --
+                now = sim.now
+                elapsed = now - self._last_update
+                self._last_update = now
+                finished = None
+                if elapsed > 0:
+                    for vm in vms:
+                        heap = vm._heap
+                        # `now <= frozen_until` == `is_frozen or now ==
+                        # frozen_until`: freezes trigger updates at both
+                        # boundaries, so the whole elapsed interval was
+                        # frozen for this VM.
+                        if now <= vm.frozen_until:
+                            if heap:
+                                vm.iowait += elapsed
+                            continue
+                        if not heap:
+                            continue
+                        n = len(heap)
+                        # guest-perceived demand: runnable whether
+                        # granted or not
+                        vm.runnable += (n if n <= vm.vcpus
+                                        else vm.vcpus) * elapsed
+                        alloc = vm._alloc
+                        if alloc <= 0:
+                            continue
+                        used = alloc * elapsed
+                        vm.consumed += used
+                        self.busy += used
+                        efficiency = vm.efficiency
+                        eff = 1.0 if efficiency is None else efficiency(n)
+                        vm.effective += alloc * eff * elapsed
+                        vm._progress = progress = (
+                            vm._progress + (alloc / n) * eff * elapsed
+                        )
+                        limit = progress + _WORK_EPSILON
+                        while heap and heap[0][0] <= limit:
+                            _target, _seq, job = _heappop(heap)
+                            vm.jobs_completed += 1
+                            if finished is None:
+                                finished = [job]
+                            else:
+                                finished.append(job)
+                if finished is not None:
+                    for job in finished:
+                        job.done.succeed(job)
                 # every mutation a completion callback can make (execute,
                 # freeze) funnels through a nested _update and sets
                 # _dirty, so a clean flag means the job set is stable —
@@ -347,6 +359,12 @@ class Host:
             self._updating = False
 
     def _reallocate_and_schedule(self):
+        # _reallocate() + _schedule_next_completion() inlined: the pair
+        # runs back to back on every job arrival/completion, and both
+        # walk self.vms — keeping them one call saves two method
+        # dispatches per event on the hottest CPU-model path.  All
+        # allocations are assigned before the completion scan reads
+        # them, exactly as the split methods did.
         self._reallocate()
         if self._bus is not None:
             for vm in self.vms:
@@ -354,7 +372,29 @@ class Host:
                 if alloc != vm._bus_alloc:
                     vm._bus_alloc = alloc
                     self._bus.emit("cpu.alloc", vm.name, alloc)
-        self._schedule_next_completion()
+        # -- schedule an update at the earliest projected completion --
+        self._completion_version = version = self._completion_version + 1
+        now = self.sim.now
+        horizon = None
+        for vm in self.vms:
+            heap = vm._heap
+            alloc = vm._alloc
+            if not heap or alloc <= 0 or now < vm.frozen_until:
+                continue
+            n = len(heap)
+            efficiency = vm.efficiency
+            eff = 1.0 if efficiency is None else efficiency(n)
+            rate = (alloc / n) * eff
+            if rate <= 0:
+                continue
+            head_remaining = heap[0][0] - vm._progress
+            if head_remaining < 0.0:
+                head_remaining = 0.0
+            eta = now + head_remaining / rate
+            if horizon is None or eta < horizon:
+                horizon = eta
+        if horizon is not None:
+            self.sim.call_at(horizon, self._on_completion_timer, version)
 
     def _add_job(self, vm, work, done):
         self._update()
@@ -373,31 +413,6 @@ class Host:
     def _on_timer(self):
         self._update()
         self._reallocate_and_schedule()
-
-    def _schedule_next_completion(self):
-        """Schedule an update at the earliest projected job completion."""
-        self._completion_version += 1
-        version = self._completion_version
-        now = self.sim.now
-        horizon = None
-        for vm in self.vms:
-            heap = vm._heap
-            if not heap or vm._alloc <= 0 or now < vm.frozen_until:
-                continue
-            n = len(heap)
-            efficiency = vm.efficiency
-            eff = 1.0 if efficiency is None else efficiency(n)
-            rate = (vm._alloc / n) * eff
-            if rate <= 0:
-                continue
-            head_remaining = heap[0][0] - vm._progress
-            if head_remaining < 0.0:
-                head_remaining = 0.0
-            eta = now + head_remaining / rate
-            if horizon is None or eta < horizon:
-                horizon = eta
-        if horizon is not None:
-            self.sim.call_at(horizon, self._on_completion_timer, version)
 
     def _on_completion_timer(self, version):
         if version != self._completion_version:

@@ -1,0 +1,163 @@
+"""Profiling harness: ``python -m repro profile <target>``.
+
+Runs one experiment or substrate benchmark under :mod:`cProfile` and
+prints the :mod:`pstats` hot-function table — the workflow every
+perf PR in this repo starts from (docs/PERF.md).  ``--out`` writes the
+raw profile in the binary pstats format, loadable by ``snakeviz``,
+``tuna`` or ``pstats.Stats(path)`` for interactive drill-down.
+
+Targets
+-------
+- every experiment name known to ``repro run`` (``fig01``, ``fig03``,
+  ..., ``scaleout``) — profiled through a single representative run
+  at its usual duration, or a CI-sized one with ``--quick``;
+- every benchmark workload from :mod:`repro.bench`
+  (``kernel_callbacks``, ``fig01_streaming_1m``, ...) — profiled at
+  scale 1.0, or 0.25 with ``--quick``.
+
+The profiled function call is the *workload only*: parser setup,
+registry imports and report rendering stay outside the capture, so the
+table reads as "where does the simulation itself spend time".
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+__all__ = ["add_arguments", "list_targets", "main", "run_cli"]
+
+#: default number of rows in the printed hot-function table
+DEFAULT_TOP = 25
+
+
+def _bench_targets():
+    from . import bench
+
+    return {name: workload for name, workload, _repeats in bench.BENCHMARKS}
+
+
+def _experiment_target(name, quick):
+    """A zero-argument thunk running one representative cell of the
+    experiment, or ``None`` when ``name`` is not an experiment."""
+    if name == "fig01":
+        from .experiments import fig01_histograms
+
+        duration = 6.0 if quick else 45.0
+        return lambda: fig01_histograms.run_one(
+            7000, duration=duration, warmup=1.0 if quick else 5.0, seed=42
+        )
+    if name == "fig12":
+        from .experiments import fig12_throughput
+
+        return lambda: fig12_throughput.run(
+            duration=6.0 if quick else 25.0
+        )
+    if name == "headline":
+        from .experiments import headline_utilization
+
+        return lambda: headline_utilization.run(
+            duration=10.0 if quick else 60.0
+        )
+    if name == "policy_matrix":
+        from .experiments import policy_matrix
+
+        return lambda: policy_matrix.run(duration=10.0 if quick else 40.0)
+    if name == "scaleout":
+        from .experiments import scaleout
+
+        return lambda: scaleout.run(duration=10.0 if quick else 40.0)
+    from .cli import _TIMELINES
+
+    module = _TIMELINES.get(name)
+    if module is None:
+        return None
+    from .experiments.timeline import run_timeline
+
+    duration = 10.0 if quick else None  # None = the figure's own duration
+    return lambda: run_timeline(module.SPEC, duration=duration)
+
+
+def list_targets():
+    """Every name ``repro profile`` accepts."""
+    from .cli import EXPERIMENTS
+
+    return sorted(EXPERIMENTS) + sorted(_bench_targets())
+
+
+def add_arguments(parser):
+    """Install the profile options on ``parser``."""
+    parser.add_argument("target",
+                        help="experiment (see 'repro list') or benchmark "
+                             "workload (see 'repro bench') to profile; "
+                             "'list' prints every accepted name")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: short experiment durations, "
+                             "benchmark scale 0.25")
+    parser.add_argument("--top", type=int, default=DEFAULT_TOP,
+                        help=f"rows in the hot-function table "
+                             f"(default {DEFAULT_TOP})")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--out", default=None,
+                        help="write the raw profile here (binary pstats "
+                             "format: snakeviz/tuna/pstats.Stats loadable)")
+    return parser
+
+
+def run_cli(args):
+    """Execute a parsed profile invocation; returns an exit code."""
+    if args.target == "list":
+        print("\n".join(list_targets()))
+        return 0
+    benches = _bench_targets()
+    if args.target in benches:
+        workload = benches[args.target]
+        scale = 0.25 if args.quick else 1.0
+        target = lambda: workload(scale)  # noqa: E731
+        described = f"benchmark {args.target} (scale {scale:g})"
+    else:
+        target = _experiment_target(args.target, args.quick)
+        if target is None:
+            print(f"unknown profile target {args.target!r}; "
+                  "'repro profile list' prints the accepted names",
+                  file=sys.stderr)
+            return 2
+        described = (f"experiment {args.target}"
+                     f"{' (quick)' if args.quick else ''}")
+
+    print(f"profiling {described} ...", flush=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        target()
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    print()
+    stats.print_stats(args.top)
+    if args.out:
+        profiler.dump_stats(args.out)
+        print(f"[raw profile written to {args.out}; open with "
+              f"'snakeviz {args.out}' or pstats.Stats({args.out!r})]")
+    return 0
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="profile one experiment or benchmark workload with "
+                    "cProfile and print the pstats hot-function table",
+    )
+    add_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -259,39 +259,63 @@ class BaseServer:
         is held while the driver runs.
         """
         # locals bound once per request: the loop below resumes for every
-        # CPU stage and downstream call of every request on every tier
+        # CPU stage and downstream call of every request on every tier.
+        # It is advance_servlet() inlined — one generator resume per step
+        # instead of a call + tag-tuple + dispatch — with identical
+        # semantics (the step-function remains the shared contract for
+        # the event-loop driver and the tests).
         sim = self.sim
         name = self.name
         request = exchange.payload
         request.record(sim.now, "start", name)
         gen = self.handler(self.ctx, request)
+        send = gen.send
+        throw = gen.throw
         execute = self.vm.execute
         call = self._call
         to_send = None
         to_throw = None
         while True:
-            tag, payload = advance_servlet(name, gen, to_send, to_throw)
-            if tag == STEP_COMPUTE:
-                to_send = None
-                to_throw = None
-                yield execute(payload)
-            elif tag == STEP_CALL:
-                to_send = None
-                to_throw = None
-                try:
-                    to_send = yield from call(payload, request)
-                except ServletError as exc:
-                    to_throw = exc
-            elif tag == STEP_DONE:
+            try:
+                if to_throw is not None:
+                    step = throw(to_throw)
+                    to_throw = None
+                else:
+                    step = send(to_send)
+            except StopIteration as stop:
                 request.record(sim.now, "reply", name)
-                exchange.reply(Response.success(payload))
+                exchange.reply(Response.success(stop.value))
                 self.stats.completed += 1
                 return
-            else:
-                request.record(sim.now, "error", f"{name}: {payload}")
-                exchange.reply(Response.failure(str(payload)))
+            except ServletError as exc:
+                request.record(sim.now, "error", f"{name}: {exc}")
+                exchange.reply(Response.failure(str(exc)))
                 self.stats.failed += 1
                 return
+            cls = step.__class__
+            if cls is Compute:
+                to_send = None
+                yield execute(step.work)
+            elif cls is Call:
+                to_send = None
+                try:
+                    to_send = yield from call(step, request)
+                except ServletError as exc:
+                    to_throw = exc
+            elif isinstance(step, Compute):
+                to_send = None
+                yield execute(step.work)
+            elif isinstance(step, Call):
+                to_send = None
+                try:
+                    to_send = yield from call(step, request)
+                except ServletError as exc:
+                    to_throw = exc
+            else:
+                raise TypeError(
+                    f"{name}: servlet yielded {step!r}, "
+                    "expected Compute or Call"
+                )
 
     def _invoke(self, step, request):
         """Issue one downstream call; returns the response payload.

@@ -52,15 +52,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps.servlet import Response, ServletError
+from ..apps.servlet import Call, Compute, Response, ServletError
 from ..net.tcp import SHED, ConnectionTimeout
 from ..sim.resources import Store
-from .base import (
-    STEP_CALL,
-    STEP_COMPUTE,
-    STEP_DONE,
-    advance_servlet,
-)
 
 __all__ = [
     "AdmissionPolicy",
@@ -378,37 +372,52 @@ class EventLoopConcurrency(ConcurrencyPolicy):
     def _worker(self, server):
         """One loop worker: run ready continuations, one CPU stage at a
         time; never blocks on downstream calls."""
+        # advance_servlet() inlined, like BaseServer._drive: one
+        # generator resume per stage instead of a call + tag dispatch,
+        # with identical semantics.
         ready = server._ready
         execute = server.vm.execute
         stats = server.stats
         name = server.name
+        finish = server._finish
         while True:
             task = yield ready.get()
+            gen = task.gen
+            send = gen.send
+            throw = gen.throw
             while True:
-                tag, payload = advance_servlet(
-                    name, task.gen, task.send_value, task.throw_value
-                )
-                if tag == STEP_COMPUTE:
+                try:
+                    throw_value = task.throw_value
+                    if throw_value is not None:
+                        task.throw_value = None
+                        step = throw(throw_value)
+                    else:
+                        step = send(task.send_value)
+                except StopIteration as stop:
+                    finish(task, Response.success(stop.value))
+                    break
+                except ServletError as exc:
+                    stats.failed += 1
+                    finish(task, Response.failure(str(exc)),
+                           count_completed=False)
+                    break
+                cls = step.__class__
+                if cls is Compute or isinstance(step, Compute):
                     task.send_value = None
-                    task.throw_value = None
                     # the loop worker executes the stage itself
-                    yield execute(payload)
-                elif tag == STEP_CALL:
+                    yield execute(step.work)
+                elif cls is Call or isinstance(step, Call):
                     task.send_value = None
-                    task.throw_value = None
                     # looked up per call, not bound at worker start: a
                     # remediation policy may rebind _issue after workers
                     # are already running
-                    server._issue(server, task, payload)
+                    server._issue(server, task, step)
                     break  # continuation parked
-                elif tag == STEP_DONE:
-                    server._finish(task, Response.success(payload))
-                    break
                 else:
-                    stats.failed += 1
-                    server._finish(task, Response.failure(str(payload)),
-                                   count_completed=False)
-                    break
+                    raise TypeError(
+                        f"{name}: servlet yielded {step!r}, "
+                        "expected Compute or Call"
+                    )
 
     def _issue_call(self, server, task, step):
         """Fire a downstream call; the response callback re-enqueues the

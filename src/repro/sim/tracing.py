@@ -40,8 +40,8 @@ class KernelTracer:
 
     # ------------------------------------------------------------------
     def _label_of(self):
-        """Human-readable label of the next heap entry."""
-        entry = self.sim._heap[0]
+        """Human-readable label of the next kernel entry."""
+        entry = self.sim._next_entry()
         callback = entry[2]
         bound_self = getattr(callback, "__self__", None)
         name = getattr(callback, "__qualname__",

@@ -175,29 +175,45 @@ class ArrayOpenLoop(_GeneratorBase):
         if self._started:
             return self
         self._started = True
-        self.sim.process(self._arrivals())
+        self._carry = 0.0
+        self._scheduled = 0  # arrivals placed on the kernel so far
+        self._schedule_batch()
         return self
 
-    def _arrivals(self):
-        carry = 0.0
-        scheduled = 0  # self.issued lags spawned-but-not-started processes
-        while True:
-            take = self.batch_size
-            if self.max_requests is not None:
-                take = min(take, self.max_requests - scheduled)
-                if take <= 0:
-                    return
-            gaps = _draw_gaps(self.rng, self.distribution, self.rate,
-                              take, self.shape, self.sigma)
-            times = np.cumsum(np.concatenate(([carry], gaps)))[1:]
-            carry = float(times[-1])
-            for when in times:
-                when = float(when)
-                if self.horizon is not None and when >= self.horizon:
-                    return
-                delay = when - self.sim.now
-                if delay > 0:
-                    yield delay
-                spec = self.app.sample(self.spec_rng)
-                self.sim.process(self._perform(spec))
-                scheduled += 1
+    def _schedule_batch(self):
+        """Place the next gap-array batch directly onto the kernel.
+
+        Arrival entries go in bulk through ``Simulator.call_at_batch``
+        (O(1) calendar appends) instead of being replayed one timer at a
+        time by a scheduling process.  The RNG draw order, the
+        per-arrival spec sampling order (at fire time, in arrival order)
+        and the batch-invariance contract are all unchanged; the last
+        entry of each batch chains the next ``_schedule_batch`` at the
+        same instant, *after* that batch's final arrival.
+        """
+        take = self.batch_size
+        if self.max_requests is not None:
+            take = min(take, self.max_requests - self._scheduled)
+            if take <= 0:
+                return
+        gaps = _draw_gaps(self.rng, self.distribution, self.rate,
+                          take, self.shape, self.sigma)
+        times = np.cumsum(np.concatenate(([self._carry], gaps)))[1:]
+        self._carry = float(times[-1])
+        times = times.tolist()  # plain floats for the kernel
+        horizon = self.horizon
+        if horizon is not None and times[-1] >= horizon:
+            # truncate at the horizon and stop refilling (times are
+            # non-decreasing, so everything past the cut is >= horizon)
+            times = [when for when in times if when < horizon]
+            if times:
+                self.sim.call_at_batch(times, self._fire)
+                self._scheduled += len(times)
+            return
+        self.sim.call_at_batch(times, self._fire)
+        self._scheduled += len(times)
+        self.sim.call_at(self._carry, self._schedule_batch)
+
+    def _fire(self):
+        spec = self.app.sample(self.spec_rng)
+        self.sim.process(self._perform(spec))

@@ -13,10 +13,17 @@ under ``tracemalloc`` and asserts:
   not O(requests), so the peak is set by in-flight simulation state
   and the 50 ms monitor series, both independent of request count.
 
+``--live`` runs the same workload with the online observability layer
+on (windowed latency sketches, incremental episode detection, budgeted
+trace sampling, heartbeats) under the *same* byte budget: the windowed
+sketches are O(occupied buckets) per live window and sampled traces
+are capped by the retention budget, so live mode must not change the
+memory class (docs/OBSERVABILITY.md).
+
 Usage::
 
     python scripts/memory_smoke.py [--requests N] [--rate R]
-                                   [--budget-mb MB]
+                                   [--budget-mb MB] [--live]
 """
 
 import argparse
@@ -29,14 +36,22 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
 
-def run_streaming(requests, rate):
+def run_streaming(requests, rate, live=False):
     from repro.core.evaluation import Scenario
     from repro.topology.configs import SystemConfig
 
+    live_config = None
+    if live:
+        from repro.metrics.live import LiveConfig
+
+        # sink=None: heartbeats accumulate in memory (worst case for
+        # this gate); 1% head sampling under a 5k-trace budget
+        live_config = LiveConfig(interval=10.0, sample_rate=0.01,
+                                 trace_budget=5000, label="memory-smoke")
     duration = requests / rate + 20.0
     scenario = Scenario(
         SystemConfig(nx=0, seed=42, streaming=True),
-        duration=duration, warmup=0.0,
+        duration=duration, warmup=0.0, live=live_config,
     ).with_consolidation("app", period=7.0)
     scenario.with_open_loop(rate, max_requests=requests)
     return scenario.run()
@@ -48,11 +63,15 @@ def main(argv=None):
     parser.add_argument("--rate", type=float, default=1000.0)
     parser.add_argument("--budget-mb", type=float, default=256.0,
                         help="peak tracemalloc budget in MiB")
+    parser.add_argument("--live", action="store_true",
+                        help="fly with the online observability layer "
+                             "on (heartbeats, windowed sketches, "
+                             "budgeted trace sampling)")
     args = parser.parse_args(argv)
 
     started = time.time()
     tracemalloc.start()
-    result = run_streaming(args.requests, args.rate)
+    result = run_streaming(args.requests, args.rate, live=args.live)
     _current, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     wall = time.time() - started
@@ -61,7 +80,8 @@ def main(argv=None):
     retained = len(log.records)
     retain_cap = max(20_000, args.requests // 5)
     peak_mb = peak / (1024 * 1024)
-    print(f"streaming smoke: {len(log):,} requests in {wall:.1f} s "
+    mode = "live streaming" if args.live else "streaming"
+    print(f"{mode} smoke: {len(log):,} requests in {wall:.1f} s "
           f"({len(log) / wall:,.0f} req/s wall), {retained:,} exact "
           f"records retained, peak {peak_mb:.1f} MiB "
           f"(budget {args.budget_mb:.0f} MiB)")
@@ -75,6 +95,22 @@ def main(argv=None):
     if peak_mb > args.budget_mb:
         failures.append(f"peak memory {peak_mb:.1f} MiB exceeds the "
                         f"{args.budget_mb:.0f} MiB budget")
+    if args.live:
+        telemetry = result.telemetry
+        if telemetry is None or not telemetry.heartbeats:
+            failures.append("live run produced no heartbeats")
+        else:
+            traces = telemetry.sampler.counters()
+            print(f"  live: {len(telemetry.heartbeats)} heartbeats, "
+                  f"{telemetry.detector.episode_count()} episodes, "
+                  f"{traces['retained']:,}/{traces['budget']:,} traces "
+                  f"retained ({traces['evicted_normal'] + traces['evicted_anomalous']:,} evicted), "
+                  f"overhead {telemetry.heartbeats[-1]['overhead']['wall_share'] * 100:.1f}% wall")
+            if traces["retained"] > traces["budget"]:
+                failures.append(
+                    f"sampler retained {traces['retained']} traces over "
+                    f"the {traces['budget']} budget"
+                )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

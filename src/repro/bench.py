@@ -37,6 +37,7 @@ __all__ = [
     "bench_acquire_release_churn",
     "bench_cancel_under_load",
     "bench_fig01_instrumented",
+    "bench_fig01_live",
     "bench_fig01_quick",
     "bench_fig01_streaming_1m",
     "bench_far_timer_churn",
@@ -236,6 +237,36 @@ def bench_fig01_instrumented(scale=1.0):
     return len(panel["result"].log)
 
 
+def bench_fig01_live(scale=1.0):
+    """The ``fig01_quick`` workload with live telemetry on.
+
+    The overhead budget for the *online* observability layer
+    (``--live``): the same end-to-end run as ``fig01_quick`` but with
+    heartbeats every simulated second, windowed latency sketches fed
+    from every tier's reply path and the request log, the incremental
+    episode detector on the monitor hook, and budgeted trace sampling
+    (1 % head rate).  Compare against ``fig01_quick`` in the same
+    trajectory entry to read the cost of flying with telemetry on —
+    and ``fig01_quick`` itself must stay inside the bench band, which
+    pins the telemetry hooks to zero cost when off.
+    """
+    from .experiments.fig01_histograms import run_one
+    from .metrics import live
+
+    duration = max(2.0, 6.0 * scale)
+    live.configure(interval=1.0, sample_rate=0.01, trace_budget=5000)
+    try:
+        panel = run_one(7000, duration=duration, warmup=1.0, seed=42)
+    finally:
+        live.reset()
+    telemetry = panel["result"].telemetry
+    if not telemetry.heartbeats:
+        raise AssertionError("live run emitted no heartbeats")
+    if telemetry.sampler.considered == 0:
+        raise AssertionError("live run sampled no traces")
+    return len(panel["result"].log)
+
+
 def bench_fig01_streaming_1m(scale=1.0):
     """One million requests through the fig01 stack, streaming metrics.
 
@@ -394,6 +425,7 @@ BENCHMARKS = (
     ("sketch_fold", bench_sketch_fold, 3),
     ("fig01_quick", bench_fig01_quick, 3),
     ("fig01_instrumented", bench_fig01_instrumented, 3),
+    ("fig01_live", bench_fig01_live, 3),
     ("scaleout_quick", bench_scaleout_quick, 3),
     ("fig01_streaming_1m", bench_fig01_streaming_1m, 1),
 )

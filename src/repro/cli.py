@@ -17,6 +17,10 @@ Subcommands
     paper's Fig 4 walk for every VLRT/dropped request).  ``--out``
     instruments the run with the event bus and writes a Perfetto
     trace, a JSONL event log and the raw CSVs.
+``watch <heartbeat.jsonl> [--tail N] [--label TEXT]``
+    Render the live-telemetry heartbeat JSONL that ``run``/``run-all``
+    ``--live --live-out`` writes (windowed per-tier p99, open episodes,
+    drops/evictions, pipeline overhead).
 ``conditions [--rate R] [--duration S] [--depth N]``
     Evaluate the paper's §III overflow arithmetic for given parameters.
 ``bench [--smoke] [--only NAMES] [--label TEXT] [--out FILE] [--compare]``
@@ -119,6 +123,15 @@ def _run_timeline(name, args):
     return 0 if not result.check_claims() else 1
 
 
+def _live_trace_tracks(run):
+    """(windows, episodes) for the Perfetto export when the run carried
+    live telemetry, else (None, None)."""
+    telemetry = getattr(run, "telemetry", None)
+    if telemetry is None:
+        return None, None
+    return telemetry.windows, telemetry.detector.millibottlenecks()
+
+
 def _export_timeline(name, result, out_dir):
     os.makedirs(out_dir, exist_ok=True)
     run = result.run
@@ -129,8 +142,10 @@ def _export_timeline(name, result, out_dir):
     request_log_to_csv(os.path.join(out_dir, f"{name}_requests.csv"),
                        run.log)
     run_summary_to_json(os.path.join(out_dir, f"{name}_summary.json"), run)
+    windows, episodes = _live_trace_tracks(run)
     chrome_trace_to_json(os.path.join(out_dir, f"{name}_trace.json"),
-                         monitor=monitor, log=run.log)
+                         monitor=monitor, log=run.log,
+                         windows=windows, episodes=episodes)
     print(f"\n[raw data written to {out_dir}/]")
 
 
@@ -209,6 +224,17 @@ def _cmd_list(_args):
     return 0
 
 
+def _live_settings(args):
+    """``configure()`` keywords from the shared --live* flags, or None."""
+    if args.live is None:
+        return None
+    settings = {"interval": args.live}
+    if args.sample_rate is not None:
+        settings["sample_rate"] = args.sample_rate
+        settings["trace_budget"] = args.trace_budget
+    return settings
+
+
 def _cmd_run(args):
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.streaming:
@@ -225,25 +251,39 @@ def _cmd_run(args):
                   "--streaming does not retain; drop one of the two",
                   file=sys.stderr)
             return 2
+    live_settings = _live_settings(args)
+    sink = None
+    if live_settings is not None:
+        from .metrics import live as live_mode
+
+        sink = (open(args.live_out, "w", buffering=1)
+                if args.live_out else sys.stderr)
+        live_mode.configure(sink=sink, **live_settings)
     status = 0
-    for name in names:
-        if name in _TIMELINES:
-            status |= _run_timeline(name, args)
-        elif name == "fig01":
-            status |= _run_fig01(args)
-        elif name == "fig12":
-            status |= _run_fig12(args)
-        elif name == "headline":
-            status |= _run_headline(args)
-        elif name == "policy_matrix":
-            status |= _run_policy_matrix(args)
-        elif name == "scaleout":
-            status |= _run_scaleout(args)
-        else:
-            print(f"unknown experiment {name!r}; try 'list'",
-                  file=sys.stderr)
-            return 2
-        print()
+    try:
+        for name in names:
+            if name in _TIMELINES:
+                status |= _run_timeline(name, args)
+            elif name == "fig01":
+                status |= _run_fig01(args)
+            elif name == "fig12":
+                status |= _run_fig12(args)
+            elif name == "headline":
+                status |= _run_headline(args)
+            elif name == "policy_matrix":
+                status |= _run_policy_matrix(args)
+            elif name == "scaleout":
+                status |= _run_scaleout(args)
+            else:
+                print(f"unknown experiment {name!r}; try 'list'",
+                      file=sys.stderr)
+                return 2
+            print()
+    finally:
+        if live_settings is not None:
+            live_mode.reset()
+            if sink is not sys.stderr:
+                sink.close()
     return status
 
 
@@ -284,6 +324,14 @@ def _cmd_run_all(args):
     if args.streaming:
         for job in jobs:
             job.params["streaming"] = True
+    live_settings = _live_settings(args)
+    if live_settings is not None:
+        if args.live_out:
+            live_settings["out"] = args.live_out
+            # start fresh: workers append (they may share the file)
+            open(args.live_out, "w").close()
+        for job in jobs:
+            job.params["live"] = dict(live_settings)
     if not jobs:
         print("nothing to run (is --seeds 0?)", file=sys.stderr)
         return 2
@@ -367,9 +415,11 @@ def _cmd_diagnose(args):
     if args.out:
         out_dir = args.out
         os.makedirs(out_dir, exist_ok=True)
+        windows, episodes = _live_trace_tracks(run)
         chrome_trace_to_json(
             os.path.join(out_dir, f"{name}_trace.json"),
             monitor=run.monitor, log=run.log, recorder=recorder,
+            windows=windows, episodes=episodes,
         )
         events_to_jsonl(os.path.join(out_dir, f"{name}_events.jsonl"),
                         recorder)
@@ -381,6 +431,38 @@ def _cmd_diagnose(args):
         note = f" ({dropped} oldest events beyond capacity)" if dropped else ""
         print(f"\n[trace + {len(recorder.events)} bus events{note} "
               f"written to {out_dir}/]")
+        if recorder.truncated:
+            print(f"WARNING: the event recorder evicted {dropped} of "
+                  f"{recorder.recorded} events (capacity {recorder.capacity});"
+                  f" the exported event log and trace are missing the "
+                  f"run's beginning — rerun with --events "
+                  f"{recorder.recorded} or more for a complete log",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_watch(args):
+    """Render a live-telemetry heartbeat JSONL file."""
+    import json
+
+    from .metrics.live import render_heartbeats
+
+    try:
+        with open(args.file) as handle:
+            beats = [json.loads(line) for line in handle if line.strip()]
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.file} is not heartbeat JSONL: {exc}", file=sys.stderr)
+        return 2
+    if args.label:
+        beats = [b for b in beats if args.label in b.get("label", "")]
+        if not beats:
+            print(f"no heartbeats labeled {args.label!r} in {args.file}",
+                  file=sys.stderr)
+            return 1
+    print(render_heartbeats(beats, tail=args.tail))
     return 0
 
 
@@ -399,6 +481,28 @@ def _cmd_conditions(args):
     else:
         print(f"minimum stall      : {threshold * 1000:.0f} ms before any drop")
     return 0
+
+
+def _add_live_arguments(parser):
+    """The shared --live* flag group of ``run`` and ``run-all``."""
+    parser.add_argument("--live", nargs="?", const=1.0, type=float,
+                        default=None, metavar="INTERVAL",
+                        help="emit live telemetry heartbeats every "
+                             "INTERVAL simulated seconds (default 1.0; "
+                             "JSONL to stderr unless --live-out)")
+    parser.add_argument("--live-out", default=None, metavar="FILE",
+                        help="write heartbeat JSONL to FILE (render "
+                             "with 'repro watch FILE')")
+    parser.add_argument("--sample-rate", type=float, default=None,
+                        metavar="RATE",
+                        help="with --live: budgeted trace sampling — "
+                             "head-sample RATE of normal requests' "
+                             "traces (anomalous traces always kept)")
+    parser.add_argument("--trace-budget", type=int, default=20_000,
+                        metavar="N",
+                        help="with --sample-rate: max traces retained "
+                             "at once, oldest-normal evicted first "
+                             "(default 20000)")
 
 
 def build_parser():
@@ -427,6 +531,7 @@ def build_parser():
                             help="use the O(1)-memory streaming request "
                                  "log (sketch percentiles, exact tail "
                                  "records only — see docs/SCALE.md)")
+    _add_live_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     run_all_parser = sub.add_parser(
@@ -456,7 +561,21 @@ def build_parser():
                                      "exact-record experiments: fig02)")
     run_all_parser.add_argument("--list", action="store_true",
                                 help="list the registry and exit")
+    _add_live_arguments(run_all_parser)
     run_all_parser.set_defaults(handler=_cmd_run_all)
+
+    watch_parser = sub.add_parser(
+        "watch",
+        help="render a live-telemetry heartbeat JSONL file",
+    )
+    watch_parser.add_argument("file", help="heartbeat JSONL written by "
+                                           "run/run-all --live-out")
+    watch_parser.add_argument("--tail", type=int, default=None,
+                              help="show only the last N heartbeats")
+    watch_parser.add_argument("--label", default=None,
+                              help="filter to heartbeats whose label "
+                                   "contains TEXT (run-all job ids)")
+    watch_parser.set_defaults(handler=_cmd_watch)
 
     diag_parser = sub.add_parser(
         "diagnose",

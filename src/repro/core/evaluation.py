@@ -17,6 +17,7 @@ from ..injectors.colocation import ColocationInjector
 from ..injectors.gcpause import GcPauseInjector
 from ..injectors.logflush import LogFlushInjector
 from ..injectors.netjam import NetworkJamInjector
+from ..metrics import live as live_telemetry
 from ..topology.builder import build_system
 from ..topology.configs import SystemConfig
 from ..workload.burst import BurstModulator
@@ -44,7 +45,8 @@ def _one(obj):
 class RunResult:
     """Everything observable from one finished scenario run."""
 
-    def __init__(self, system, scenario, log, monitor, injectors):
+    def __init__(self, system, scenario, log, monitor, injectors,
+                 telemetry=None):
         self.system = system
         self.config = system.config
         self.scenario = scenario
@@ -54,6 +56,9 @@ class RunResult:
         self.duration = scenario.duration
         self.warmup = scenario.warmup
         self.names = system.names
+        #: the run's :class:`~repro.metrics.live.LiveTelemetry`, or
+        #: ``None`` when live mode was off
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     @property
@@ -248,7 +253,8 @@ class Scenario:
     """
 
     def __init__(self, config=None, clients=7000, think_mean=None,
-                 duration=60.0, warmup=5.0, burst_index=1, bus=None):
+                 duration=60.0, warmup=5.0, burst_index=1, bus=None,
+                 live=None):
         self.config = config or SystemConfig()
         self.clients = clients
         self.think_mean = (
@@ -261,6 +267,11 @@ class Scenario:
         self.burst_index = burst_index
         #: optional instrumentation EventBus, forwarded to build_system
         self.bus = bus
+        #: optional :class:`~repro.metrics.live.LiveConfig`; when None
+        #: the process-global one (``repro.metrics.live.configure``) is
+        #: consulted — that is how ``repro run --live`` reaches every
+        #: experiment module without changing their signatures
+        self.live = live
         self._injector_specs = []
         self._scripted_bursts = []
         self._open_loop = None
@@ -351,6 +362,15 @@ class Scenario:
             system.log.set_warmup(self.warmup)
         monitor = system.attach_monitor()
 
+        live_config = self.live if self.live is not None \
+            else live_telemetry.active()
+        telemetry = None
+        keep_traces = "vlrt"
+        if live_config is not None:
+            telemetry = live_config.build(sim).attach(system, monitor)
+            if telemetry.sampler is not None:
+                keep_traces = telemetry.sampler
+
         if self._open_loop is not None:
             if self.burst_index > 1:
                 raise ValueError(
@@ -359,7 +379,8 @@ class Scenario:
                 )
             ArrayOpenLoop(
                 sim, system.fabric, system.entry, system.app, system.log,
-                horizon=self.duration, **self._open_loop,
+                horizon=self.duration, keep_traces=keep_traces,
+                **self._open_loop,
             ).start()
         else:
             modulator = None
@@ -368,7 +389,7 @@ class Scenario:
             population = ClosedLoopPopulation(
                 sim, system.fabric, system.entry, system.app, system.log,
                 clients=self.clients, think_mean=self.think_mean,
-                modulator=modulator,
+                modulator=modulator, keep_traces=keep_traces,
             )
             population.start()
 
@@ -422,18 +443,22 @@ class Scenario:
                     sim, system.fabric, system.entry, system.app, system.log,
                     period=spec["period"], until=self.duration,
                     batch_size=spec["batch_size"], operation=spec["operation"],
+                    keep_traces=keep_traces,
                 )
             else:
                 burst = ScriptedBurst(
                     sim, system.fabric, system.entry, system.app, system.log,
                     times=times, batch_size=spec["batch_size"],
-                    operation=spec["operation"],
+                    operation=spec["operation"], keep_traces=keep_traces,
                 )
             burst.start()
 
         sim.run(until=self.duration)
+        if telemetry is not None:
+            telemetry.finish()
         log = system.log.after(self.warmup) if self.warmup else system.log
-        return RunResult(system, self, log, monitor, injectors)
+        return RunResult(system, self, log, monitor, injectors,
+                         telemetry=telemetry)
 
 
 def nx_sweep(scenario_factory, levels=(0, 1, 2, 3)):

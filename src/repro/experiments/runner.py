@@ -102,9 +102,14 @@ class JobConfig:
 
 
 def job_id(config):
-    """Stable identifier: ``name[k=v,...]@s<seed>`` (params sorted)."""
+    """Stable identifier: ``name[k=v,...]@s<seed>`` (params sorted).
+
+    The observation-only ``live`` param is excluded: a job watched via
+    ``--live`` is the *same* job, and must keep the same id.
+    """
     params = ",".join(
         f"{key}={config.params[key]}" for key in sorted(config.params)
+        if key != "live"
     )
     core = f"{config.name}[{params}]" if params else config.name
     return f"{core}@s{config.seed}"
@@ -281,7 +286,19 @@ def _resolve_entry(path):
 
 
 def execute_job(config):
-    """Run one job in the current process; return its canonical record."""
+    """Run one job in the current process; return its canonical record.
+
+    ``params["live"]`` — a dict of :func:`repro.metrics.live.configure`
+    keywords plus an optional ``"out"`` JSONL path — turns on live
+    telemetry *around* the job and is stripped before anything reaches
+    the experiment or the record: job ids, params, and payloads stay
+    byte-identical to a run without ``--live``.
+    """
+    live_spec = config.params.get("live") if config.params else None
+    if live_spec is not None:
+        params = dict(config.params)
+        params.pop("live")
+        config = replace(config, params=params)
     entry = config.entry
     if entry is None:
         spec = REGISTRY.get(config.name)
@@ -291,7 +308,28 @@ def execute_job(config):
                 f"unknown experiment {config.name!r}; known: {known}"
             )
         entry = spec.entry
-    payload = _resolve_entry(entry)(config)
+    owned_sink = None
+    if live_spec is not None:
+        from ..metrics import live as live_mode
+
+        spec = dict(live_spec)
+        out = spec.pop("out", None)
+        if out is not None:
+            # append: parallel workers share one heartbeat file, one
+            # line per write, disambiguated by the label field
+            sink = owned_sink = open(out, "a", buffering=1)
+        else:
+            import sys
+
+            sink = sys.stderr
+        live_mode.configure(sink=sink, label=job_id(config), **spec)
+    try:
+        payload = _resolve_entry(entry)(config)
+    finally:
+        if live_spec is not None:
+            live_mode.reset()
+            if owned_sink is not None:
+                owned_sink.close()
     return canonical({
         "experiment": config.name,
         "job": job_id(config),

@@ -138,17 +138,23 @@ _MONITOR_GAUGES = ("cpu", "host_cpu", "iowait", "queues",
 
 
 def chrome_trace_events(monitor=None, log=None, recorder=None,
-                        max_request_traces=250):
+                        max_request_traces=250, windows=None,
+                        episodes=None):
     """Chrome trace-event dicts for a run (``ts``/``dur`` in µs).
 
-    Three process tracks, any subset of which may be present:
+    Four process tracks, any subset of which may be present:
 
     - ``gauges`` (pid 1) — every monitor series as a counter track,
     - ``requests`` (pid 2) — per-request server visits as complete
       spans (one thread per traced request) plus drop instants, for up
       to ``max_request_traces`` requests with kept traces,
     - ``events`` (pid 3) — rare bus events (drops, retransmissions,
-      timeouts) as instants and CPU allocations as counter tracks.
+      timeouts) as instants and CPU allocations as counter tracks,
+    - ``live`` (pid 4) — the online observability layer: windowed p99
+      series (a :class:`~repro.metrics.window.LatencyWindows`, one
+      counter track per label, in ms) and detected episodes (a list of
+      Episode-likes, one slice track per resource) — so the live view
+      lines up against the post-hoc gauges in one timeline.
     """
     events = []
 
@@ -206,17 +212,50 @@ def chrome_trace_events(monitor=None, log=None, recorder=None,
                     "ts": when * 1e6, "pid": 3, "tid": 0, "s": "g",
                     "args": {"value": value},
                 })
+
+    if windows is not None or episodes is not None:
+        meta(4, "live")
+    if windows is not None:
+        for label in windows.labels:
+            track = f"p99:{label}"
+            for point in windows.history(label):
+                events.append({
+                    "name": track, "ph": "C", "ts": point.start * 1e6,
+                    "pid": 4, "tid": 0,
+                    "args": {"value": point.p99 * 1000.0},
+                })
+    if episodes is not None:
+        # one slice track (tid) per resource, episodes as complete spans
+        tids = {}
+        for episode in episodes:
+            tid = tids.get(episode.resource)
+            if tid is None:
+                tid = tids[episode.resource] = len(tids) + 1
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": 4, "tid": tid,
+                    "args": {"name": f"episodes:{episode.resource}"},
+                })
+            events.append({
+                "name": f"{episode.kind}@{episode.resource}",
+                "cat": "episode", "ph": "X", "ts": episode.start * 1e6,
+                "dur": max(0.0, episode.end - episode.start) * 1e6,
+                "pid": 4, "tid": tid,
+                "args": {"peak": episode.peak,
+                         "threshold": episode.threshold},
+            })
     return events
 
 
 def chrome_trace_to_json(path, monitor=None, log=None, recorder=None,
-                         max_request_traces=250):
+                         max_request_traces=250, windows=None,
+                         episodes=None):
     """Write a Perfetto-loadable Chrome trace JSON for a run."""
     payload = {
         "displayTimeUnit": "ms",
         "traceEvents": chrome_trace_events(
             monitor=monitor, log=log, recorder=recorder,
             max_request_traces=max_request_traces,
+            windows=windows, episodes=episodes,
         ),
     }
     with open(path, "w") as handle:

@@ -87,6 +87,10 @@ class SystemMonitor:
         self._last_iowait = {}
         self._hosts = set()
         self._process = None
+        #: called as ``fn(now)`` after every sample — the hook live
+        #: telemetry rides on instead of scheduling kernel events of
+        #: its own (empty by default: no per-sample overhead when off)
+        self.listeners = []
 
     # ------------------------------------------------------------------
     def watch_vm(self, name, vm):
@@ -192,6 +196,8 @@ class SystemMonitor:
             self.hedges[name].append(now, group.hedges_issued)
         for name, log in self._logs.items():
             self.request_counts[name].append(now, len(log))
+        for listener in self.listeners:
+            listener(now)
 
     def __repr__(self):
         return (

@@ -1,0 +1,298 @@
+"""Incremental episode detection: the offline detector, one sample at
+a time.
+
+:mod:`repro.metrics.detector` segments a *finished* gauge series into
+episodes; a live run needs the same answer while the gauges are still
+being sampled.  :class:`OnlineSaturationTracker` consumes one
+``(time, value)`` point per call and is **result-equivalent** to
+:func:`~repro.metrics.detector.saturation_episodes` on the same series
+(same spans, same peaks, same gap merging — pinned by the equivalence
+suite in ``tests/test_metrics_online.py``).  The equivalence argument:
+
+- the offline pass first builds raw above-threshold spans (end
+  exclusive at the first sample back at/below the threshold, a
+  trailing open span closed at the last sample time), then merges
+  consecutive spans with gaps ``<= merge_gap`` left to right, then
+  applies the duration filters;
+- the tracker performs the *same left-to-right fold*: a raw span is
+  closed at the first non-saturated sample, merged into the pending
+  merged-span if the gap allows, and the pending span only passes
+  through the duration filters once a later raw span fails to merge
+  with it (or at :meth:`finish`).  No reordering ever happens, so the
+  emitted episode list is identical.
+
+:class:`OnlineEpisodeDetector` assembles trackers over everything a
+:class:`~repro.metrics.monitor.SystemMonitor` watches — guest-view CPU
+and iowait series with the millibottleneck parameters, plus registered
+queue-capacity gauges with the overflow parameters — and is driven by
+the monitor's ``listeners`` hook, so episodes close within one 50 ms
+sample of their offline counterparts and *open* episodes are visible
+to the live heartbeat while they are still growing.
+"""
+
+from __future__ import annotations
+
+from .detector import Episode
+
+__all__ = ["OnlineEpisodeDetector", "OnlineSaturationTracker"]
+
+
+class OnlineSaturationTracker:
+    """Streaming counterpart of one ``saturation_episodes`` call.
+
+    Feed monotonically non-decreasing ``(time, value)`` samples with
+    :meth:`feed`; closed episodes accumulate in :attr:`episodes`.
+    Call :meth:`finish` once the series is complete to flush the
+    trailing span exactly like the offline pass (which closes an open
+    span at the last sample time).
+    """
+
+    __slots__ = ("resource", "kind", "threshold", "min_duration",
+                 "max_duration", "merge_gap", "episodes",
+                 "_start", "_peak", "_pending", "_last_time", "_finished")
+
+    def __init__(self, resource, threshold, min_duration=0.05,
+                 max_duration=None, merge_gap=0.0, kind="saturation"):
+        if min_duration < 0:
+            raise ValueError(f"min_duration must be >= 0, got {min_duration}")
+        if merge_gap < 0:
+            raise ValueError(f"merge_gap must be >= 0, got {merge_gap}")
+        self.resource = resource
+        self.kind = kind
+        self.threshold = threshold
+        self.min_duration = min_duration
+        self.max_duration = max_duration
+        self.merge_gap = merge_gap
+        #: closed, filter-passing episodes, in start order
+        self.episodes = []
+        self._start = None          # open raw span start
+        self._peak = 0.0
+        self._pending = None        # merged (start, end, peak) not yet final
+        self._last_time = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def feed(self, time, value):
+        if self._finished:
+            raise RuntimeError(
+                f"tracker for {self.resource!r} already finished"
+            )
+        self._last_time = time
+        if value > self.threshold:
+            if self._start is None:
+                self._start, self._peak = time, value
+            elif value > self._peak:
+                self._peak = value
+        elif self._start is not None:
+            self._close_raw(time)
+
+    def _close_raw(self, end):
+        span = (self._start, end, self._peak)
+        self._start = None
+        pending = self._pending
+        if pending is not None and span[0] - pending[1] <= self.merge_gap:
+            self._pending = (pending[0], span[1], max(pending[2], span[2]))
+        else:
+            self._flush_pending()
+            self._pending = span
+
+    def _flush_pending(self):
+        span = self._pending
+        if span is None:
+            return
+        self._pending = None
+        start, end, peak = span
+        duration = end - start
+        if duration < self.min_duration:
+            return
+        if self.max_duration is not None and duration > self.max_duration:
+            return
+        self.episodes.append(
+            Episode(self.resource, self.kind, start, end, peak,
+                    self.threshold)
+        )
+
+    def finish(self):
+        """Flush the trailing spans; further :meth:`feed` calls raise.
+
+        A raw span still open at the end of the series closes at the
+        last sample time, exactly like the offline detector.
+        """
+        if self._finished:
+            return self.episodes
+        self._finished = True
+        if self._start is not None and self._last_time is not None:
+            self._close_raw(self._last_time)
+        self._flush_pending()
+        return self.episodes
+
+    # ------------------------------------------------------------------
+    def open_span(self):
+        """The in-flight (not yet emitted) span, or ``None``.
+
+        Combines the pending merged span with a still-open raw span —
+        what a live heartbeat should show as "episode in progress".
+        The reported end is the last sample time seen.
+        """
+        start = peak = None
+        if self._pending is not None:
+            start, _end, peak = self._pending
+        if self._start is not None:
+            if start is None:
+                start, peak = self._start, self._peak
+            else:
+                peak = max(peak, self._peak)
+        if start is None:
+            return None
+        return {
+            "resource": self.resource,
+            "kind": self.kind,
+            "start": start,
+            "last_seen": self._last_time,
+            "peak": peak,
+            "threshold": self.threshold,
+        }
+
+    def __repr__(self):
+        state = "open" if self._start is not None else "idle"
+        return (f"<OnlineSaturationTracker {self.kind}:{self.resource} "
+                f"{state} episodes={len(self.episodes)}>")
+
+
+class OnlineEpisodeDetector:
+    """Live millibottleneck + overflow detection over a system monitor.
+
+    Attach with ``monitor.listeners.append(detector.on_sample)`` (or
+    let :class:`~repro.metrics.live.LiveTelemetry` do it): every 50 ms
+    sample is forwarded to one tracker per watched series.  Series the
+    monitor starts watching mid-run (e.g. a consolidation antagonist's
+    VM) get their tracker lazily, with a per-series cursor so no sample
+    is ever skipped or double-fed.
+
+    ``millibottlenecks()`` / ``overflow()`` answer with the same
+    contents as :func:`~repro.metrics.detector.detect_millibottlenecks`
+    and :func:`~repro.metrics.detector.overflow_episodes` over the
+    finished series (call :meth:`finish` first for the trailing spans).
+    """
+
+    def __init__(self, monitor, threshold=0.95, min_duration=0.05,
+                 max_duration=2.5, merge_gap=0.0):
+        self.monitor = monitor
+        self.threshold = threshold
+        self.min_duration = min_duration
+        self.max_duration = max_duration
+        self.merge_gap = merge_gap
+        #: series name -> (tracker, cursor) for cpu/iowait trackers
+        self._trackers = {"cpu": {}, "io": {}}
+        #: overflow gauges: name -> (series, tracker, cursor)
+        self._overflow = {}
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def watch_overflow(self, name, series, capacity, slack=2,
+                       merge_gap=0.25, min_duration=0.0):
+        """Track a bounded queue's gauge with the overflow parameters
+        (threshold ``capacity - slack - 0.5``, matching
+        :func:`~repro.metrics.detector.overflow_episodes`)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        tracker = OnlineSaturationTracker(
+            name, capacity - slack - 0.5, min_duration=min_duration,
+            merge_gap=merge_gap, kind="overflow",
+        )
+        self._overflow[name] = [series, tracker, 0]
+        return tracker
+
+    # ------------------------------------------------------------------
+    def _feed_group(self, series_map, group, kind):
+        trackers = self._trackers[group]
+        for name, series in series_map.items():
+            entry = trackers.get(name)
+            if entry is None:
+                entry = trackers[name] = [
+                    OnlineSaturationTracker(
+                        name, self.threshold,
+                        min_duration=self.min_duration,
+                        max_duration=self.max_duration,
+                        merge_gap=self.merge_gap, kind=kind,
+                    ),
+                    0,
+                ]
+            tracker, cursor = entry
+            times, values = series.times, series.values
+            n = len(times)
+            while cursor < n:
+                tracker.feed(times[cursor], values[cursor])
+                cursor += 1
+            entry[1] = cursor
+
+    def on_sample(self, _now=None):
+        """Monitor-listener entry point: consume every new gauge point."""
+        monitor = self.monitor
+        self._feed_group(monitor.cpu, "cpu", "cpu")
+        self._feed_group(monitor.iowait, "io", "io")
+        for entry in self._overflow.values():
+            series, tracker, cursor = entry
+            times, values = series.times, series.values
+            n = len(times)
+            while cursor < n:
+                tracker.feed(times[cursor], values[cursor])
+                cursor += 1
+            entry[2] = cursor
+
+    def finish(self):
+        """Consume any unseen samples and flush trailing spans."""
+        if self._finished:
+            return self
+        self.on_sample()
+        self._finished = True
+        for trackers in self._trackers.values():
+            for tracker, _cursor in trackers.values():
+                tracker.finish()
+        for _series, tracker, _cursor in self._overflow.values():
+            tracker.finish()
+        return self
+
+    # ------------------------------------------------------------------
+    def millibottlenecks(self):
+        """Closed cpu/io episodes so far, sorted like
+        :func:`~repro.metrics.detector.detect_millibottlenecks`."""
+        episodes = []
+        for trackers in self._trackers.values():
+            for tracker, _cursor in trackers.values():
+                episodes.extend(tracker.episodes)
+        episodes.sort(key=lambda e: (e.start, e.resource))
+        return episodes
+
+    def overflow(self):
+        """``{name: closed overflow episodes}`` so far."""
+        return {
+            name: list(entry[1].episodes)
+            for name, entry in self._overflow.items()
+        }
+
+    def open_episodes(self):
+        """Every in-flight span across all trackers (for heartbeats),
+        sorted by (start, resource)."""
+        spans = []
+        for trackers in self._trackers.values():
+            for tracker, _cursor in trackers.values():
+                span = tracker.open_span()
+                if span is not None:
+                    spans.append(span)
+        for _series, tracker, _cursor in self._overflow.values():
+            span = tracker.open_span()
+            if span is not None:
+                spans.append(span)
+        spans.sort(key=lambda s: (s["start"], s["resource"]))
+        return spans
+
+    def episode_count(self):
+        """Closed episodes so far (cpu + io + overflow)."""
+        return (len(self.millibottlenecks())
+                + sum(len(e) for e in self.overflow().values()))
+
+    def __repr__(self):
+        return (f"<OnlineEpisodeDetector cpu={len(self._trackers['cpu'])} "
+                f"io={len(self._trackers['io'])} "
+                f"overflow={len(self._overflow)}>")

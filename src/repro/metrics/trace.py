@@ -118,11 +118,17 @@ class RequestLog:
         self.retain_threshold = float(retain_threshold)
         #: per-run aggregate state; ``None`` on exact logs
         self.stats = StreamingStats() if streaming else None
+        #: live-telemetry hook: called with each counted record right
+        #: after it is folded/appended (``None`` = off; pre-warmup
+        #: records a streaming log discards are not observed either)
+        self.observer = None
         self._warmup = 0.0
 
     def add(self, record):
         if not self.streaming:
             self.records.append(record)
+            if self.observer is not None:
+                self.observer(record)
             return
         if record.start < self._warmup:
             return  # pre-warmup transient: never counted, never kept
@@ -130,6 +136,8 @@ class RequestLog:
         if (record.failed or record.drops or record.sheds
                 or record.response_time > self.retain_threshold):
             self.records.append(record)
+        if self.observer is not None:
+            self.observer(record)
 
     def __len__(self):
         return self.stats.requests if self.streaming else len(self.records)

@@ -1,0 +1,179 @@
+"""Rolling windowed latency sketches: sub-second percentile timeseries.
+
+The streaming :class:`~repro.metrics.trace.RequestLog` answers *whole
+run* percentiles in O(1) memory, but an operator watching a live run
+needs *rolling* percentiles — "what is the p99 right now" — per tier
+and per request kind.  :class:`LatencyWindows` provides that with the
+same memory discipline:
+
+- observations are bucketed into fixed-width time windows (default
+  250 ms, comfortably finer than the episodes the paper studies);
+- each label (a server name or request kind) keeps a **ring** of the
+  most recent ``depth`` windows as live
+  :class:`~repro.metrics.sketch.LatencySketch` objects — O(occupied
+  buckets) each, independent of the observation count;
+- a window that rotates out of the ring is condensed to one
+  :class:`WindowPoint` (start, count, p50/p99/p99.9) before its sketch
+  is dropped, so the full-run percentile *timeseries* costs a handful
+  of floats per window, never a sketch per window.
+
+``snapshot()`` merges the live ring into rolling percentiles over the
+last ``depth`` windows (sketch merges are exact — bucket counts add),
+which is what the live heartbeat reports; ``history()`` returns the
+condensed per-window series, which is what the Perfetto export plots
+next to the post-hoc gauges.
+"""
+
+from __future__ import annotations
+
+from collections import namedtuple
+
+from .sketch import LatencySketch
+
+__all__ = ["LatencyWindows", "WindowPoint"]
+
+#: condensed summary of one closed window (times in seconds)
+WindowPoint = namedtuple(
+    "WindowPoint", ("start", "count", "p50", "p99", "p999")
+)
+
+#: percentiles condensed into a :class:`WindowPoint`
+_QS = (50, 99, 99.9)
+
+
+class _Ring:
+    """Live window ring plus condensed history for one label."""
+
+    __slots__ = ("windows", "history")
+
+    def __init__(self):
+        #: window index -> live LatencySketch (at most ``depth`` entries)
+        self.windows = {}
+        #: closed windows, oldest first, as :class:`WindowPoint`s
+        self.history = []
+
+
+class LatencyWindows:
+    """Windowed latency percentiles for a set of labeled streams.
+
+    Parameters
+    ----------
+    width:
+        Window width in seconds (default 0.25 — sub-second, so a
+        millibottleneck's latency echo lands in its own window).
+    depth:
+        Live windows kept per label; ``snapshot()`` aggregates over
+        ``width * depth`` seconds of observations (default 4 -> 1 s).
+    min_value, subbuckets:
+        Sketch layout, same defaults (and error bound) as
+        :class:`~repro.metrics.sketch.LatencySketch`.
+    """
+
+    def __init__(self, width=0.25, depth=4, min_value=1e-6, subbuckets=64):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.width = float(width)
+        self.depth = int(depth)
+        self.min_value = min_value
+        self.subbuckets = subbuckets
+        self._rings = {}
+        #: total observe() calls — the live heartbeat's overhead counter
+        self.observations = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, label, when, value):
+        """Fold one latency ``value`` observed at time ``when``."""
+        self.observations += 1
+        ring = self._rings.get(label)
+        if ring is None:
+            ring = self._rings[label] = _Ring()
+        index = int(when / self.width)
+        sketch = ring.windows.get(index)
+        if sketch is None:
+            sketch = ring.windows[index] = LatencySketch(
+                self.min_value, self.subbuckets
+            )
+            if len(ring.windows) > self.depth:
+                self._condense(ring, keep_after=index - self.depth)
+        sketch.add(value)
+
+    def _condense(self, ring, keep_after):
+        """Close every window at or before ``keep_after`` into history."""
+        for index in sorted(ring.windows):
+            if index > keep_after:
+                break
+            sketch = ring.windows.pop(index)
+            ring.history.append(self._point(index, sketch))
+
+    def _point(self, index, sketch):
+        p50, p99, p999 = (sketch.quantile(q) for q in _QS)
+        return WindowPoint(index * self.width, sketch.count, p50, p99, p999)
+
+    # ------------------------------------------------------------------
+    @property
+    def labels(self):
+        return sorted(self._rings)
+
+    def snapshot(self, label, now=None):
+        """Rolling percentiles over the live ring of ``label``.
+
+        With ``now`` given, only windows inside the rolling horizon
+        (``depth`` windows ending at ``now``) are merged, so a stream
+        that went quiet reports ``None`` instead of stale percentiles.
+        Returns ``None`` when the label has no live observations (all
+        windows already condensed, or never observed).  Merging the
+        ring's sketches is exact — bucket counts add — so the rolling
+        quantile carries the same error bound as a single sketch.
+        """
+        ring = self._rings.get(label)
+        if ring is None or not ring.windows:
+            return None
+        horizon = None if now is None else int(now / self.width) - self.depth
+        merged = None
+        for index, sketch in ring.windows.items():
+            if horizon is not None and index <= horizon:
+                continue
+            if merged is None:
+                merged = sketch.copy()
+            else:
+                merged.merge(sketch)
+        if merged is None:
+            return None
+        p50, p99, p999 = (merged.quantile(q) for q in _QS)
+        return {
+            "count": merged.count,
+            "p50": p50,
+            "p99": p99,
+            "p999": p999,
+            "max": merged.max,
+        }
+
+    def snapshots(self, now=None):
+        """``{label: snapshot}`` for every label with live windows."""
+        out = {}
+        for label in self.labels:
+            snap = self.snapshot(label, now=now)
+            if snap is not None:
+                out[label] = snap
+        return out
+
+    def history(self, label):
+        """Closed + live windows of ``label`` as sorted WindowPoints.
+
+        Live windows are condensed on the fly (their sketches stay in
+        the ring), so calling this mid-run never loses resolution.
+        """
+        ring = self._rings.get(label)
+        if ring is None:
+            return []
+        live = [
+            self._point(index, sketch)
+            for index, sketch in sorted(ring.windows.items())
+        ]
+        return list(ring.history) + live
+
+    def __repr__(self):
+        return (f"<LatencyWindows width={self.width} depth={self.depth} "
+                f"labels={len(self._rings)} observed={self.observations}>")

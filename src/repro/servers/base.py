@@ -173,6 +173,10 @@ class BaseServer:
         #: per downstream call instead of three.
         self._routes = {}
         self.stats = ServerStats()
+        #: live-telemetry hook: called with each reply's tier sojourn
+        #: (seconds since the caller first sent the packet, so accept
+        #: queueing and retransmissions count); ``None`` = off
+        self.latency_observer = None
         #: downstream invoker used by the drivers; a remediation policy
         #: (repro.servers.policies) rebinds this to wrap ``_invoke``
         #: with timeouts/retries/circuit breaking
@@ -286,11 +290,17 @@ class BaseServer:
                 request.record(sim.now, "reply", name)
                 exchange.reply(Response.success(stop.value))
                 self.stats.completed += 1
+                observer = self.latency_observer
+                if observer is not None:
+                    observer(sim.now - exchange.first_sent_at)
                 return
             except ServletError as exc:
                 request.record(sim.now, "error", f"{name}: {exc}")
                 exchange.reply(Response.failure(str(exc)))
                 self.stats.failed += 1
+                observer = self.latency_observer
+                if observer is not None:
+                    observer(sim.now - exchange.first_sent_at)
                 return
             cls = step.__class__
             if cls is Compute:

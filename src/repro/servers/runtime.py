@@ -114,6 +114,9 @@ class PolicyServer(BaseServer):
         task.exchange.reply(response)
         if count_completed:
             self.stats.completed += 1
+        observer = self.latency_observer
+        if observer is not None:
+            observer(self.sim.now - task.exchange.first_sent_at)
         self._task_done()
 
     def _task_done(self):

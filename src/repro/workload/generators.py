@@ -20,6 +20,7 @@ from __future__ import annotations
 from ..apps.servlet import Request
 from ..metrics.trace import RequestRecord
 from ..net.tcp import ConnectionTimeout
+from .sampling import TraceSampler
 
 __all__ = ["ClosedLoopPopulation", "MmppOpenLoop", "OpenLoopPoisson",
            "ScriptedBurst"]
@@ -45,15 +46,22 @@ class _GeneratorBase:
     :mod:`repro.metrics.spans`): ``"vlrt"`` (default) keeps them only
     for requests slower than 3 s or failed — the ones worth a
     micro-level post-mortem; ``"all"`` keeps every trace (memory-heavy
-    at WL 7000); ``None`` keeps none.
+    at WL 7000); ``None`` keeps none; a
+    :class:`~repro.workload.sampling.TraceSampler` instance applies
+    budgeted head sampling plus always-keep anomalies (the
+    streaming-scale policy).
     """
 
     VLRT_TRACE_THRESHOLD = 3.0
 
     def __init__(self, sim, fabric, entry, app, log, keep_traces="vlrt"):
-        if keep_traces not in (None, "vlrt", "all"):
-            raise ValueError(f"keep_traces must be None/'vlrt'/'all', "
-                             f"got {keep_traces!r}")
+        if isinstance(keep_traces, TraceSampler):
+            self.sampler = keep_traces
+        elif keep_traces in (None, "vlrt", "all"):
+            self.sampler = None
+        else:
+            raise ValueError(f"keep_traces must be None/'vlrt'/'all' or a "
+                             f"TraceSampler, got {keep_traces!r}")
         self.sim = sim
         self.fabric = fabric
         self.entry = entry
@@ -93,20 +101,22 @@ class _GeneratorBase:
             failed = True
             error = str(exc)
         drops, sheds = _faults_from_trace(request)
-        self.log.add(
-            RequestRecord(
-                request.id,
-                spec.name,
-                start=request.created_at,
-                end=self.sim.now,
-                attempts=exchange.attempts,
-                drops=drops,
-                sheds=sheds,
-                failed=failed,
-                error=error,
-                trace=self._kept_trace(request, failed),
-            )
+        record = RequestRecord(
+            request.id,
+            spec.name,
+            start=request.created_at,
+            end=self.sim.now,
+            attempts=exchange.attempts,
+            drops=drops,
+            sheds=sheds,
+            failed=failed,
+            error=error,
         )
+        if self.sampler is not None:
+            self.sampler.observe(record, request.root.trace)
+        else:
+            record.trace = self._kept_trace(request, failed)
+        self.log.add(record)
 
 
 class ClosedLoopPopulation(_GeneratorBase):
@@ -288,7 +298,8 @@ class ScriptedBurst(_GeneratorBase):
 
     @classmethod
     def periodic(cls, sim, fabric, entry, app, log, period, until,
-                 batch_size, operation="ViewStory", offset=None):
+                 batch_size, operation="ViewStory", offset=None,
+                 keep_traces="vlrt"):
         """Bursts every ``period`` seconds until ``until``."""
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
@@ -299,7 +310,7 @@ class ScriptedBurst(_GeneratorBase):
             times.append(t)
             t += period
         return cls(sim, fabric, entry, app, log, times, batch_size,
-                   operation=operation)
+                   operation=operation, keep_traces=keep_traces)
 
     def start(self):
         if self._started:

@@ -98,6 +98,34 @@ def test_run_all_streaming_executes(tmp_path, capsys):
     assert record["params"]["streaming"] is True
 
 
+@pytest.mark.integration
+@pytest.mark.slow
+def test_diagnose_warns_on_event_recorder_eviction(tmp_path, capsys):
+    """A too-small --events capacity must be called out loudly: the
+    exported event log silently misses the run's beginning otherwise."""
+    out_dir = str(tmp_path / "raw")
+    status = main(["diagnose", "fig01", "--workload", "1000",
+                   "--duration", "8", "--out", out_dir,
+                   "--events", "500"])
+    assert status == 0
+    captured = capsys.readouterr()
+    assert "WARNING" in captured.err
+    assert "evicted" in captured.err
+    assert "--events" in captured.err            # the remediation hint
+    assert "oldest events beyond capacity" in captured.out
+    assert os.path.exists(os.path.join(out_dir, "fig01_trace.json"))
+
+
+@pytest.mark.integration
+@pytest.mark.slow
+def test_diagnose_no_warning_when_capacity_suffices(tmp_path, capsys):
+    out_dir = str(tmp_path / "raw")
+    status = main(["diagnose", "fig01", "--workload", "1000",
+                   "--duration", "8", "--out", out_dir])
+    assert status == 0
+    assert "WARNING" not in capsys.readouterr().err
+
+
 def test_diagnose_rejects_bogus_variant(capsys):
     """An unknown variant must fail fast with a one-line error that
     lists the valid choices — before any simulation runs."""

@@ -1,0 +1,100 @@
+"""Tests for the rolling windowed latency sketches."""
+
+import random
+
+import pytest
+
+from repro.metrics.sketch import LatencySketch
+from repro.metrics.window import LatencyWindows
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LatencyWindows(width=0.0)
+    with pytest.raises(ValueError):
+        LatencyWindows(depth=0)
+
+
+def test_empty_snapshot_is_none():
+    windows = LatencyWindows()
+    assert windows.snapshot("web") is None
+    assert windows.snapshots() == {}
+    assert windows.history("web") == []
+    assert windows.labels == []
+
+
+def test_snapshot_matches_single_sketch():
+    windows = LatencyWindows(width=0.25, depth=4)
+    reference = LatencySketch()
+    rng = random.Random(7)
+    for _ in range(500):
+        value = rng.expovariate(100.0)
+        when = rng.uniform(0.0, 1.0)  # all inside the live ring
+        windows.observe("web", when, value)
+        reference.add(value)
+    snap = windows.snapshot("web")
+    assert snap["count"] == 500
+    for key, q in (("p50", 50), ("p99", 99), ("p999", 99.9)):
+        assert snap[key] == reference.quantile(q)
+    assert snap["max"] == reference.max
+
+
+def test_ring_rotation_condenses_history():
+    windows = LatencyWindows(width=0.25, depth=2)
+    for index in range(6):
+        windows.observe("web", index * 0.25, 0.01 * (index + 1))
+    # six windows seen, depth 2 live -> at least 4 condensed
+    history = windows.history("web")
+    assert len(history) == 6
+    starts = [point.start for point in history]
+    assert starts == sorted(starts)
+    assert all(point.count == 1 for point in history)
+    # the live ring holds at most depth windows
+    assert len(windows._rings["web"].windows) <= 2
+
+
+def test_snapshot_horizon_skips_stale_windows():
+    windows = LatencyWindows(width=0.25, depth=2)
+    windows.observe("web", 0.1, 0.01)
+    # without a horizon the stale window still answers
+    assert windows.snapshot("web")["count"] == 1
+    # with now far past the window, the stream reads as quiet
+    assert windows.snapshot("web", now=10.0) is None
+    assert windows.snapshots(now=10.0) == {}
+
+
+def test_history_includes_live_windows_without_losing_them():
+    windows = LatencyWindows(width=0.25, depth=4)
+    windows.observe("web", 0.1, 0.01)
+    windows.observe("web", 0.3, 0.02)
+    first = windows.history("web")
+    assert len(first) == 2
+    # live sketches stayed in the ring: history is repeatable
+    assert windows.history("web") == first
+    assert windows.snapshot("web")["count"] == 2
+
+
+def test_labels_are_independent():
+    windows = LatencyWindows()
+    windows.observe("web", 0.1, 0.01)
+    windows.observe("db", 0.1, 0.5)
+    assert windows.labels == ["db", "web"]
+    assert windows.snapshot("web")["count"] == 1
+    assert windows.snapshot("db")["p50"] > windows.snapshot("web")["p50"]
+
+
+def test_observation_counter():
+    windows = LatencyWindows()
+    for i in range(10):
+        windows.observe("web", 0.01 * i, 0.001)
+    assert windows.observations == 10
+
+
+def test_out_of_order_observation_within_ring():
+    # replies land slightly out of order; same-window folds must merge
+    windows = LatencyWindows(width=0.25, depth=4)
+    windows.observe("web", 0.30, 0.01)
+    windows.observe("web", 0.26, 0.02)
+    windows.observe("web", 0.10, 0.03)  # older window, still live
+    assert windows.snapshot("web")["count"] == 3
+    assert len(windows.history("web")) == 2

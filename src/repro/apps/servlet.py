@@ -29,6 +29,7 @@ import itertools
 __all__ = [
     "Call",
     "Compute",
+    "Gather",
     "Request",
     "Response",
     "ServletContext",
@@ -84,6 +85,55 @@ class Call:
 
     def __repr__(self):
         return f"Call({self.target}:{self.operation})"
+
+
+class Gather:
+    """Issue several downstream :class:`Call`\\ s in parallel and resume
+    once a quorum of them has answered.
+
+    Parameters
+    ----------
+    calls:
+        The parallel legs, each a :class:`Call`.  Every leg is
+        transmitted immediately (subject to its route's connection-pool
+        limit); the servlet suspends at the ``yield`` until the gather
+        settles.
+    quorum:
+        How many successful legs satisfy the fan-in barrier.  ``None``
+        (the default) means all-of; ``K < len(calls)`` resumes on the
+        first K responses and *cancels* the losing legs — queued pool
+        grants are withdrawn, in-flight responses are ignored (counted
+        as wasted work, like hedge losses).
+
+    The resumed value is a list of length ``len(calls)`` holding each
+    leg's response payload in call order, with ``None`` in the slots of
+    legs that were cancelled or ignored after the quorum was met.  If
+    more legs fail than the quorum can tolerate the gather raises
+    :class:`ServletError` inside the servlet.
+    """
+
+    __slots__ = ("calls", "quorum")
+
+    def __init__(self, calls, quorum=None):
+        calls = tuple(calls)
+        if not calls:
+            raise ValueError("Gather needs at least one Call")
+        for call in calls:
+            if not isinstance(call, Call):
+                raise TypeError(f"Gather legs must be Calls, got {call!r}")
+        if quorum is not None:
+            if quorum < 1:
+                raise ValueError(f"Gather quorum must be >= 1, got {quorum}")
+            if quorum > len(calls):
+                raise ValueError(
+                    f"Gather quorum {quorum} exceeds leg count {len(calls)}"
+                )
+        self.calls = calls
+        self.quorum = quorum
+
+    def __repr__(self):
+        k = self.quorum if self.quorum is not None else len(self.calls)
+        return f"Gather({len(self.calls)} legs, quorum={k})"
 
 
 _request_ids = itertools.count(1)

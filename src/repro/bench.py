@@ -36,6 +36,7 @@ __all__ = [
     "add_arguments",
     "bench_acquire_release_churn",
     "bench_cancel_under_load",
+    "bench_fanout_quick",
     "bench_fig01_instrumented",
     "bench_fig01_live",
     "bench_fig01_quick",
@@ -412,6 +413,23 @@ def bench_scaleout_quick(scale=1.0):
     return cell["summary"]["requests"]
 
 
+def bench_fanout_quick(scale=1.0):
+    """A quick 1×16 fan-out run: gather barrier under a leaf stall.
+
+    The service-graph request path — one root scattering a
+    :class:`~repro.servers.gather.GatherCall` over 16 leaves and
+    joining at the fan-in barrier, with the experiment's 400 ms leaf
+    freeze included — so the per-leg transmit/settle/cancel machinery
+    is guarded the way ``scaleout_quick`` guards replica routing.
+    """
+    from .experiments.fanout import run_one
+
+    duration = max(6.0, 8.0 * scale)
+    cell = run_one("sync", clients=2000, n=16, duration=duration,
+                   warmup=1.0, seed=42)
+    return cell["summary"]["requests"]
+
+
 #: name -> (workload, wall-clock repeats); best-of-repeats is recorded.
 BENCHMARKS = (
     ("kernel_callbacks", bench_kernel_callbacks, 3),
@@ -427,6 +445,7 @@ BENCHMARKS = (
     ("fig01_instrumented", bench_fig01_instrumented, 3),
     ("fig01_live", bench_fig01_live, 3),
     ("scaleout_quick", bench_scaleout_quick, 3),
+    ("fanout_quick", bench_fanout_quick, 3),
     ("fig01_streaming_1m", bench_fig01_streaming_1m, 1),
 )
 

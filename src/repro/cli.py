@@ -57,6 +57,7 @@ from .experiments import (
     fig10_nx3_xtomcat,
     fig11_nx3_xmysql,
     fig12_throughput,
+    fanout,
     headline_utilization,
     policy_matrix,
     scaleout,
@@ -96,11 +97,13 @@ EXPERIMENTS = {
     "headline": "the abstract's 43% vs 83% utilization claim",
     "policy_matrix": "admission x concurrency x remediation hybrids at WL 7000",
     "scaleout": "load balancing + hedging across 3 replicas/tier at WL 7000",
+    "fanout": "1xN fan-out/fan-in DAG: tail at scale + lateral CTQO",
 }
 
 #: diagnosable experiments that run named variant cells: module plus
 #: the default cell ``repro diagnose`` picks when --variant is omitted
 _VARIANT_EXPERIMENTS = {
+    "fanout": (fanout, "sync"),
     "policy_matrix": (policy_matrix, "shed_web"),
     "scaleout": (scaleout, "rpc_round_robin"),
 }
@@ -210,6 +213,29 @@ def _run_scaleout(args):
     return 0 if not scaleout.check_claims(cells) else 1
 
 
+def _run_fanout(args):
+    cells = fanout.run(duration=args.duration or 12.0,
+                       streaming=args.streaming)
+    print(fanout.report(cells))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        flat = {f"scaling_n{n}": cell
+                for n, cell in cells["scaling"].items()}
+        flat.update({f"stall_{name}": cell
+                     for name, cell in cells["stall"].items()})
+        for name, cell in flat.items():
+            request_log_to_csv(
+                os.path.join(args.out, f"fanout_{name}_requests.csv"),
+                cell["result"].log,
+            )
+            run_summary_to_json(
+                os.path.join(args.out, f"fanout_{name}_summary.json"),
+                cell["result"],
+            )
+        print(f"\n[raw data written to {args.out}/]")
+    return 0 if not fanout.check_claims(cells) else 1
+
+
 def _run_headline(args):
     points = headline_utilization.run(duration=args.duration or 60.0,
                                       streaming=args.streaming)
@@ -274,6 +300,8 @@ def _cmd_run(args):
                 status |= _run_policy_matrix(args)
             elif name == "scaleout":
                 status |= _run_scaleout(args)
+            elif name == "fanout":
+                status |= _run_fanout(args)
             else:
                 print(f"unknown experiment {name!r}; try 'list'",
                       file=sys.stderr)
@@ -589,11 +617,11 @@ def build_parser():
                              help="simulated seconds (default: the figure's)")
     diag_parser.add_argument("--workload", type=int, default=7000,
                              help="client count for fig01/policy_matrix/"
-                                  "scaleout (default 7000)")
+                                  "scaleout/fanout (default 7000)")
     diag_parser.add_argument("--variant", default=None,
                              help="grid cell to diagnose (policy_matrix: "
                                   "default shed_web; scaleout: default "
-                                  "rpc_round_robin)")
+                                  "rpc_round_robin; fanout: default sync)")
     diag_parser.add_argument("--examples", type=int, default=3,
                              help="example causal chains to print")
     diag_parser.add_argument("--out", default=None,

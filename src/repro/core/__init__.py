@@ -13,9 +13,9 @@ from .conditions import (
     minimum_millibottleneck_duration,
     predicted_overflow,
 )
-from .ctqo import CtqoAnalyzer, CtqoEvent, OverflowEpisode
+from .ctqo import CtqoAnalyzer, CtqoEvent, OverflowEpisode, TierDag
 from .diagnosis import Diagnosis, diagnose
-from .evaluation import RunResult, Scenario, nx_sweep
+from .evaluation import GraphRunResult, RunResult, Scenario, nx_sweep
 from .millibottleneck import Millibottleneck, find_all, find_millibottlenecks
 from .queueing import SteadyStateModel, TierDemand, ps_response_time
 from .tail import (
@@ -31,6 +31,7 @@ __all__ = [
     "CtqoAnalyzer",
     "CtqoEvent",
     "Diagnosis",
+    "GraphRunResult",
     "diagnose",
     "Millibottleneck",
     "OverflowEpisode",
@@ -38,6 +39,7 @@ __all__ = [
     "Scenario",
     "StaticConditions",
     "SteadyStateModel",
+    "TierDag",
     "TierDemand",
     "ps_response_time",
     "find_all",

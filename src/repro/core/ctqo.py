@@ -15,6 +15,15 @@ whose overflow drops packets.  Two directions:
   absorb (Fig 7: millibottleneck in Tomcat, Nginx floods it; Fig 9:
   millibottleneck in XTomcat whose post-stall batch floods MySQL).
 
+On a service *graph* the direction is an edge walk rather than an index
+comparison: a drop strictly upstream of (an invocation ancestor of) the
+millibottleneck's node is upstream CTQO, a drop at or below it is
+downstream CTQO, and a drop on a parallel branch — reachable from
+neither side, only possible in fan-out topologies — is **lateral** (the
+stalled branch holds the fan-in barrier, starving a sibling).  The
+linear chain is the special case where the edges form a path, and there
+the walk reproduces the old index rule exactly.
+
 The analyzer correlates three observations — queue-depth series, drop
 records, and detected millibottlenecks — into classified
 :class:`CtqoEvent` objects.
@@ -24,7 +33,76 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["CtqoAnalyzer", "CtqoEvent", "OverflowEpisode"]
+__all__ = ["CtqoAnalyzer", "CtqoEvent", "OverflowEpisode", "TierDag"]
+
+
+class TierDag:
+    """Position and reachability index over tier groups plus edges.
+
+    ``tier_order`` entries are server names — or lists of replica names
+    sharing one position.  ``edges`` are (i, j) index pairs into that
+    order (a service graph's invocation edges); ``None`` means the
+    linear path ``0→1→…→n-1``, the classic chain.  Shared by the
+    event-level :class:`CtqoAnalyzer` and the per-request
+    :class:`~repro.metrics.attribution.CtqoAttributor` so both classify
+    direction by the same walk.
+    """
+
+    def __init__(self, tier_order, edges=None):
+        self.tier_order = list(tier_order)
+        self.position = {}
+        for index, entry in enumerate(self.tier_order):
+            # an entry may be a list of replica names sharing one tier
+            # position (the replicated scale-out topology)
+            if isinstance(entry, (list, tuple)):
+                for name in entry:
+                    self.position[name] = index
+            else:
+                self.position[entry] = index
+        count = len(self.tier_order)
+        if edges is None:
+            edges = [(i, i + 1) for i in range(count - 1)]
+        self.edges = [tuple(edge) for edge in edges]
+        successors = {i: [] for i in range(count)}
+        for source, target in self.edges:
+            if not (0 <= source < count and 0 <= target < count):
+                raise ValueError(
+                    f"edge ({source}, {target}) outside tier order of "
+                    f"length {count}"
+                )
+            successors[source].append(target)
+        #: per position, the set of positions reachable along edges
+        self._descendants = []
+        for start in range(count):
+            seen = set()
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for target in successors[node]:
+                    if target not in seen:
+                        seen.add(target)
+                        frontier.append(target)
+            self._descendants.append(seen)
+
+    def classify(self, origin_pos, drop_pos):
+        """Direction of a drop at ``drop_pos`` caused by a
+        millibottleneck at ``origin_pos``.
+
+        ``upstream`` when the dropping node invokes (transitively) the
+        millibottleneck's node — blocked callers hold its queues;
+        ``downstream`` at the node itself or anywhere it invokes — the
+        flood arrives from above; ``lateral`` on a parallel branch
+        reachable from neither (fan-out siblings coupled only through
+        a gather barrier).  On a path graph this is exactly the index
+        comparison of the linear rule.
+        """
+        if drop_pos == origin_pos:
+            return "downstream"
+        if origin_pos in self._descendants[drop_pos]:
+            return "upstream"
+        if drop_pos in self._descendants[origin_pos]:
+            return "downstream"
+        return "lateral"
 
 
 @dataclass(frozen=True)
@@ -74,21 +152,17 @@ class CtqoAnalyzer:
     window:
         Seconds after a millibottleneck ends during which drops are
         still attributed to it (queues drain after the stall clears).
+    edges:
+        Invocation edges as (i, j) index pairs into ``tier_order`` (a
+        service graph's ``tier_edges()``); ``None`` means the linear
+        chain.  A single-node (or empty) order is valid and simply
+        yields no cross-tier classification — every drop is local.
     """
 
-    def __init__(self, tier_order, vm_of=None, window=1.0):
-        if len(tier_order) < 2:
-            raise ValueError("tier_order needs at least two tiers")
-        self.tier_order = list(tier_order)
-        self._position = {}
-        for index, entry in enumerate(self.tier_order):
-            # an entry may be a list of replica names sharing one tier
-            # position (the replicated scale-out topology)
-            if isinstance(entry, (list, tuple)):
-                for name in entry:
-                    self._position[name] = index
-            else:
-                self._position[entry] = index
+    def __init__(self, tier_order, vm_of=None, window=1.0, edges=None):
+        self._dag = TierDag(tier_order, edges=edges)
+        self.tier_order = self._dag.tier_order
+        self._position = self._dag.position
         self.vm_of = vm_of
         self.window = window
 
@@ -109,11 +183,14 @@ class CtqoAnalyzer:
             ) from None
 
     def classify_direction(self, millibottleneck_server, dropping_server):
-        """The paper's rule: drops upstream of the millibottleneck are
-        upstream CTQO; drops at or downstream of it are downstream CTQO."""
-        if self.position(dropping_server) < self.position(millibottleneck_server):
-            return "upstream"
-        return "downstream"
+        """The paper's rule, generalized to the DAG walk: drops at
+        invocation ancestors of the millibottleneck are upstream CTQO;
+        drops at it or its descendants are downstream CTQO; drops on a
+        parallel branch are lateral."""
+        return self._dag.classify(
+            self.position(millibottleneck_server),
+            self.position(dropping_server),
+        )
 
     # ------------------------------------------------------------------
     def overflow_episodes(self, queue_series, thresholds, slack=0):

@@ -84,10 +84,45 @@ class Diagnosis:
         return "\n".join(lines)
 
 
+def _graph_recommendations(result, dropping_servers, directions):
+    """The playbook generalized to a service graph: no per-tier config
+    to consult, so recommend against the server kinds directly."""
+    out = []
+    sync_servers = {
+        name for name, server in result.system.server_items()
+        if getattr(getattr(server, "concurrency", None),
+                   "kind", None) == "threads"
+    }
+    for server in dropping_servers:
+        if server in sync_servers:
+            out.append(
+                f"replace {server} with an asynchronous server — it is "
+                "the one dropping packets (§V: CTQO is avoided by "
+                "replacing the server that drops)"
+            )
+    if "lateral" in directions:
+        out.append(
+            "drops on a parallel branch of a fan-out: lower the gather "
+            "quorum (first-K-of-N) or hedge the stalled leg so the "
+            "fan-in barrier stops holding sibling legs' work"
+        )
+    if not out and dropping_servers:
+        out.append(
+            "all dropping servers are already asynchronous: raise their "
+            "LiteQDepth (the wait queue is undersized for the burst)"
+        )
+    if not dropping_servers:
+        out.append("no packets dropped; no action required")
+    return out
+
+
 def _recommendations(result, dropping_servers, directions):
     """The paper's playbook, §V/§VI."""
     config = result.config
     names = result.names
+    if config is None or not isinstance(names, dict):
+        # a service-graph run: no 3-tier config to consult
+        return _graph_recommendations(result, dropping_servers, directions)
     out = []
     async_name = {
         names["web"]: "Nginx", names["app"]: "XTomcat",
@@ -141,14 +176,22 @@ def diagnose(result, vlrt_threshold=3.0, min_cluster=3,
     }
     has_tail = len(vlrt) >= min_cluster
 
-    model = SteadyStateModel(
-        result.system.app,
-        think_mean=result.scenario.think_mean,
-        app_cores=result.config.app_vcpus,
-    )
-    solution = model.solve(max(1, result.scenario.clients))
-    predicted_ms = solution["response_time_s"] * 1000.0
-    steady_sufficient = solution["response_time_s"] >= vlrt_threshold
+    app = getattr(result.system, "app", None)
+    if app is not None and result.scenario is not None:
+        model = SteadyStateModel(
+            app,
+            think_mean=result.scenario.think_mean,
+            app_cores=result.config.app_vcpus,
+        )
+        solution = model.solve(max(1, result.scenario.clients))
+        predicted_ms = solution["response_time_s"] * 1000.0
+        steady_sufficient = solution["response_time_s"] >= vlrt_threshold
+    else:
+        # a service-graph run has no closed-loop scenario behind it;
+        # steady state never explains a 3 s tail at sub-second service
+        # times, so report the model as inapplicable rather than guess
+        predicted_ms = 0.0
+        steady_sufficient = False
 
     millibottlenecks = result.millibottlenecks(
         min_duration=mb_min_duration

@@ -26,7 +26,7 @@ from ..workload.openloop import ArrayOpenLoop
 from .ctqo import CtqoAnalyzer
 from .millibottleneck import find_all
 
-__all__ = ["RunResult", "Scenario", "nx_sweep"]
+__all__ = ["GraphRunResult", "RunResult", "Scenario", "nx_sweep"]
 
 #: Severe-consolidation defaults used across the §V experiments: the
 #: antagonist demands one full second of CPU with dominant scheduler
@@ -167,9 +167,16 @@ class RunResult:
             for group in self.system.tier_groups()
         ]
 
+    def _tier_edges(self):
+        """Invocation edges of the topology, or None for a linear one
+        (systems predating ``tier_edges()`` are all chains)."""
+        edges = getattr(self.system, "tier_edges", None)
+        return edges() if edges is not None else None
+
     def ctqo_events(self, **kwargs):
         vm_of = self.vm_to_server()
-        analyzer = CtqoAnalyzer(self._tier_order(), vm_of=vm_of)
+        analyzer = CtqoAnalyzer(self._tier_order(), vm_of=vm_of,
+                                edges=self._tier_edges())
         return analyzer.attribute_drops(
             self.millibottlenecks(**kwargs),
             {
@@ -222,6 +229,7 @@ class RunResult:
             self._tier_order(),
             vm_of=self.vm_to_server(), window=window,
             tolerance=monitor.interval + 1e-9,
+            edges=self._tier_edges(),
         )
         return attributor.attribute(
             self.log, overflow,
@@ -233,6 +241,38 @@ class RunResult:
     def __repr__(self):
         return (
             f"<RunResult nx={self.config.nx} requests={len(self.log)} "
+            f"drops={self.dropped_packets}>"
+        )
+
+
+class GraphRunResult(RunResult):
+    """A :class:`RunResult` over a built service graph.
+
+    Graph systems have no :class:`~repro.topology.configs.SystemConfig`
+    or :class:`Scenario` behind them — the workload is attached directly
+    by the experiment — so this subclass carries duration/warmup
+    explicitly and leaves ``config``/``scenario`` as ``None``.  All the
+    analysis (millibottlenecks, CTQO events, per-request attribution
+    with the DAG walk) works unchanged through the shared system
+    surface.
+    """
+
+    def __init__(self, system, log, monitor, duration, warmup,
+                 injectors=(), telemetry=None):
+        self.system = system
+        self.config = getattr(system, "config", None)
+        self.scenario = None
+        self.log = log
+        self.monitor = monitor
+        self.injectors = list(injectors)
+        self.duration = duration
+        self.warmup = warmup
+        self.names = system.names
+        self.telemetry = telemetry
+
+    def __repr__(self):
+        return (
+            f"<GraphRunResult {self.system!r} requests={len(self.log)} "
             f"drops={self.dropped_packets}>"
         )
 

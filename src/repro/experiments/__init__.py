@@ -14,6 +14,7 @@ fig10_nx3_xtomcat         Fig 10 — NX=3, no CTQO (CPU millibottleneck)
 fig11_nx3_xmysql          Fig 11 — NX=3, no CTQO (I/O millibottleneck)
 fig12_throughput          Fig 12 — 2000 threads vs async throughput
 deep_chain                extension — multi-hop CTQO in 4/5-tier chains
+fanout                    extension — 1×N fan-out DAG, tail at scale
 policy_matrix             extension — invocation-policy hybrids at WL 7000
 replication               extension — replicas dilute but keep CTQO
 scaleout                  extension — balancing/hedging across replicas
@@ -33,6 +34,7 @@ every runnable experiment (``python -m repro run-all``).
 from . import (  # noqa: F401
     cause_variety,
     deep_chain,
+    fanout,
     replication,
     validation,
     fig01_histograms,
@@ -70,6 +72,7 @@ __all__ = [
     "runner",
     "cause_variety",
     "deep_chain",
+    "fanout",
     "replication",
     "validation",
     "fig01_histograms",

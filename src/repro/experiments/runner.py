@@ -218,6 +218,10 @@ REGISTRY = {
         _spec("cause_variety", "cause_variety",
               "CPU/disk/GC/network causes, same CTQO",
               quick={"duration": 12.0, "causes": ["cpu", "io"]}),
+        _spec("fanout", "fanout",
+              "1xN fan-out DAG: tail at scale + lateral CTQO",
+              quick={"duration": 8.0, "clients": 3000,
+                     "fanouts": [4, 16]}),
         _spec("nx_sweep", "runner",
               "one consolidation scenario per asynchrony level",
               quick={"duration": 14.0},

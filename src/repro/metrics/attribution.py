@@ -18,7 +18,11 @@ fig01 RPC configuration is ≥ 90 %).
 Direction follows the paper's rule: a drop *upstream* of (closer to the
 clients than) the millibottleneck is upstream CTQO (blocking RPC holds
 the upstream threads); a drop at or downstream of it is downstream
-CTQO (an async tier floods a bounded downstream).
+CTQO (an async tier floods a bounded downstream).  On a service graph
+the rule becomes an edge walk (see
+:class:`~repro.core.ctqo.TierDag`), adding a third direction —
+``lateral`` — for drops on a parallel branch of a fan-out, coupled to
+the millibottleneck only through the gather barrier.
 """
 
 from __future__ import annotations
@@ -218,19 +222,22 @@ class CtqoAttributor:
         Slack when matching a drop instant against a sampled overflow
         episode — one monitoring interval, since the sampler can first
         see a full backlog up to one interval after the drop.
+    edges:
+        Invocation edges as (i, j) index pairs into ``tier_order`` (a
+        service graph's ``tier_edges()``); ``None`` means the linear
+        chain.  A single-node order is valid — ``repro diagnose`` on a
+        one-server graph gets an empty-but-valid report, not a crash.
     """
 
-    def __init__(self, tier_order, vm_of=None, window=1.0, tolerance=0.06):
-        if len(tier_order) < 2:
-            raise ValueError("tier_order needs at least two tiers")
-        self.tier_order = list(tier_order)
-        self._position = {}
-        for index, entry in enumerate(self.tier_order):
-            if isinstance(entry, (list, tuple)):
-                for name in entry:
-                    self._position[name] = index
-            else:
-                self._position[entry] = index
+    def __init__(self, tier_order, vm_of=None, window=1.0, tolerance=0.06,
+                 edges=None):
+        # imported here: repro.core pulls in the evaluation harness,
+        # which imports this metrics package back
+        from ..core.ctqo import TierDag
+
+        self._dag = TierDag(tier_order, edges=edges)
+        self.tier_order = self._dag.tier_order
+        self._position = self._dag.position
         self.vm_of = vm_of or {}
         self.window = window
         self.tolerance = tolerance
@@ -245,13 +252,14 @@ class CtqoAttributor:
         return vm_name
 
     def classify_direction(self, millibottleneck_resource, dropping_server):
-        """The paper's rule, or None when either side is off-chain."""
+        """The paper's rule as the DAG walk, or None when either side
+        is off-graph."""
         origin = self.server_for_vm(millibottleneck_resource)
         origin_pos = self._position.get(origin)
         drop_pos = self._position.get(dropping_server)
         if origin_pos is None or drop_pos is None:
             return None
-        return "upstream" if drop_pos < origin_pos else "downstream"
+        return self._dag.classify(origin_pos, drop_pos)
 
     # ------------------------------------------------------------------
     def attribute(self, log, overflow_by_server, millibottlenecks,

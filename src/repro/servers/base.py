@@ -16,9 +16,17 @@ types is purely *who executes the driver*:
 
 from __future__ import annotations
 
-from ..apps.servlet import Call, Compute, Response, ServletContext, ServletError
+from ..apps.servlet import (
+    Call,
+    Compute,
+    Gather,
+    Response,
+    ServletContext,
+    ServletError,
+)
 from ..net.tcp import ConnectionTimeout
 from ..sim.resources import Resource
+from .gather import GatherCall
 from .replica import ReplicaGroup
 
 __all__ = [
@@ -26,6 +34,7 @@ __all__ = [
     "STEP_COMPUTE",
     "STEP_DONE",
     "STEP_FAIL",
+    "STEP_GATHER",
     "BaseServer",
     "ServerStats",
     "advance_servlet",
@@ -66,7 +75,7 @@ class ServerStats:
 
 
 #: outcome tags of one servlet-driver step — see :func:`advance_servlet`
-STEP_COMPUTE, STEP_CALL, STEP_DONE, STEP_FAIL = range(4)
+STEP_COMPUTE, STEP_CALL, STEP_DONE, STEP_FAIL, STEP_GATHER = range(5)
 
 
 def advance_servlet(name, gen, send_value, throw_value):
@@ -82,6 +91,8 @@ def advance_servlet(name, gen, send_value, throw_value):
         the servlet wants CPU;
     ``(STEP_CALL, step)``
         the servlet wants a downstream :class:`Call`;
+    ``(STEP_GATHER, step)``
+        the servlet wants a parallel :class:`Gather` fan-out;
     ``(STEP_DONE, value)``
         the servlet returned ``value``;
     ``(STEP_FAIL, exc)``
@@ -103,8 +114,10 @@ def advance_servlet(name, gen, send_value, throw_value):
         return STEP_COMPUTE, step.work
     if isinstance(step, Call):
         return STEP_CALL, step
+    if isinstance(step, Gather):
+        return STEP_GATHER, step
     raise TypeError(
-        f"{name}: servlet yielded {step!r}, expected Compute or Call"
+        f"{name}: servlet yielded {step!r}, expected Compute, Call or Gather"
     )
 
 
@@ -321,11 +334,30 @@ class BaseServer:
                     to_send = yield from call(step, request)
                 except ServletError as exc:
                     to_throw = exc
+            elif isinstance(step, Gather):
+                to_send = None
+                try:
+                    to_send = yield from self._gather(step, request)
+                except ServletError as exc:
+                    to_throw = exc
             else:
                 raise TypeError(
                     f"{name}: servlet yielded {step!r}, "
-                    "expected Compute or Call"
+                    "expected Compute, Call or Gather"
                 )
+
+    def _gather(self, step, request):
+        """Issue a parallel fan-out; returns the list of leg payloads.
+
+        The executing thread blocks at the fan-in barrier holding its
+        thread across all legs — the synchronous analogue of a blocked
+        single :class:`Call`.  Raises :class:`ServletError` when the
+        quorum becomes unreachable (the failed barrier event throws it
+        at the ``yield``).  Gathers bypass the remediation invoker:
+        per-leg retries would duplicate fan-out work the quorum already
+        tolerates losing.
+        """
+        return (yield GatherCall(self, step, request).response)
 
     def _invoke(self, step, request):
         """Issue one downstream call; returns the response payload.

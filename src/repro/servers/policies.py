@@ -52,9 +52,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps.servlet import Call, Compute, Response, ServletError
+from ..apps.servlet import Call, Compute, Gather, Response, ServletError
 from ..net.tcp import SHED, ConnectionTimeout
 from ..sim.resources import Store
+from .gather import GatherCall
 
 __all__ = [
     "AdmissionPolicy",
@@ -413,11 +414,37 @@ class EventLoopConcurrency(ConcurrencyPolicy):
                     # are already running
                     server._issue(server, task, step)
                     break  # continuation parked
+                elif cls is Gather or isinstance(step, Gather):
+                    task.send_value = None
+                    # gathers bypass the remediation invoker: the quorum
+                    # already tolerates leg loss, per-leg retries would
+                    # amplify fan-out load
+                    self._issue_gather(server, task, step)
+                    break  # continuation parked
                 else:
                     raise TypeError(
                         f"{name}: servlet yielded {step!r}, "
-                        "expected Compute or Call"
+                        "expected Compute, Call or Gather"
                     )
+
+    def _issue_gather(self, server, task, step):
+        """Fire a parallel fan-out; the barrier callback re-enqueues the
+        task once the quorum is met — no worker held across any leg."""
+        try:
+            call = GatherCall(server, step, task.exchange.payload)
+        except ServletError as exc:
+            task.throw_value = exc
+            server._ready.put(task)
+            return
+
+        def on_settled(event):
+            if event.failed:
+                task.throw_value = event.value
+            else:
+                task.send_value = event.value
+            server._ready.put(task)
+
+        call.response.add_callback(on_settled)
 
     def _issue_call(self, server, task, step):
         """Fire a downstream call; the response callback re-enqueues the

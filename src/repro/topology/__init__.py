@@ -8,12 +8,28 @@ from .consolidation import (
     build_consolidated_pair,
     sysbursty_mix,
 )
+from .graph import (
+    EdgeSpec,
+    GraphSystem,
+    NodeSpec,
+    ServiceGraph,
+    ServiceSystem,
+    build_graph,
+    fan_out,
+)
 
 __all__ = [
     "ChainSystem",
     "ConsolidatedPair",
+    "EdgeSpec",
+    "GraphSystem",
+    "NodeSpec",
+    "ServiceGraph",
+    "ServiceSystem",
     "TierSpec",
     "build_chain",
+    "build_graph",
+    "fan_out",
     "uniform_chain",
     "NTierSystem",
     "SystemConfig",

@@ -11,8 +11,6 @@ from __future__ import annotations
 from ..apps.rubbos import APP_TIER, DB_TIER, WEB_TIER, RubbosApplication
 from ..cpu.host import Host
 from ..cpu.overhead import ThreadOverheadModel
-from ..metrics.monitor import SystemMonitor
-from ..metrics.trace import RequestLog
 from ..net.tcp import NetworkFabric
 from ..servers.async_server import AsyncServer
 from ..servers.replica import ReplicaGroup
@@ -20,42 +18,49 @@ from ..servers.runtime import policy_server
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from .configs import SystemConfig, server_names
+from .graph import ServiceSystem
 
 __all__ = ["NTierSystem", "ReplicatedNTierSystem", "build_system"]
 
 _TIERS = (WEB_TIER, APP_TIER, DB_TIER)
 
 
-class NTierSystem:
+class NTierSystem(ServiceSystem):
     """A built system: kernel, fabric, hosts, VMs, servers, app, log.
 
     ``servers`` and ``vms`` are keyed by tier ("web"/"app"/"db");
     ``names`` maps tiers to the display names used in the figures
     (apache/nginx, tomcat/xtomcat, mysql/xmysql), with ``name_prefix``
     applied when several systems share one simulation (Fig 2's
-    SysSteady/SysBursty pair).
+    SysSteady/SysBursty pair).  Monitor/log wiring and drop/shed
+    accounting come from the shared :class:`ServiceSystem` surface.
     """
 
     def __init__(self, sim, config, name_prefix=""):
-        self.sim = sim
         self.config = config
-        self.name_prefix = name_prefix
         self.names = {
             tier: name_prefix + name
             for tier, name in server_names(config).items()
         }
-        self.fabric = NetworkFabric(
+        self._init_shared(
             sim,
-            latency=config.net_latency,
-            rto=config.tcp_rto,
-            max_retransmits=config.max_retransmits,
+            NetworkFabric(
+                sim,
+                latency=config.net_latency,
+                rto=config.tcp_rto,
+                max_retransmits=config.max_retransmits,
+            ),
+            streaming=config.streaming,
+            name_prefix=name_prefix,
         )
         self.app = RubbosApplication(config.interaction_specs)
-        self.log = RequestLog(streaming=config.streaming)
         self.hosts = {}
         self.vms = {}
         self.servers = {}
-        self.monitor = None
+
+    @property
+    def _monitor_interval(self):
+        return self.config.monitor_interval
 
     # ------------------------------------------------------------------
     @property
@@ -65,40 +70,6 @@ class NTierSystem:
 
     def host_of(self, tier):
         return self.hosts[tier]
-
-    def attach_monitor(self, interval=None):
-        """Create and start a SystemMonitor over every VM and server."""
-        if self.monitor is None:
-            self.monitor = SystemMonitor(
-                self.sim, interval=interval or self.config.monitor_interval
-            )
-            for tier in (WEB_TIER, APP_TIER, DB_TIER):
-                name = self.names[tier]
-                self.monitor.watch_vm(name, self.vms[tier])
-                self.monitor.watch_server(name, self.servers[tier])
-            self.monitor.watch_log(self.name_prefix + "clients", self.log)
-            self.monitor.start()
-        return self.monitor
-
-    def drop_counts(self):
-        """Tier display name → packets dropped at that server."""
-        return {
-            self.names[tier]: self.servers[tier].listener.drops
-            for tier in (WEB_TIER, APP_TIER, DB_TIER)
-        }
-
-    def total_drops(self):
-        return sum(self.drop_counts().values())
-
-    def shed_counts(self):
-        """Tier display name → packets 503'd by that server's admission."""
-        return {
-            self.names[tier]: self.servers[tier].listener.sheds
-            for tier in (WEB_TIER, APP_TIER, DB_TIER)
-        }
-
-    def total_sheds(self):
-        return sum(self.shed_counts().values())
 
     # replica-agnostic iteration (shared surface with the replicated
     # system, so RunResult and attribution handle both uniformly) ------
@@ -115,6 +86,11 @@ class NTierSystem:
     def tier_groups(self):
         """Tier-ordered display-name groups (replicas share a group)."""
         return [[self.names[t]] for t in _TIERS]
+
+    def tier_edges(self):
+        """Invocation edges as (i, j) pairs into :meth:`tier_groups`:
+        the linear web → app → db path."""
+        return [(0, 1), (1, 2)]
 
     def __repr__(self):
         stack = "-".join(
@@ -370,48 +346,16 @@ class ReplicatedNTierSystem(NTierSystem):
     def tier_groups(self):
         return [list(self.replica_names[tier]) for tier in _TIERS]
 
-    def attach_monitor(self, interval=None):
-        """Monitor every replica's VM and server, plus every replica
-        group's per-replica outstanding counts."""
-        if self.monitor is None:
-            self.monitor = SystemMonitor(
-                self.sim, interval=interval or self.config.monitor_interval
-            )
-            for name, vm in self.vm_items():
-                self.monitor.watch_vm(name, vm)
-            for name, server in self.server_items():
-                self.monitor.watch_server(name, server)
-            for label, group in self.groups.items():
-                self.monitor.watch_group(label, group)
-            self.monitor.watch_log(self.name_prefix + "clients", self.log)
-            self.monitor.start()
-        return self.monitor
-
-    def drop_counts(self):
-        """Replica display name → packets dropped at that replica."""
-        return {
-            name: server.listener.drops
-            for name, server in self.server_items()
-        }
-
-    def shed_counts(self):
-        return {
-            name: server.listener.sheds
-            for name, server in self.server_items()
-        }
-
-    def group_stats(self):
-        """Route label → cumulative balancer/hedging counters."""
-        return {label: group.stats() for label, group in self.groups.items()}
-
-    def hedge_totals(self):
-        """Aggregate hedging counters across every route."""
-        totals = {"hedges_issued": 0, "hedge_wins": 0,
-                  "hedge_losses": 0, "hedges_cancelled": 0}
-        for group in self.groups.values():
-            for key in totals:
-                totals[key] += getattr(group, key)
-        return totals
+    def _watch(self, monitor):
+        """Monitor every replica's VM, then every server, then every
+        replica group — the non-interleaved registration order the
+        scale-out golden records are keyed on."""
+        for name, vm in self.vm_items():
+            monitor.watch_vm(name, vm)
+        for name, server in self.server_items():
+            monitor.watch_server(name, server)
+        for label, group in self.groups.items():
+            monitor.watch_group(label, group)
 
     def __repr__(self):
         stack = "-".join(

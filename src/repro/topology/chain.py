@@ -9,6 +9,12 @@ length from per-tier :class:`TierSpec` descriptions, each tier either
 synchronous (thread pool) or asynchronous (event loop + lightweight
 queue), with the same substrates as the 3-tier builder.
 
+A chain is the path-graph preset of the service-graph core:
+:func:`build_chain` converts its specs to a linear
+:class:`~repro.topology.graph.ServiceGraph` and delegates to
+:func:`~repro.topology.graph.build_graph`, which replays the historical
+chain construction order — existing seeds build byte-identical systems.
+
 ``experiments.deep_chain`` uses it to show multi-hop upstream CTQO: a
 millibottleneck in tier 5 of a 5-tier synchronous chain drops packets
 at tier 1, while the same chain built async end-to-end absorbs it.
@@ -18,17 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps.servlet import Call, Compute, Request
-from ..cpu.host import Host
-from ..metrics.monitor import SystemMonitor
-from ..metrics.trace import RequestLog, RequestRecord
-from ..net.tcp import ConnectionTimeout, NetworkFabric
-from ..servers.async_server import AsyncServer
-from ..servers.policies import RemediationSpec, build_remediation
-from ..servers.replica import BALANCERS, HedgingSpec, ReplicaGroup
-from ..servers.sync_server import SyncServer
-from ..sim.kernel import Simulator
+from ..servers.policies import RemediationSpec
+from ..servers.replica import BALANCERS, HedgingSpec
 from ..units import ms
+from .graph import EdgeSpec, GraphSystem, NodeSpec, ServiceGraph, build_graph
 
 __all__ = ["ChainSystem", "TierSpec", "build_chain", "uniform_chain"]
 
@@ -116,6 +115,20 @@ class TierSpec:
             return self.threads + self.backlog
         return self.lite_q_depth + self.backlog
 
+    def node_spec(self):
+        """The graph-core node equivalent of this tier (``pool_to_next``
+        lives on the outgoing edge instead)."""
+        return NodeSpec(
+            name=self.name, sync=self.sync, threads=self.threads,
+            workers=self.workers, backlog=self.backlog,
+            lite_q_depth=self.lite_q_depth, vcpus=self.vcpus,
+            pre_work=self.pre_work, mid_work=self.mid_work,
+            post_work=self.post_work, calls_to_next=self.calls_to_next,
+            stochastic=self.stochastic, remediation=self.remediation,
+            replicas=self.replicas, balancer=self.balancer,
+            hedging=self.hedging,
+        )
+
 
 def uniform_chain(depth, sync=True, **overrides):
     """``depth`` identical tiers named tier1..tierN.
@@ -130,141 +143,34 @@ def uniform_chain(depth, sync=True, **overrides):
     ]
 
 
-class ChainSystem:
+class ChainSystem(GraphSystem):
     """A built linear chain, with the same surface as NTierSystem."""
 
-    def __init__(self, sim, specs, fabric, streaming=False):
-        self.sim = sim
-        self.specs = list(specs)
-        self.fabric = fabric
-        #: flat display names, one entry per *replica*, front tier first
-        self.names = [
-            name for spec in self.specs for name in spec.replica_names
-        ]
-        self.hosts = []
-        self.vms = []
-        self.servers = []
-        #: route label -> ReplicaGroup, for every replicated hop
-        self.groups = {}
-        self.client_group = None
-        self.log = RequestLog(streaming=streaming)
-        self.monitor = None
+    request_kind = "ChainRequest"
+    request_operation = "chain"
+    clients_rng_label = "chain-clients"
 
-    @property
-    def entry(self):
-        if self.client_group is not None:
-            return self.client_group
-        return self.servers[0].listener
+    def __init__(self, sim, graph, fabric, specs, streaming=False):
+        super().__init__(sim, graph, fabric, streaming=streaming)
+        self.specs = list(specs)
 
     @property
     def depth(self):
         return len(self.specs)
-
-    def server(self, name):
-        return self.servers[self.names.index(name)]
-
-    def vm(self, name):
-        return self.vms[self.names.index(name)]
-
-    def host_of(self, name):
-        return self.hosts[self.names.index(name)]
-
-    def attach_monitor(self, interval=0.05):
-        if self.monitor is None:
-            self.monitor = SystemMonitor(self.sim, interval=interval)
-            for name, vm, server in zip(self.names, self.vms, self.servers):
-                self.monitor.watch_vm(name, vm)
-                self.monitor.watch_server(name, server)
-            for label, group in self.groups.items():
-                self.monitor.watch_group(label, group)
-            self.monitor.watch_log("clients", self.log)
-            self.monitor.start()
-        return self.monitor
-
-    def drop_counts(self):
-        return {
-            name: server.listener.drops
-            for name, server in zip(self.names, self.servers)
-        }
-
-    def total_drops(self):
-        return sum(self.drop_counts().values())
-
-    # ------------------------------------------------------------------
-    # workload
-    # ------------------------------------------------------------------
-    def open_loop(self, rate, rng_label="chain-clients"):
-        """Attach a Poisson client at ``rate`` req/s."""
-        rng = self.sim.fork_rng(rng_label)
-
-        def arrivals():
-            while True:
-                yield rng.expovariate(rate)
-                self.sim.process(self._one_request())
-
-        self.sim.process(arrivals())
-        return self
-
-    def _one_request(self):
-        request = Request("ChainRequest", "chain", self.sim.now)
-        entry = self.entry
-        if hasattr(entry, "send"):
-            # replicated front tier: the group balances/hedges and
-            # returns an exchange-like HedgedCall
-            exchange = entry.send(self.fabric, request)
-        else:
-            exchange = self.fabric.send(entry, request)
-        failed = False
-        error = None
-        try:
-            response = yield exchange.response
-            if not response.ok:
-                failed = True
-                error = response.error
-        except ConnectionTimeout as exc:
-            failed = True
-            error = str(exc)
-        self.log.add(
-            RequestRecord(
-                request.id, "ChainRequest",
-                start=request.created_at, end=self.sim.now,
-                attempts=exchange.attempts,
-                drops=[
-                    (t, d) for t, e, d in request.root.trace if e == "drop"
-                ],
-                sheds=[
-                    (t, d) for t, e, d in request.root.trace if e == "shed"
-                ],
-                failed=failed, error=error,
-            )
-        )
 
     def __repr__(self):
         kinds = "".join("S" if s.sync else "A" for s in self.specs)
         return f"<ChainSystem depth={self.depth} [{kinds}]>"
 
 
-def _chain_handler(spec, next_name, rng):
-    """Servlet for one chain position (generic pre/call/post shape)."""
-
-    def draw(mean):
-        if mean <= 0:
-            return 0.0
-        if spec.stochastic:
-            return rng.expovariate(1.0 / mean)
-        return mean
-
-    def handler(ctx, request):
-        yield Compute(draw(spec.pre_work))
-        if next_name is not None:
-            for index in range(spec.calls_to_next):
-                yield Call(next_name, f"{spec.name}.c{index}")
-                if index < spec.calls_to_next - 1:
-                    yield Compute(draw(spec.mid_work))
-            yield Compute(draw(spec.post_work))
-        return {"tier": spec.name}
-
-    return handler
+def chain_graph(specs):
+    """The path :class:`ServiceGraph` equivalent of a tier-spec list."""
+    nodes = [spec.node_spec() for spec in specs]
+    edges = [
+        EdgeSpec(specs[i].name, specs[i + 1].name, pool=specs[i].pool_to_next)
+        for i in range(len(specs) - 1)
+    ]
+    return ServiceGraph(nodes, edges)
 
 
 def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
@@ -280,81 +186,11 @@ def build_chain(specs, sim=None, seed=42, net_latency=0.0002, rto=3.0,
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate tier names in {names}")
-    if sim is not None and sim.seed != seed:
-        raise ValueError(
-            f"simulator seed {sim.seed!r} != seed {seed!r}; "
-            "forked RNG streams would not be reproducible from the seed"
-        )
-    sim = sim or Simulator(seed=seed)
-    fabric = NetworkFabric(sim, latency=net_latency, rto=rto,
-                           max_retransmits=max_retransmits)
-    system = ChainSystem(sim, specs, fabric, streaming=streaming)
-    rng = sim.fork_rng("chain-app")
-
-    tier_servers = []
-    for index, spec in enumerate(specs):
-        next_name = specs[index + 1].name if index + 1 < len(specs) else None
-        handler = _chain_handler(spec, next_name, rng)
-        replicas = []
-        for name in spec.replica_names:
-            host = Host(sim, cores=max(1, spec.vcpus), name=f"{name}-host")
-            vm = host.add_vm(f"{name}-vm", vcpus=spec.vcpus)
-            if spec.sync:
-                server = SyncServer(
-                    sim, fabric, name, vm, handler,
-                    threads=spec.threads, backlog=spec.backlog,
-                )
-            else:
-                server = AsyncServer(
-                    sim, fabric, name, vm, handler,
-                    lite_q_depth=spec.lite_q_depth, workers=spec.workers,
-                    backlog=spec.backlog,
-                )
-            if (spec.remediation is not None
-                    and spec.remediation.kind != "none"):
-                # rebind the outgoing-call invokers after construction:
-                # the preset classes fix admission/concurrency, but
-                # remediation composes with either driver
-                remediation = build_remediation(spec.remediation)
-                remediation.bind(server)
-                server.remediation = remediation
-            system.hosts.append(host)
-            system.vms.append(vm)
-            system.servers.append(server)
-            replicas.append(server)
-        tier_servers.append(replicas)
-
-    def route_group(caller_label, target_spec, listeners, pool_size):
-        label = f"{caller_label}->{target_spec.name}"
-        group = ReplicaGroup(
-            sim, label, listeners,
-            balancer=target_spec.balancer, hedging=target_spec.hedging,
-            pool_size=pool_size,
-        )
-        system.groups[label] = group
-        return group
-
-    for index in range(len(specs) - 1):
-        caller_spec, target_spec = specs[index], specs[index + 1]
-        targets = tier_servers[index + 1]
-        for caller_name, caller in zip(caller_spec.replica_names,
-                                       tier_servers[index]):
-            if len(targets) > 1:
-                caller.connect(
-                    target_spec.name,
-                    route_group(caller_name, target_spec,
-                                [s.listener for s in targets],
-                                caller_spec.pool_to_next),
-                )
-            else:
-                caller.connect(
-                    target_spec.name, targets[0].listener,
-                    pool_size=caller_spec.pool_to_next,
-                )
-
-    if specs[0].replicas > 1:
-        system.client_group = route_group(
-            "clients", specs[0],
-            [s.listener for s in tier_servers[0]], None,
-        )
-    return system
+    return build_graph(
+        chain_graph(specs), sim=sim, seed=seed, net_latency=net_latency,
+        rto=rto, max_retransmits=max_retransmits, streaming=streaming,
+        rng_label="chain-app",
+        system_factory=lambda sim, graph, fabric: ChainSystem(
+            sim, graph, fabric, specs, streaming=streaming
+        ),
+    )

@@ -139,6 +139,17 @@ def test_diagnose_rejects_bogus_variant(capsys):
         assert variant in err
 
 
+def test_diagnose_rejects_bogus_fanout_variant(capsys):
+    assert main(["diagnose", "fanout", "--variant", "allof"]) == 2
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "allof" in err
+    from repro.experiments import fanout
+
+    for variant in fanout.VARIANTS:
+        assert variant in err
+
+
 def test_diagnose_rejects_bogus_policy_matrix_variant(capsys):
     assert main(["diagnose", "policy_matrix", "--variant", "nope"]) == 2
     err = capsys.readouterr().err

@@ -13,9 +13,16 @@ def analyzer():
     return CtqoAnalyzer(TIERS)
 
 
-def test_needs_two_tiers():
-    with pytest.raises(ValueError):
-        CtqoAnalyzer(["solo"])
+def test_single_node_graph_is_valid():
+    # a one-server graph must analyze (empty-but-valid), not crash
+    # `repro diagnose` — every drop is local, hence downstream
+    analyzer = CtqoAnalyzer(["solo"])
+    assert analyzer.classify_direction("solo", "solo") == "downstream"
+    assert analyzer.attribute_drops([], {"solo": []}) == []
+
+
+def test_empty_tier_order_is_valid():
+    assert CtqoAnalyzer([]).attribute_drops([], {}) == []
 
 
 def test_direction_classification(analyzer):

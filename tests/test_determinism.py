@@ -43,6 +43,13 @@ TINY = {
     "scaleout": dict(
         duration=17.0, params={"variants": ["rpc_hedged"], "clients": 2000},
     ),
+    # 8 s reaches the 4 s leaf stall; sync + quorum cover both gather
+    # drivers (thread barrier and first-K-of-N shedding)
+    "fanout": dict(
+        duration=8.0,
+        params={"clients": 2000, "fanouts": [4, 8],
+                "variants": ["sync", "quorum"]},
+    ),
 }
 
 

@@ -146,9 +146,19 @@ def test_failed_and_dropped_requests_are_included_once():
     assert report.chains[0].failed
 
 
-def test_tier_order_validation():
+def test_single_node_tier_order_is_valid():
+    # a one-server graph attributes to an empty-but-valid report
+    # instead of crashing `repro diagnose`
+    attributor = CtqoAttributor(["apache"])
+    report = attributor.attribute(make_log([]), {}, [])
+    assert len(report) == 0
+    assert report.coverage == 1.0
+    assert attributor.classify_direction("apache-vm", "apache") == "downstream"
+
+
+def test_bad_edge_indices_rejected():
     with pytest.raises(ValueError):
-        CtqoAttributor(["apache"])
+        CtqoAttributor(TIERS, edges=[(0, 5)])
 
 
 def test_report_aggregates_and_render():

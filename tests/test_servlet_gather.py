@@ -1,0 +1,39 @@
+"""Unit tests for the Gather servlet instruction (repro.apps.servlet)."""
+
+import pytest
+
+from repro.apps.servlet import Call, Gather
+
+
+def legs(n):
+    return [Call(f"leaf{i + 1}", f"op{i + 1}") for i in range(n)]
+
+
+def test_all_of_defaults_to_every_leg():
+    gather = Gather(legs(3))
+    assert gather.quorum is None
+    assert len(gather.calls) == 3
+
+
+def test_empty_gather_rejected():
+    with pytest.raises(ValueError, match="at least one Call"):
+        Gather([])
+
+
+def test_non_call_leg_rejected():
+    with pytest.raises(TypeError, match="legs must be Calls"):
+        Gather([Call("leaf1", "op"), "leaf2"])
+
+
+def test_quorum_above_leg_count_rejected():
+    with pytest.raises(ValueError, match="quorum 4 exceeds leg count 3"):
+        Gather(legs(3), quorum=4)
+
+
+def test_quorum_below_one_rejected():
+    with pytest.raises(ValueError, match="quorum must be >= 1"):
+        Gather(legs(3), quorum=0)
+
+
+def test_quorum_equal_to_leg_count_allowed():
+    assert Gather(legs(3), quorum=3).quorum == 3

@@ -38,6 +38,9 @@ from repro.metrics.sketch import StreamingStats
 SKETCH_KEYS = frozenset({
     "mean_ms", "p50_ms", "p99_ms", "p999_ms", "measured_mean_ms",
     "histogram",
+    # fanout: the parent p99 is answered by log.percentile (sketch in
+    # streaming mode) and the ratio divides it by the exact leaf oracle
+    "parent_p99_ms", "tail_ratio",
 })
 
 #: representatives for the fast loop: one closed-loop sweep (fig01),

@@ -1,0 +1,166 @@
+"""Unit tests for the service-graph core (repro.topology.graph)."""
+
+import pytest
+
+from repro.topology.graph import (
+    EdgeSpec,
+    NodeSpec,
+    ServiceGraph,
+    build_graph,
+    fan_out,
+)
+
+
+def diamond():
+    """entry -> {left, right} -> sink."""
+    return ServiceGraph(
+        [NodeSpec("entry"), NodeSpec("left"), NodeSpec("right"),
+         NodeSpec("sink")],
+        [EdgeSpec("entry", "left"), EdgeSpec("entry", "right"),
+         EdgeSpec("left", "sink"), EdgeSpec("right", "sink")],
+    )
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_empty_graph_rejected():
+    with pytest.raises(ValueError, match="at least one node"):
+        ServiceGraph([])
+
+
+def test_duplicate_node_names_rejected():
+    with pytest.raises(ValueError, match="duplicate node names"):
+        ServiceGraph([NodeSpec("a"), NodeSpec("a")])
+
+
+def test_unknown_entry_rejected():
+    with pytest.raises(ValueError, match="not a graph node"):
+        ServiceGraph([NodeSpec("a")], entry="b")
+
+
+def test_edge_with_unknown_endpoint_rejected():
+    with pytest.raises(ValueError, match="unknown node 'ghost'"):
+        ServiceGraph([NodeSpec("a")], [EdgeSpec("a", "ghost")])
+
+
+def test_duplicate_edge_rejected():
+    with pytest.raises(ValueError, match="duplicate edge"):
+        ServiceGraph(
+            [NodeSpec("a"), NodeSpec("b")],
+            [EdgeSpec("a", "b"), EdgeSpec("a", "b")],
+        )
+
+
+def test_self_loop_rejected_at_edge_construction():
+    with pytest.raises(ValueError, match="self-loop"):
+        EdgeSpec("a", "a")
+
+
+def test_cycle_rejected():
+    with pytest.raises(ValueError, match="cycle"):
+        ServiceGraph(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("c")],
+            [EdgeSpec("a", "b"), EdgeSpec("b", "c"), EdgeSpec("c", "b")],
+        )
+
+
+def test_unreachable_node_rejected():
+    with pytest.raises(ValueError, match="unreachable.*'island'"):
+        ServiceGraph(
+            [NodeSpec("a"), NodeSpec("b"), NodeSpec("island")],
+            [EdgeSpec("a", "b")],
+        )
+
+
+def test_quorum_exceeding_out_degree_rejected():
+    with pytest.raises(ValueError, match="quorum 3 exceeds out-degree 2"):
+        ServiceGraph(
+            [NodeSpec("root", quorum=3), NodeSpec("x"), NodeSpec("y")],
+            [EdgeSpec("root", "x"), EdgeSpec("root", "y")],
+        )
+
+
+def test_quorum_below_one_rejected_on_the_node():
+    with pytest.raises(ValueError, match="quorum must be >= 1"):
+        NodeSpec("root", quorum=0)
+
+
+# ----------------------------------------------------------------------
+# queries and presets
+# ----------------------------------------------------------------------
+def test_topo_order_breaks_ties_in_declaration_order():
+    graph = diamond()
+    assert graph.topo_order() == ["entry", "left", "right", "sink"]
+
+
+def test_fan_out_preset_shape():
+    graph = fan_out(NodeSpec("root"),
+                    [NodeSpec("leaf1"), NodeSpec("leaf2")])
+    assert graph.entry == "root"
+    assert graph.topo_order() == ["root", "leaf1", "leaf2"]
+    assert [(e.source, e.target) for e in graph.edges] == [
+        ("root", "leaf1"), ("root", "leaf2"),
+    ]
+
+
+def test_edge_index_pairs_follow_topo_positions():
+    graph = diamond()
+    # positions: entry=0, left=1, right=2, sink=3
+    assert sorted(graph.edge_index_pairs()) == [
+        (0, 1), (0, 2), (1, 3), (2, 3),
+    ]
+
+
+# ----------------------------------------------------------------------
+# built systems: the gather runs on both servlet drivers
+# ----------------------------------------------------------------------
+def _run_fan_out(sync_root, quorum=None, seed=42, rate=60.0, until=4.0):
+    root = NodeSpec("root", sync=sync_root, threads=8, workers=2,
+                    quorum=quorum)
+    leaves = [NodeSpec(f"leaf{i + 1}", threads=4) for i in range(3)]
+    system = build_graph(fan_out(root, leaves), seed=seed)
+    system.open_loop(rate)
+    system.sim.run(until=until)
+    return system
+
+
+@pytest.mark.parametrize("sync_root", [True, False])
+def test_gather_drives_every_leg_on_both_drivers(sync_root):
+    system = _run_fan_out(sync_root)
+    totals = system.gather_totals()
+    assert totals["gathers"] > 0
+    assert totals["legs"] == 3 * totals["gathers"]
+    assert totals["leg_failures"] == 0
+    # all-of barrier: no leg is cancelled or wasted
+    assert totals["legs_cancelled"] == 0
+    assert totals["legs_wasted"] == 0
+    # gathers count at launch, so the sim-end cutoff may leave one in
+    # flight behind its completed count
+    completed = len(system.log.completed)
+    assert 0 < completed <= totals["gathers"]
+
+
+@pytest.mark.parametrize("sync_root", [True, False])
+def test_quorum_gather_wastes_the_straggler(sync_root):
+    system = _run_fan_out(sync_root, quorum=2)
+    totals = system.gather_totals()
+    assert totals["gathers"] > 0
+    # first-2-of-3: every settled gather leaves exactly one losing leg
+    # behind (gathers still in flight at the sim-end cutoff have not
+    # picked their loser yet)
+    losers = totals["legs_cancelled"] + totals["legs_wasted"]
+    assert len(system.log.completed) <= losers <= totals["gathers"]
+
+
+@pytest.mark.parametrize("sync_root", [True, False])
+def test_quorum_leg_outcome_is_deterministic_per_seed(sync_root):
+    """Which legs lose the quorum race is replayed exactly from the
+    seed — and actually depends on it."""
+
+    def observe(seed):
+        system = _run_fan_out(sync_root, quorum=2, seed=seed)
+        return (system.gather_totals(), system.log.summary(4.0))
+
+    assert observe(42) == observe(42)
+    assert observe(42) != observe(7)

@@ -27,6 +27,9 @@ from __future__ import annotations
 import itertools
 
 __all__ = [
+    "CacheAbort",
+    "CacheGet",
+    "CachePut",
     "Call",
     "Compute",
     "Gather",
@@ -34,6 +37,8 @@ __all__ = [
     "Response",
     "ServletContext",
     "ServletError",
+    "StorageRead",
+    "StorageWrite",
     "callback_form",
 ]
 
@@ -134,6 +139,120 @@ class Gather:
     def __repr__(self):
         k = self.quorum if self.quorum is not None else len(self.calls)
         return f"Gather({len(self.calls)} legs, quorum={k})"
+
+
+class CacheGet:
+    """Look ``key`` up in the executing server's attached LRU cache.
+
+    The servlet resumes with a ``(hit, value)`` pair.  ``route`` labels
+    the lookup in the cache's per-route hit-ratio statistics (defaults
+    to the request's operation name at dispatch time).
+
+    With ``coalesce=True`` the lookup is *single-flight*: the first
+    servlet to miss on a key becomes that key's leader and resumes with
+    ``(False, None)`` — it is expected to fetch the value and publish
+    it with :class:`CachePut` (or give up with :class:`CacheAbort`).
+    Every concurrent miss on the same key parks until the leader
+    settles, then resumes with ``(True, value)`` on a put or
+    ``(False, None)`` on an abort — the thundering herd collapses into
+    one backing-tier fetch.
+
+    Yielding a CacheGet on a server with no attached cache raises
+    :class:`ServletError` inside the servlet.
+    """
+
+    __slots__ = ("key", "route", "coalesce")
+
+    def __init__(self, key, route=None, coalesce=False):
+        self.key = key
+        self.route = route
+        self.coalesce = bool(coalesce)
+
+    def __repr__(self):
+        flight = ", single-flight" if self.coalesce else ""
+        return f"CacheGet({self.key!r}{flight})"
+
+
+class CachePut:
+    """Store ``value`` under ``key`` in the attached LRU cache.
+
+    ``ttl`` (seconds) overrides the cache's default time-to-live; an
+    entry is valid strictly *before* ``now + ttl`` and expired at and
+    after it.  Publishing also wakes any single-flight followers parked
+    on the key.  Resumes with ``None`` immediately (the cache is
+    in-process; there is no I/O to wait for).
+    """
+
+    __slots__ = ("key", "value", "ttl")
+
+    def __init__(self, key, value, ttl=None):
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"CachePut ttl must be positive, got {ttl}")
+        self.key = key
+        self.value = value
+        self.ttl = ttl
+
+    def __repr__(self):
+        return f"CachePut({self.key!r})"
+
+
+class CacheAbort:
+    """Release single-flight leadership of ``key`` without publishing.
+
+    The miss leader yields this when its backing fetch failed, before
+    re-raising: parked followers resume with ``(False, None)`` and the
+    next miss elects a new leader, so one failed fetch does not wedge
+    the key forever.  A no-op when nobody is in flight on the key.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __repr__(self):
+        return f"CacheAbort({self.key!r})"
+
+
+class StorageRead:
+    """Read ``size`` units through the server's attached storage backend.
+
+    The read joins the device's single command queue *behind* every
+    previously admitted command — including buffered write-backs, which
+    is exactly the bufferbloat coupling: a deep write buffer delays
+    reads even though write callers saw instant acks.  Resumes with the
+    device's completion value once the read is served.
+    """
+
+    __slots__ = ("size",)
+
+    def __init__(self, size=1.0):
+        if size <= 0:
+            raise ValueError(f"StorageRead size must be positive, got {size}")
+        self.size = size
+
+    def __repr__(self):
+        return f"StorageRead({self.size:g})"
+
+
+class StorageWrite:
+    """Write ``size`` units through the attached write-back store.
+
+    The write is acknowledged when the buffer *admits* it — normally
+    immediately, the write-back fast path — while the device drains the
+    buffer in the background.  When the buffer is bounded and full, the
+    servlet blocks until a slot frees (backpressure).
+    """
+
+    __slots__ = ("size",)
+
+    def __init__(self, size=1.0):
+        if size <= 0:
+            raise ValueError(f"StorageWrite size must be positive, got {size}")
+        self.size = size
+
+    def __repr__(self):
+        return f"StorageWrite({self.size:g})"
 
 
 _request_ids = itertools.count(1)

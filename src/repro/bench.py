@@ -430,6 +430,23 @@ def bench_fanout_quick(scale=1.0):
     return cell["summary"]["requests"]
 
 
+def bench_cache_quick(scale=1.0):
+    """A quick cache-tier storm run: misses, coalescing, invalidation.
+
+    The cache-aside request path — front tier, in-process LRU lookups
+    with single-flight miss coalescing, and two bulk invalidations
+    that each send a miss herd through the undersized backing tier —
+    so the servlet cache instructions and the storm recovery path are
+    timed under load the way ``fanout_quick`` times the gather legs.
+    """
+    from .experiments.cache_storage import run_one
+
+    duration = max(8.0, 12.0 * scale)
+    cell = run_one("storm_singleflight", clients=3000, duration=duration,
+                   warmup=1.0, seed=42)
+    return cell["summary"]["requests"]
+
+
 #: name -> (workload, wall-clock repeats); best-of-repeats is recorded.
 BENCHMARKS = (
     ("kernel_callbacks", bench_kernel_callbacks, 3),
@@ -446,6 +463,7 @@ BENCHMARKS = (
     ("fig01_live", bench_fig01_live, 3),
     ("scaleout_quick", bench_scaleout_quick, 3),
     ("fanout_quick", bench_fanout_quick, 3),
+    ("cache_quick", bench_cache_quick, 3),
     ("fig01_streaming_1m", bench_fig01_streaming_1m, 1),
 )
 

@@ -48,6 +48,7 @@ from .core.conditions import (
     predicted_overflow,
 )
 from .experiments import (
+    cache_storage,
     fig01_histograms,
     fig03_vm_consolidation,
     fig05_log_flush,
@@ -98,14 +99,23 @@ EXPERIMENTS = {
     "policy_matrix": "admission x concurrency x remediation hybrids at WL 7000",
     "scaleout": "load balancing + hedging across 3 replicas/tier at WL 7000",
     "fanout": "1xN fan-out/fan-in DAG: tail at scale + lateral CTQO",
+    "cache_storage": "cache/storage tiers: miss storms + write-back "
+                     "bufferbloat",
 }
 
 #: diagnosable experiments that run named variant cells: module plus
 #: the default cell ``repro diagnose`` picks when --variant is omitted
 _VARIANT_EXPERIMENTS = {
+    "cache_storage": (cache_storage, "storm"),
     "fanout": (fanout, "sync"),
     "policy_matrix": (policy_matrix, "shed_web"),
     "scaleout": (scaleout, "rpc_round_robin"),
+}
+
+#: ``repro diagnose`` workload/duration overrides for experiments whose
+#: tuned operating point differs from the WL-7000/40s house default
+_DIAGNOSE_DEFAULTS = {
+    "cache_storage": {"clients": 4200, "duration": 16.0},
 }
 
 
@@ -236,6 +246,25 @@ def _run_fanout(args):
     return 0 if not fanout.check_claims(cells) else 1
 
 
+def _run_cache_storage(args):
+    cells = cache_storage.run(duration=args.duration or 16.0,
+                              streaming=args.streaming)
+    print(cache_storage.report(cells))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for name, cell in cells.items():
+            request_log_to_csv(
+                os.path.join(args.out, f"cache_{name}_requests.csv"),
+                cell["result"].log,
+            )
+            run_summary_to_json(
+                os.path.join(args.out, f"cache_{name}_summary.json"),
+                cell["result"],
+            )
+        print(f"\n[raw data written to {args.out}/]")
+    return 0 if not cache_storage.check_claims(cells) else 1
+
+
 def _run_headline(args):
     points = headline_utilization.run(duration=args.duration or 60.0,
                                       streaming=args.streaming)
@@ -302,6 +331,8 @@ def _cmd_run(args):
                 status |= _run_scaleout(args)
             elif name == "fanout":
                 status |= _run_fanout(args)
+            elif name == "cache_storage":
+                status |= _run_cache_storage(args)
             else:
                 print(f"unknown experiment {name!r}; try 'list'",
                       file=sys.stderr)
@@ -414,20 +445,23 @@ def _cmd_diagnose(args):
             print(f"unknown {name} variant {variant!r}; valid variants: "
                   + ", ".join(sorted(module.VARIANTS)), file=sys.stderr)
             return 2
-        duration = args.duration or 40.0
+        defaults = _DIAGNOSE_DEFAULTS.get(name, {})
+        duration = args.duration or defaults.get("duration", 40.0)
+        workload = args.workload or defaults.get("clients", 7000)
         cell = module.run_one(
-            variant, clients=args.workload, duration=duration, bus=bus
+            variant, clients=workload, duration=duration, bus=bus
         )
         run = cell["result"]
-        heading = (f"{name}/{variant} @ WL {args.workload}, "
+        heading = (f"{name}/{variant} @ WL {workload}, "
                    f"{duration:.0f}s")
     elif name == "fig01":
         duration = args.duration or 45.0
+        workload = args.workload or 7000
         panel = fig01_histograms.run_one(
-            args.workload, duration=duration, warmup=5.0, bus=bus
+            workload, duration=duration, warmup=5.0, bus=bus
         )
         run = panel["result"]
-        heading = f"fig01 @ WL {args.workload}, {duration:.0f}s"
+        heading = f"fig01 @ WL {workload}, {duration:.0f}s"
     else:
         module = _TIMELINES[name]
         result = run_timeline(module.SPEC, duration=args.duration, bus=bus)
@@ -477,13 +511,23 @@ def _cmd_watch(args):
 
     try:
         with open(args.file) as handle:
-            beats = [json.loads(line) for line in handle if line.strip()]
+            lines = [line for line in handle if line.strip()]
     except OSError as exc:
         print(f"cannot read {args.file}: {exc}", file=sys.stderr)
         return 2
-    except ValueError as exc:
-        print(f"{args.file} is not heartbeat JSONL: {exc}", file=sys.stderr)
-        return 2
+    beats = []
+    for index, line in enumerate(lines):
+        try:
+            beats.append(json.loads(line))
+        except ValueError as exc:
+            if index == len(lines) - 1:
+                # a live writer may still be mid-heartbeat on the final
+                # line; render the complete prefix instead of crashing
+                # so watching a file under active --live-out just works
+                break
+            print(f"{args.file} is not heartbeat JSONL: {exc}",
+                  file=sys.stderr)
+            return 2
     if args.label:
         beats = [b for b in beats if args.label in b.get("label", "")]
         if not beats:
@@ -615,9 +659,10 @@ def build_parser():
     )
     diag_parser.add_argument("--duration", type=float, default=None,
                              help="simulated seconds (default: the figure's)")
-    diag_parser.add_argument("--workload", type=int, default=7000,
-                             help="client count for fig01/policy_matrix/"
-                                  "scaleout/fanout (default 7000)")
+    diag_parser.add_argument("--workload", type=int, default=None,
+                             help="client count for fig01 and variant "
+                                  "experiments (default 7000; "
+                                  "cache_storage 4200)")
     diag_parser.add_argument("--variant", default=None,
                              help="grid cell to diagnose (policy_matrix: "
                                   "default shed_web; scaleout: default "

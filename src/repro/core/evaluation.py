@@ -186,13 +186,21 @@ class RunResult:
         )
 
     def attribution(self, threshold=0.95, mb_min_duration=0.15,
-                    max_duration=2.5, window=1.0, overflow_slack=2):
+                    max_duration=2.5, window=1.0, overflow_slack=2,
+                    extra_episodes=()):
         """Per-request CTQO causal chains (the automated Fig 4).
 
         Links every VLRT/dropped request in the log to its drop site,
         the backlog-overflow episode covering the drop, and the owning
         millibottleneck, labeled with the propagation direction.
         Returns an :class:`~repro.metrics.attribution.AttributionReport`.
+
+        ``extra_episodes`` are appended to the detected millibottleneck
+        list before the walk — application-level episodes (e.g. a
+        ``cache-miss burst`` from the cache-storage experiments) join
+        the ownership search on equal footing: the attributor prefers
+        the earliest-starting episode active at a drop, so a burst that
+        *caused* a backing-tier saturation owns the chains through it.
         """
         from ..metrics.attribution import CtqoAttributor
         from ..metrics.detector import overflow_episodes
@@ -231,12 +239,16 @@ class RunResult:
             tolerance=monitor.interval + 1e-9,
             edges=self._tier_edges(),
         )
-        return attributor.attribute(
-            self.log, overflow,
+        # extras first: ownership prefers the earliest-starting episode
+        # and breaks ties by list order, so a same-instant application
+        # burst beats the secondary saturation it caused
+        episodes = list(extra_episodes)
+        episodes.extend(
             self.millibottlenecks(threshold=threshold,
                                   min_duration=mb_min_duration,
-                                  max_duration=max_duration),
+                                  max_duration=max_duration)
         )
+        return attributor.attribute(self.log, overflow, episodes)
 
     def __repr__(self):
         return (

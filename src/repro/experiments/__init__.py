@@ -13,6 +13,7 @@ fig09_nx2_xtomcat         Fig 9 — NX=2, XTomcat's batch floods MySQL
 fig10_nx3_xtomcat         Fig 10 — NX=3, no CTQO (CPU millibottleneck)
 fig11_nx3_xmysql          Fig 11 — NX=3, no CTQO (I/O millibottleneck)
 fig12_throughput          Fig 12 — 2000 threads vs async throughput
+cache_storage             extension — miss storms + write-back bufferbloat
 deep_chain                extension — multi-hop CTQO in 4/5-tier chains
 fanout                    extension — 1×N fan-out DAG, tail at scale
 policy_matrix             extension — invocation-policy hybrids at WL 7000
@@ -32,6 +33,7 @@ every runnable experiment (``python -m repro run-all``).
 """
 
 from . import (  # noqa: F401
+    cache_storage,
     cause_variety,
     deep_chain,
     fanout,
@@ -70,6 +72,7 @@ __all__ = [
     "expand_jobs",
     "run_jobs",
     "runner",
+    "cache_storage",
     "cause_variety",
     "deep_chain",
     "fanout",

@@ -222,6 +222,12 @@ REGISTRY = {
               "1xN fan-out DAG: tail at scale + lateral CTQO",
               quick={"duration": 8.0, "clients": 3000,
                      "fanouts": [4, 16]}),
+        _spec("cache_storage", "cache_storage",
+              "cache-miss storms and write-back bufferbloat",
+              # the storm schedule needs the full window; quick mode
+              # trims the variant grid instead of the duration
+              quick={"duration": 16.0,
+                     "variants": ["baseline", "storm", "bufferbloat"]}),
         _spec("nx_sweep", "runner",
               "one consolidation scenario per asynchrony level",
               quick={"duration": 14.0},

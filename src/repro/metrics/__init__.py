@@ -4,6 +4,7 @@ detection, CTQO attribution and trace exporters."""
 from .attribution import AttributionReport, CausalChain, CtqoAttributor
 from .detector import (
     Episode,
+    cache_miss_episodes,
     detect_millibottlenecks,
     overflow_episodes,
     saturation_episodes,
@@ -34,6 +35,7 @@ __all__ = [
     "SystemMonitor",
     "TimeSeries",
     "VLRT_THRESHOLD",
+    "cache_miss_episodes",
     "chrome_trace_to_json",
     "detect_millibottlenecks",
     "events_to_jsonl",

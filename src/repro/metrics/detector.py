@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "Episode",
+    "cache_miss_episodes",
     "detect_millibottlenecks",
     "overflow_episodes",
     "saturation_episodes",
@@ -152,6 +153,42 @@ def detect_millibottlenecks(monitor, threshold=0.95, min_duration=0.05,
         )
     episodes.sort(key=lambda e: (e.start, e.resource))
     return episodes
+
+
+def cache_miss_episodes(miss_series, rate_threshold, min_duration=0.05,
+                        max_duration=None, merge_gap=0.25, name=None):
+    """Spans where a cache's miss *rate* spiked — the miss-storm
+    signature of a bulk invalidation (thundering herd).
+
+    ``miss_series`` is the monitor's cumulative ``cache_misses``
+    counter; this differentiates it into a per-second miss rate (the
+    same counter-to-rate view collectl gives) and segments spans whose
+    rate exceeds ``rate_threshold`` misses/s into episodes of kind
+    ``"cache-miss burst"``.  The episodes carry the same
+    resource/start/end surface as millibottlenecks, so CTQO attribution
+    consumes them unchanged.
+    """
+    if rate_threshold <= 0:
+        raise ValueError(
+            f"rate_threshold must be positive, got {rate_threshold}"
+        )
+    from .timeseries import TimeSeries
+
+    rate = TimeSeries(f"miss_rate:{miss_series.name}")
+    times = miss_series.times
+    values = miss_series.values
+    for index in range(1, len(times)):
+        dt = times[index] - times[index - 1]
+        if dt <= 0:
+            continue
+        rate.append(times[index],
+                    (values[index] - values[index - 1]) / dt)
+    return saturation_episodes(
+        rate, rate_threshold, min_duration=min_duration,
+        max_duration=max_duration, merge_gap=merge_gap,
+        resource=name if name is not None else miss_series.name,
+        kind="cache-miss burst",
+    )
 
 
 def overflow_episodes(depth_series, capacity, slack=2, merge_gap=0.25,

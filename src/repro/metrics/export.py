@@ -88,15 +88,21 @@ def request_log_to_csv(path, log):
 def run_summary_to_json(path, result):
     """Write a RunResult's summary (plus config echo) as JSON."""
     config = result.config
-    payload = {
-        "config": {
+    if config is not None:
+        config_echo = {
             "nx": config.nx,
             "seed": config.seed,
             "stack": result.names,
             "web_max_sys_q_depth": config.web_max_sys_q_depth,
             "app_max_sys_q_depth": config.app_max_sys_q_depth,
             "db_max_sys_q_depth": config.db_max_sys_q_depth,
-        },
+        }
+    else:
+        # graph experiments carry no chain SystemConfig (see
+        # GraphRunResult): echo just the stack
+        config_echo = {"stack": result.names}
+    payload = {
+        "config": config_echo,
         "duration_s": result.duration,
         "warmup_s": result.warmup,
         "summary": result.summary(),

@@ -73,9 +73,15 @@ class SystemMonitor:
         self.outstanding = {}
         self.hedges = {}
         self.request_counts = {}
+        self.cache_hits = {}
+        self.cache_misses = {}
+        self.storage_depth = {}
+        self.write_buffer = {}
         self._vms = {}
         self._servers = {}
         self._groups = {}
+        self._caches = {}
+        self._storages = {}
         self._logs = {}
         # servers with the full gauge interface (occupancy + listener);
         # minimal test doubles are monitored for queue depth only
@@ -133,6 +139,28 @@ class SystemMonitor:
                 f"outstanding:{name}[{index}]"
             )
         self.hedges[name] = TimeSeries(f"hedges:{name}")
+        return self
+
+    def watch_cache(self, name, cache):
+        """Record a cache's cumulative hit/miss counters as ``name``.
+
+        Sampled like collectl's counters: the cache-miss-burst detector
+        differentiates the cumulative ``cache_misses`` series into a
+        windowed miss rate, the same way shed/retry counters are read.
+        """
+        self._caches[name] = cache
+        self.cache_hits[name] = TimeSeries(f"cache_hits:{name}")
+        self.cache_misses[name] = TimeSeries(f"cache_misses:{name}")
+        return self
+
+    def watch_storage(self, name, store):
+        """Record a write-back store's device-queue depth and
+        write-buffer depth gauges as ``name`` — the bufferbloat
+        observables (a deep ``write_buffer`` with healthy throughput is
+        the signature the storage experiments detect)."""
+        self._storages[name] = store
+        self.storage_depth[name] = TimeSeries(f"storage_depth:{name}")
+        self.write_buffer[name] = TimeSeries(f"write_buffer:{name}")
         return self
 
     def watch_log(self, name, log):
@@ -194,6 +222,12 @@ class SystemMonitor:
             for index, count in enumerate(group.outstanding):
                 self.outstanding[f"{name}[{index}]"].append(now, count)
             self.hedges[name].append(now, group.hedges_issued)
+        for name, cache in self._caches.items():
+            self.cache_hits[name].append(now, cache.stats.hits)
+            self.cache_misses[name].append(now, cache.stats.misses)
+        for name, store in self._storages.items():
+            self.storage_depth[name].append(now, store.depth())
+            self.write_buffer[name].append(now, store.write_buffer_depth())
         for name, log in self._logs.items():
             self.request_counts[name].append(now, len(log))
         for listener in self.listeners:

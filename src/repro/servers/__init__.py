@@ -8,9 +8,11 @@ any admission × concurrency × remediation combination; see
 
 from .async_server import DEFAULT_LITE_Q_DEPTH, AsyncServer
 from .base import BaseServer, ServerStats, advance_servlet
+from .cache import CacheStats, LruCache
 from .policies import (
     AdmissionSpec,
     CircuitBreaker,
+    CoDelAdmission,
     ConcurrencySpec,
     EagerAdmission,
     EventLoopConcurrency,
@@ -26,24 +28,30 @@ from .policies import (
     build_remediation,
 )
 from .runtime import PolicyServer, policy_server
+from .storage import StorageStats, WriteBackStore
 from .sync_server import SyncServer
 
 __all__ = [
     "AdmissionSpec",
     "AsyncServer",
     "BaseServer",
+    "CacheStats",
     "CircuitBreaker",
+    "CoDelAdmission",
     "ConcurrencySpec",
     "DEFAULT_LITE_Q_DEPTH",
     "EagerAdmission",
     "EventLoopConcurrency",
     "KernelBacklogAdmission",
+    "LruCache",
     "NoRemediation",
     "PolicyServer",
     "RemediationSpec",
     "ServerStats",
     "SheddingAdmission",
+    "StorageStats",
     "SyncServer",
+    "WriteBackStore",
     "ThreadPoolConcurrency",
     "TierPolicy",
     "TimeoutRetry",

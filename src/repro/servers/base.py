@@ -17,12 +17,17 @@ types is purely *who executes the driver*:
 from __future__ import annotations
 
 from ..apps.servlet import (
+    CacheAbort,
+    CacheGet,
+    CachePut,
     Call,
     Compute,
     Gather,
     Response,
     ServletContext,
     ServletError,
+    StorageRead,
+    StorageWrite,
 )
 from ..net.tcp import ConnectionTimeout
 from ..sim.resources import Resource
@@ -30,11 +35,16 @@ from .gather import GatherCall
 from .replica import ReplicaGroup
 
 __all__ = [
+    "STEP_CACHE_ABORT",
+    "STEP_CACHE_GET",
+    "STEP_CACHE_PUT",
     "STEP_CALL",
     "STEP_COMPUTE",
     "STEP_DONE",
     "STEP_FAIL",
     "STEP_GATHER",
+    "STEP_STORAGE_READ",
+    "STEP_STORAGE_WRITE",
     "BaseServer",
     "ServerStats",
     "advance_servlet",
@@ -75,7 +85,9 @@ class ServerStats:
 
 
 #: outcome tags of one servlet-driver step — see :func:`advance_servlet`
-STEP_COMPUTE, STEP_CALL, STEP_DONE, STEP_FAIL, STEP_GATHER = range(5)
+(STEP_COMPUTE, STEP_CALL, STEP_DONE, STEP_FAIL, STEP_GATHER,
+ STEP_CACHE_GET, STEP_CACHE_PUT, STEP_CACHE_ABORT,
+ STEP_STORAGE_READ, STEP_STORAGE_WRITE) = range(10)
 
 
 def advance_servlet(name, gen, send_value, throw_value):
@@ -116,6 +128,16 @@ def advance_servlet(name, gen, send_value, throw_value):
         return STEP_CALL, step
     if isinstance(step, Gather):
         return STEP_GATHER, step
+    if isinstance(step, CacheGet):
+        return STEP_CACHE_GET, step
+    if isinstance(step, CachePut):
+        return STEP_CACHE_PUT, step
+    if isinstance(step, CacheAbort):
+        return STEP_CACHE_ABORT, step
+    if isinstance(step, StorageRead):
+        return STEP_STORAGE_READ, step
+    if isinstance(step, StorageWrite):
+        return STEP_STORAGE_WRITE, step
     raise TypeError(
         f"{name}: servlet yielded {step!r}, expected Compute, Call or Gather"
     )
@@ -186,6 +208,12 @@ class BaseServer:
         #: per downstream call instead of three.
         self._routes = {}
         self.stats = ServerStats()
+        #: attached :class:`~repro.servers.cache.LruCache`, or ``None``;
+        #: required by ``CacheGet``/``CachePut``/``CacheAbort`` steps
+        self.cache = None
+        #: attached :class:`~repro.servers.storage.WriteBackStore`, or
+        #: ``None``; required by ``StorageRead``/``StorageWrite`` steps
+        self.storage = None
         #: live-telemetry hook: called with each reply's tier sojourn
         #: (seconds since the caller first sent the packet, so accept
         #: queueing and retransmissions count); ``None`` = off
@@ -340,11 +368,80 @@ class BaseServer:
                     to_send = yield from self._gather(step, request)
                 except ServletError as exc:
                     to_throw = exc
+            elif isinstance(step, CacheGet):
+                to_send = None
+                try:
+                    outcome, wait = self._cache_lookup(step, request)
+                    if wait is not None:
+                        # coalesced follower: park on the leader's event
+                        to_send = yield wait
+                    else:
+                        to_send = outcome
+                except ServletError as exc:
+                    to_throw = exc
+            elif isinstance(step, CachePut):
+                to_send = None
+                try:
+                    self._require_cache().put(step.key, step.value, step.ttl)
+                except ServletError as exc:
+                    to_throw = exc
+            elif isinstance(step, CacheAbort):
+                to_send = None
+                try:
+                    self._require_cache().abort(step.key)
+                except ServletError as exc:
+                    to_throw = exc
+            elif isinstance(step, StorageRead):
+                to_send = None
+                try:
+                    to_send = yield self._require_storage().read(step.size)
+                except ServletError as exc:
+                    to_throw = exc
+            elif isinstance(step, StorageWrite):
+                to_send = None
+                try:
+                    to_send = yield self._require_storage().write(step.size)
+                except ServletError as exc:
+                    to_throw = exc
             else:
                 raise TypeError(
                     f"{name}: servlet yielded {step!r}, "
                     "expected Compute, Call or Gather"
                 )
+
+    # ------------------------------------------------------------------
+    # cache / storage steps (shared by both drivers)
+    # ------------------------------------------------------------------
+    def _require_cache(self):
+        cache = self.cache
+        if cache is None:
+            raise ServletError(f"{self.name} has no cache attached")
+        return cache
+
+    def _require_storage(self):
+        storage = self.storage
+        if storage is None:
+            raise ServletError(f"{self.name} has no storage attached")
+        return storage
+
+    def _cache_lookup(self, step, request):
+        """Resolve a :class:`CacheGet` without blocking.
+
+        Returns ``(resume_value, wait_event)``: exactly one side is
+        set.  A hit, a plain miss, or a single-flight *leader* miss
+        resumes immediately with its ``(hit, value)`` pair; a
+        single-flight *follower* gets the leader's event to park on
+        (whose value is the pair the follower resumes with).
+        """
+        cache = self._require_cache()
+        route = step.route if step.route is not None else request.operation
+        hit, value = cache.get(step.key, route)
+        if hit or not step.coalesce:
+            return (hit, value), None
+        event = cache.lead_or_follow(step.key)
+        if event is None:
+            return (False, None), None  # leader: go fetch, then put/abort
+        return None, event
 
     def _gather(self, step, request):
         """Issue a parallel fan-out; returns the list of leg payloads.

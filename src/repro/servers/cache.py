@@ -1,0 +1,236 @@
+"""In-process LRU cache tier with TTL, single-flight, and hit stats.
+
+The cache the paper's n-tier stacks never model is exactly where the
+millibottlenecks nobody provisions for originate: a bulk invalidation
+turns a >90 % hit ratio into a miss storm, and the thundering herd of
+identical backing-tier fetches is a textbook sub-second queue spike.
+:class:`LruCache` is the mechanism behind the servlet instructions
+:class:`~repro.apps.servlet.CacheGet` / ``CachePut`` / ``CacheAbort``:
+
+- **LRU + capacity** — an ``OrderedDict`` in recency order; inserting
+  beyond ``capacity`` evicts the least-recently-used entry.
+- **TTL** — an entry written at ``t`` with time-to-live ``ttl`` is
+  valid strictly before ``t + ttl`` and expired *at* and after it
+  (``now >= expires_at`` is a miss), so a deterministic workload that
+  rereads exactly at the TTL boundary misses — the conservative
+  convention (never serve a value at its declared staleness bound).
+- **per-route hit ratios** — every lookup is labeled with a route
+  (defaulting to the operation name), giving the monitor per-route
+  hit/miss counters to difference into miss-rate gauges.
+- **single-flight** — at most one in-flight backing fetch per key:
+  the first miss becomes the key's *leader*; concurrent misses park on
+  a shared event until the leader publishes (``CachePut``) or gives up
+  (``CacheAbort``).
+
+The cache is deliberately passive (no kernel processes of its own):
+expiry is checked lazily on access, so an idle cache costs nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..sim.events import Event
+
+__all__ = ["CacheStats", "LruCache"]
+
+
+class CacheStats:
+    """Cumulative cache counters, sampled by the monitor like collectl.
+
+    ``route_hits`` / ``route_misses`` hold the per-route breakdown the
+    hit-ratio report is built from; the scalar counters aggregate over
+    all routes.
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "expirations",
+                 "invalidations", "coalesced", "route_hits", "route_misses")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        #: lookups that parked behind another key's in-flight fetch
+        #: instead of issuing their own (single-flight savings)
+        self.coalesced = 0
+        self.route_hits = {}
+        self.route_misses = {}
+
+    @property
+    def lookups(self):
+        return self.hits + self.misses
+
+    def hit_ratio(self, route=None):
+        """Overall (or one route's) hit fraction; 1.0 with no lookups
+        (an untouched cache has not missed anything)."""
+        if route is None:
+            hits, misses = self.hits, self.misses
+        else:
+            hits = self.route_hits.get(route, 0)
+            misses = self.route_misses.get(route, 0)
+        total = hits + misses
+        return hits / total if total else 1.0
+
+    def snapshot(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "coalesced": self.coalesced,
+            "hit_ratio": self.hit_ratio(),
+        }
+
+    def __repr__(self):
+        return (
+            f"<CacheStats hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions}>"
+        )
+
+
+class LruCache:
+    """A bounded, TTL-aware LRU map bound to one simulator clock.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator; ``sim.now`` is the clock TTLs are checked
+        against.
+    capacity:
+        Maximum live entries; inserting one more evicts the LRU entry.
+    default_ttl:
+        Time-to-live applied when :meth:`put` gives none; ``None``
+        means entries never expire.
+    name:
+        Label for monitors and ``repr``.
+    """
+
+    def __init__(self, sim, capacity, default_ttl=None, name="cache"):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if default_ttl is not None and default_ttl <= 0:
+            raise ValueError(
+                f"default_ttl must be positive, got {default_ttl}"
+            )
+        self.sim = sim
+        self.capacity = capacity
+        self.default_ttl = default_ttl
+        self.name = name
+        self.stats = CacheStats()
+        #: key -> [value, expires_at]; recency order, LRU first
+        self._entries = OrderedDict()
+        #: key -> Event shared by single-flight followers of that key
+        self._inflight = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        entry = self._entries.get(key)
+        return entry is not None and not self._expired(entry)
+
+    def _expired(self, entry):
+        expires_at = entry[1]
+        return expires_at is not None and self.sim.now >= expires_at
+
+    # ------------------------------------------------------------------
+    # the servlet-facing surface
+    # ------------------------------------------------------------------
+    def get(self, key, route="-"):
+        """Look ``key`` up; returns ``(hit, value)`` and updates stats.
+
+        A hit refreshes recency; an expired entry is removed and counts
+        as both an expiration and a (routed) miss.
+        """
+        stats = self.stats
+        entry = self._entries.get(key)
+        if entry is not None and self._expired(entry):
+            del self._entries[key]
+            stats.expirations += 1
+            entry = None
+        if entry is None:
+            stats.misses += 1
+            stats.route_misses[route] = stats.route_misses.get(route, 0) + 1
+            return False, None
+        self._entries.move_to_end(key)
+        stats.hits += 1
+        stats.route_hits[route] = stats.route_hits.get(route, 0) + 1
+        return True, entry[0]
+
+    def put(self, key, value, ttl=None):
+        """Insert/refresh ``key``; evicts LRU beyond capacity and wakes
+        any single-flight followers parked on the key."""
+        if ttl is None:
+            ttl = self.default_ttl
+        elif ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        expires_at = None if ttl is None else self.sim.now + ttl
+        entries = self._entries
+        if key in entries:
+            entries[key] = (value, expires_at)
+            entries.move_to_end(key)
+        else:
+            entries[key] = (value, expires_at)
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self.stats.evictions += 1
+        self._settle(key, (True, value))
+
+    def invalidate(self, key):
+        """Drop one key; True if it was present (live or expired)."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def invalidate_all(self):
+        """Bulk invalidation — the miss-storm trigger.  Returns the
+        number of entries dropped.  In-flight fetches are left alone:
+        their eventual put repopulates the (now cold) cache."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # single-flight miss coalescing
+    # ------------------------------------------------------------------
+    def lead_or_follow(self, key):
+        """Claim single-flight leadership of ``key``, or join the herd.
+
+        Returns ``None`` when the caller is now the leader (it must
+        eventually :meth:`put` or :meth:`abort` the key) or the shared
+        :class:`~repro.sim.events.Event` to wait on; the event's value
+        is the ``(hit, value)`` pair followers resume with.
+        """
+        event = self._inflight.get(key)
+        if event is None:
+            self._inflight[key] = Event(
+                self.sim, name=lambda: f"{self.name}:inflight:{key!r}"
+            )
+            return None
+        self.stats.coalesced += 1
+        return event
+
+    def abort(self, key):
+        """Release leadership of ``key`` without publishing a value;
+        parked followers resume with a miss."""
+        self._settle(key, (False, None))
+
+    def inflight_keys(self):
+        return len(self._inflight)
+
+    def _settle(self, key, outcome):
+        event = self._inflight.pop(key, None)
+        if event is not None:
+            event.succeed(outcome)
+
+    def __repr__(self):
+        return (
+            f"<LruCache {self.name} {len(self._entries)}/{self.capacity} "
+            f"hit_ratio={self.stats.hit_ratio():.3f}>"
+        )

@@ -208,14 +208,24 @@ class GatherCall:
         Legs already transmitted cannot be recalled off the wire; their
         eventual responses hit the settled-race branch in
         :meth:`_leg_done` and are counted as wasted work instead.
+
+        ``cancel`` returning False means the grant was delivered in the
+        same instant the quorum settled (a release racing this cancel):
+        the leg's ``_granted`` callback is already in flight and will
+        take the settled-race path in :meth:`_transmit`, handing the
+        connection back and counting the cancellation itself.  Marking
+        such a leg done here would double-count ``legs_cancelled`` and,
+        worse, strand the granted pool unit — the occupancy invariant
+        (outstanding back to zero after the gather) is exactly what the
+        regression tests pin.
         """
         for leg in self.legs:
             if leg.done or leg.grant is None:
                 continue
-            leg.pool.cancel(leg.grant)
-            leg.grant = None
-            leg.done = True
-            self._stats["legs_cancelled"] += 1
+            if leg.pool.cancel(leg.grant):
+                leg.grant = None
+                leg.done = True
+                self._stats["legs_cancelled"] += 1
 
     def __repr__(self):
         return (

@@ -50,9 +50,22 @@ see the :class:`TierPolicy` spec consumed by ``topology/builder.py``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from math import sqrt
 
-from ..apps.servlet import Call, Compute, Gather, Response, ServletError
+from ..apps.servlet import (
+    CacheAbort,
+    CacheGet,
+    CachePut,
+    Call,
+    Compute,
+    Gather,
+    Response,
+    ServletError,
+    StorageRead,
+    StorageWrite,
+)
 from ..net.tcp import SHED, ConnectionTimeout
 from ..sim.resources import Store
 from .gather import GatherCall
@@ -61,6 +74,7 @@ __all__ = [
     "AdmissionPolicy",
     "AdmissionSpec",
     "CircuitBreaker",
+    "CoDelAdmission",
     "ConcurrencyPolicy",
     "ConcurrencySpec",
     "EagerAdmission",
@@ -212,6 +226,97 @@ class SheddingAdmission(EagerAdmission):
 
     def drain(self, server):
         """Nothing to drain: overflow was answered, never queued."""
+
+
+class CoDelAdmission(SheddingAdmission):
+    """Delay-based AQM in the spirit of CoDel (RFC 8289).
+
+    Depth-based shedding (:class:`SheddingAdmission`) only reacts once
+    the queue is *full* — a deep lightweight queue is pure bufferbloat:
+    it absorbs a miss storm silently and converts it into seconds of
+    sojourn for everyone behind it.  CoDel instead watches *delay*: the
+    age of the oldest admitted-but-unfinished request (the standing
+    queue's sojourn proxy).  When that age has stayed at or above
+    ``target`` for a full ``interval``, the policy enters the dropping
+    state and sheds arrivals with a 503 on the CoDel control law — the
+    next shed after ``interval / sqrt(count)``, so the shed rate ramps
+    until the standing queue dissolves.  One observation below target
+    exits the dropping state.
+
+    ``depth`` stays as the hard bound (sheds like the parent when hit),
+    so CoDel strictly tightens the shedding admission.  Shed packets
+    surface to clients and attribution exactly like the parent's (a
+    fast 503 and a ``"shed"`` trace record at this server's listener).
+    """
+
+    kind = "codel"
+
+    def __init__(self, depth, target=0.05, interval=0.1):
+        super().__init__(depth)
+        if target <= 0:
+            raise ValueError(f"codel target must be positive, got {target}")
+        if interval <= 0:
+            raise ValueError(
+                f"codel interval must be positive, got {interval}"
+            )
+        self.target = target
+        self.interval = interval
+        #: admit timestamps of in-flight requests, FIFO (head = oldest)
+        self._admitted_at = deque()
+        self._above_since = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+
+    def _admit(self, exchange):
+        server = self._server
+        now = server.sim.now
+        admitted = self._admitted_at
+        sojourn = (now - admitted[0]) if admitted else 0.0
+        if sojourn < self.target:
+            self._above_since = None
+            self._dropping = False
+        else:
+            if self._above_since is None:
+                self._above_since = now
+            if self._dropping:
+                if now >= self._drop_next:
+                    self._drop_count += 1
+                    self._drop_next = now + self.interval / sqrt(
+                        self._drop_count
+                    )
+                    return self._shed(server, exchange, sojourn)
+            elif now - self._above_since >= self.interval:
+                self._dropping = True
+                self._drop_count = 1
+                self._drop_next = now + self.interval
+                return self._shed(server, exchange, sojourn)
+        if server.inflight >= self.depth:
+            server.stats.shed += 1
+            exchange.reply(Response.failure(
+                f"503 {server.name}: lightweight queue full "
+                f"({self.depth} admitted)"
+            ))
+            return SHED
+        admitted.append(now)
+        self._start(server, exchange)
+        return True
+
+    def _shed(self, server, exchange, sojourn):
+        server.stats.shed += 1
+        exchange.reply(Response.failure(
+            f"503 {server.name}: codel shed "
+            f"(sojourn {sojourn * 1000:.0f} ms over target "
+            f"{self.target * 1000:.0f} ms)"
+        ))
+        return SHED
+
+    def drain(self, server):
+        """One request finished: retire the oldest admit timestamp
+        (requests move near-FIFO through the pool, and the control law
+        only needs the standing queue's *age*, not exact identity)."""
+        if self._admitted_at:
+            self._admitted_at.popleft()
 
 
 # ======================================================================
@@ -421,11 +526,70 @@ class EventLoopConcurrency(ConcurrencyPolicy):
                     # amplify fan-out load
                     self._issue_gather(server, task, step)
                     break  # continuation parked
+                elif isinstance(step, CacheGet):
+                    task.send_value = None
+                    try:
+                        outcome, wait = server._cache_lookup(
+                            step, task.exchange.payload
+                        )
+                    except ServletError as exc:
+                        task.throw_value = exc
+                        continue
+                    if wait is None:
+                        task.send_value = outcome
+                        continue
+                    # coalesced follower: park until the leader settles
+                    self._park_on(server, task, wait)
+                    break
+                elif isinstance(step, CachePut):
+                    task.send_value = None
+                    try:
+                        server._require_cache().put(
+                            step.key, step.value, step.ttl
+                        )
+                    except ServletError as exc:
+                        task.throw_value = exc
+                elif isinstance(step, CacheAbort):
+                    task.send_value = None
+                    try:
+                        server._require_cache().abort(step.key)
+                    except ServletError as exc:
+                        task.throw_value = exc
+                elif isinstance(step, (StorageRead, StorageWrite)):
+                    task.send_value = None
+                    try:
+                        storage = server._require_storage()
+                    except ServletError as exc:
+                        task.throw_value = exc
+                        continue
+                    if isinstance(step, StorageRead):
+                        done = storage.read(step.size)
+                    else:
+                        done = storage.write(step.size)
+                    if done.triggered:
+                        # write-back fast path: acked at admission
+                        task.send_value = done.value
+                        continue
+                    self._park_on(server, task, done)
+                    break
                 else:
                     raise TypeError(
                         f"{name}: servlet yielded {step!r}, "
                         "expected Compute, Call or Gather"
                     )
+
+    @staticmethod
+    def _park_on(server, task, event):
+        """Re-enqueue ``task`` when ``event`` settles — the cache/storage
+        analogue of a parked downstream call."""
+        def on_settled(settled):
+            if settled.failed:
+                task.throw_value = settled.value
+            else:
+                task.send_value = settled.value
+            server._ready.put(task)
+
+        event.add_callback(on_settled)
 
     def _issue_gather(self, server, task, step):
         """Fire a parallel fan-out; the barrier callback re-enqueues the
@@ -787,21 +951,26 @@ class TimeoutRetry(RemediationPolicy):
 # ======================================================================
 # declarative specs (consumed by topology/configs.py + builder.py)
 # ======================================================================
-_ADMISSION_KINDS = ("backlog", "eager", "shed")
+_ADMISSION_KINDS = ("backlog", "eager", "shed", "codel")
 _CONCURRENCY_KINDS = ("threads", "eventloop")
 _REMEDIATION_KINDS = ("none", "retry")
 
 
 @dataclass(frozen=True)
 class AdmissionSpec:
-    """Declarative admission choice: ``backlog`` / ``eager`` / ``shed``.
+    """Declarative admission choice:
+    ``backlog`` / ``eager`` / ``shed`` / ``codel``.
 
-    ``depth`` is the lightweight-queue bound for eager/shed admission
-    (ignored for backlog admission).
+    ``depth`` is the lightweight-queue bound for eager/shed/codel
+    admission (ignored for backlog admission); ``target`` and
+    ``interval`` are the CoDel control-law parameters (seconds),
+    consulted only by the ``codel`` kind.
     """
 
     kind: str = "backlog"
     depth: int = None
+    target: float = 0.05
+    interval: float = 0.1
 
     def __post_init__(self):
         if self.kind not in _ADMISSION_KINDS:
@@ -812,6 +981,11 @@ class AdmissionSpec:
         if self.kind != "backlog" and (self.depth is None or self.depth < 1):
             raise ValueError(
                 f"{self.kind} admission needs a depth >= 1, got {self.depth}"
+            )
+        if self.kind == "codel" and (self.target <= 0 or self.interval <= 0):
+            raise ValueError(
+                "codel admission needs positive target and interval, got "
+                f"target={self.target} interval={self.interval}"
             )
 
 
@@ -902,12 +1076,26 @@ class TierPolicy:
             remediation=remediation or RemediationSpec("none"),
         )
 
+    @classmethod
+    def codel(cls, depth, threads=150, target=0.05, interval=0.1,
+              remediation=None):
+        """A delay-based (CoDel) AQM front for a thread pool."""
+        return cls(
+            admission=AdmissionSpec("codel", depth=depth, target=target,
+                                    interval=interval),
+            concurrency=ConcurrencySpec("threads", threads=threads),
+            remediation=remediation or RemediationSpec("none"),
+        )
+
 
 def build_admission(spec):
     if spec.kind == "backlog":
         return KernelBacklogAdmission()
     if spec.kind == "eager":
         return EagerAdmission(spec.depth)
+    if spec.kind == "codel":
+        return CoDelAdmission(spec.depth, target=spec.target,
+                              interval=spec.interval)
     return SheddingAdmission(spec.depth)
 
 

@@ -1,0 +1,201 @@
+"""A storage backend with a write-back buffer (bufferbloat on purpose).
+
+"Managing Bufferbloat in Cloud Storage Systems" (PAPERS.md) describes
+the trade this module reproduces: a deep write buffer keeps *write
+throughput* perfect — every writer gets an instant ack — while the
+device drains the backlog in the background, and any read that arrives
+meanwhile queues behind the whole buffered backlog.  Throughput holds;
+read p99 explodes.  That is a millibottleneck in the paper's sense: a
+transient, sub-second (or few-second) queue spike at a tier whose
+*average* utilization looks perfectly healthy.
+
+:class:`WriteBackStore` models one device with a single FIFO command
+queue shared by reads and write-backs:
+
+- :meth:`write` — **acked at buffer admission** (immediately, the
+  write-back fast path).  With a bounded ``buffer_capacity`` a write
+  arriving to a full buffer *blocks* until a slot frees (backpressure —
+  the AQM-style mitigation knob).
+- :meth:`read` — completes only when the device has actually served
+  it, i.e. after every earlier-admitted command, buffered writes
+  included.  This FIFO coupling is the entire bufferbloat mechanism.
+
+The queue depth and its write-buffer component are observable
+(:meth:`depth` / :meth:`write_buffer_depth`) so the
+:class:`~repro.metrics.monitor.SystemMonitor` and the episode detectors
+can segment bufferbloat spans exactly like accept-queue overflows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..sim.events import Event
+
+__all__ = ["StorageStats", "WriteBackStore"]
+
+
+class StorageStats:
+    """Cumulative device counters (sampled, collectl-style)."""
+
+    __slots__ = ("reads", "writes", "served_reads", "served_writes",
+                 "write_stalls", "busy_time")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.served_reads = 0
+        self.served_writes = 0
+        #: writes that found the buffer full and had to wait for a slot
+        self.write_stalls = 0
+        #: total device-busy seconds (for utilization estimates)
+        self.busy_time = 0.0
+
+    def snapshot(self):
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "served_reads": self.served_reads,
+            "served_writes": self.served_writes,
+            "write_stalls": self.write_stalls,
+            "busy_time": self.busy_time,
+        }
+
+    def __repr__(self):
+        return (
+            f"<StorageStats reads={self.reads} writes={self.writes} "
+            f"stalls={self.write_stalls}>"
+        )
+
+
+_READ = 0
+_WRITE = 1
+
+
+class WriteBackStore:
+    """One storage device with a FIFO command queue and write-back acks.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    service_time:
+        Device seconds per unit of command size (a size-``s`` command
+        occupies the device for ``service_time * s``).
+    buffer_capacity:
+        Bound on *buffered* (admitted but unserved) write commands;
+        ``None`` means unbounded — maximal bufferbloat.  Reads are
+        never bounded here; they are bounded by their callers.
+    name:
+        Label for monitors and ``repr``.
+    """
+
+    def __init__(self, sim, service_time=0.002, buffer_capacity=None,
+                 name="storage"):
+        if service_time <= 0:
+            raise ValueError(
+                f"service_time must be positive, got {service_time}"
+            )
+        if buffer_capacity is not None and buffer_capacity < 1:
+            raise ValueError(
+                f"buffer_capacity must be >= 1, got {buffer_capacity}"
+            )
+        self.sim = sim
+        self.service_time = service_time
+        self.buffer_capacity = buffer_capacity
+        self.name = name
+        self.stats = StorageStats()
+        #: admitted commands awaiting the device: (kind, size, event)
+        self._queue = deque()
+        #: writes refused admission by a full buffer: (size, ack_event)
+        self._stalled = deque()
+        self._buffered_writes = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+    def depth(self):
+        """Commands admitted and not yet served (device queue depth)."""
+        return len(self._queue)
+
+    def write_buffer_depth(self):
+        """The write-back component of :meth:`depth` — the bufferbloat
+        gauge the monitor and detectors watch."""
+        return self._buffered_writes
+
+    def stalled_writes(self):
+        """Writers currently blocked on a full buffer."""
+        return len(self._stalled)
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+    def read(self, size=1.0):
+        """Enqueue a read; the returned event fires at *service*."""
+        if size <= 0:
+            raise ValueError(f"read size must be positive, got {size}")
+        self.stats.reads += 1
+        done = Event(self.sim, name=lambda: f"{self.name}:read")
+        self._queue.append((_READ, size, done))
+        self._ensure_drain()
+        return done
+
+    def write(self, size=1.0):
+        """Enqueue a write-back; the returned event fires at *admission*.
+
+        The fast path acks synchronously (the event is already
+        triggered when this returns).  A full bounded buffer defers the
+        ack until the drain frees a slot.
+        """
+        if size <= 0:
+            raise ValueError(f"write size must be positive, got {size}")
+        self.stats.writes += 1
+        ack = Event(self.sim, name=lambda: f"{self.name}:write-ack")
+        if (self.buffer_capacity is not None
+                and self._buffered_writes >= self.buffer_capacity):
+            self.stats.write_stalls += 1
+            self._stalled.append((size, ack))
+        else:
+            self._admit_write(size, ack)
+        return ack
+
+    def _admit_write(self, size, ack):
+        self._buffered_writes += 1
+        self._queue.append((_WRITE, size, None))
+        self._ensure_drain()
+        ack.succeed(None)
+
+    # ------------------------------------------------------------------
+    # the device
+    # ------------------------------------------------------------------
+    def _ensure_drain(self):
+        if not self._draining:
+            self._draining = True
+            self.sim.process(self._drain(), name=f"{self.name}-drain")
+
+    def _drain(self):
+        stats = self.stats
+        while self._queue:
+            kind, size, done = self._queue[0]
+            busy = self.service_time * size
+            yield busy
+            stats.busy_time += busy
+            self._queue.popleft()
+            if kind == _READ:
+                stats.served_reads += 1
+                done.succeed(None)
+            else:
+                stats.served_writes += 1
+                self._buffered_writes -= 1
+                if self._stalled:
+                    self._admit_write(*self._stalled.popleft())
+        self._draining = False
+
+    def __repr__(self):
+        cap = ("inf" if self.buffer_capacity is None
+               else self.buffer_capacity)
+        return (
+            f"<WriteBackStore {self.name} depth={len(self._queue)} "
+            f"writes={self._buffered_writes}/{cap}>"
+        )

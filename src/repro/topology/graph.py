@@ -24,26 +24,52 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..apps.servlet import Call, Compute, Gather, Request
+from ..apps.servlet import (
+    CacheAbort,
+    CacheGet,
+    CachePut,
+    Call,
+    Compute,
+    Gather,
+    Request,
+    ServletError,
+    StorageRead,
+    StorageWrite,
+)
 from ..cpu.host import Host
 from ..metrics.monitor import SystemMonitor
 from ..metrics.trace import RequestLog, RequestRecord
 from ..net.tcp import ConnectionTimeout, NetworkFabric
 from ..servers.async_server import AsyncServer
-from ..servers.policies import RemediationSpec, build_remediation
+from ..servers.cache import LruCache
+from ..servers.policies import (
+    AdmissionSpec,
+    ConcurrencySpec,
+    RemediationSpec,
+    TierPolicy,
+    build_remediation,
+)
 from ..servers.replica import BALANCERS, HedgingSpec, ReplicaGroup
+from ..servers.runtime import policy_server
+from ..servers.storage import WriteBackStore
 from ..servers.sync_server import SyncServer
 from ..sim.kernel import Simulator
 from ..units import ms
 
+#: valid :attr:`NodeSpec.kind` values
+NODE_KINDS = ("service", "cache", "storage")
+
 __all__ = [
     "EdgeSpec",
     "GraphSystem",
+    "NODE_KINDS",
     "NodeSpec",
     "ServiceGraph",
     "ServiceSystem",
     "build_graph",
+    "cache_node_handler",
     "fan_out",
+    "storage_node_handler",
 ]
 
 
@@ -89,8 +115,63 @@ class NodeSpec:
     #: optional servlet factory ``f(node, successors, rng) -> handler``
     #: overriding :func:`default_node_handler`
     handler: object = field(default=None, repr=False)
+    #: node role: a plain ``"service"``, an in-process ``"cache"`` in
+    #: front of the node's (single) successor, or a ``"storage"``
+    #: backend with a write-back buffer
+    kind: str = "service"
+    #: cache nodes: LRU entry bound (required), default TTL in seconds
+    #: (None = never expires), single-flight miss coalescing, and the
+    #: key universe requests draw from (smaller = hotter)
+    cache_capacity: int = None
+    cache_ttl: float = None
+    coalesce: bool = False
+    keyspace: int = 1000
+    #: storage nodes: device seconds per unit command size (required)
+    #: and the write-back buffer bound (None = unbounded bufferbloat)
+    storage_service_time: float = None
+    write_buffer: int = None
+    #: storage nodes: fraction of arriving commands that are writes
+    write_fraction: float = 0.0
+    #: optional :class:`~repro.servers.policies.AdmissionSpec` override
+    #: (e.g. shed / codel AQM); the node is then built as a
+    #: :class:`~repro.servers.runtime.PolicyServer` instead of the
+    #: Sync/Async preset
+    admission: AdmissionSpec = field(default=None, repr=False)
 
     def __post_init__(self):
+        if self.kind not in NODE_KINDS:
+            raise ValueError(
+                f"{self.name}: kind must be one of {NODE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.kind == "cache":
+            if self.cache_capacity is None or self.cache_capacity < 1:
+                raise ValueError(
+                    f"{self.name}: a cache node needs cache_capacity >= 1, "
+                    f"got {self.cache_capacity}"
+                )
+            if self.keyspace < 1:
+                raise ValueError(
+                    f"{self.name}: keyspace must be >= 1, got {self.keyspace}"
+                )
+        if self.kind == "storage":
+            if (self.storage_service_time is None
+                    or self.storage_service_time <= 0):
+                raise ValueError(
+                    f"{self.name}: a storage node needs a positive "
+                    f"storage_service_time, got {self.storage_service_time}"
+                )
+            if not 0.0 <= self.write_fraction <= 1.0:
+                raise ValueError(
+                    f"{self.name}: write_fraction must be in [0, 1], "
+                    f"got {self.write_fraction}"
+                )
+        if (self.admission is not None
+                and not isinstance(self.admission, AdmissionSpec)):
+            raise ValueError(
+                f"{self.name}: admission must be an AdmissionSpec or "
+                f"None, got {self.admission!r}"
+            )
         if self.sync and self.threads < 1:
             raise ValueError(f"{self.name}: threads must be >= 1")
         if not self.sync and self.workers < 1:
@@ -132,6 +213,8 @@ class NodeSpec:
 
     @property
     def max_sys_q_depth(self):
+        if self.admission is not None and self.admission.kind != "backlog":
+            return self.admission.depth + self.backlog
         if self.sync:
             return self.threads + self.backlog
         return self.lite_q_depth + self.backlog
@@ -203,6 +286,7 @@ class ServiceGraph:
         self._topo = self._topo_order()
         self._check_reachability()
         self._check_quorums()
+        self._check_kinds()
 
     # -- validation ----------------------------------------------------
     def _topo_order(self):
@@ -254,6 +338,17 @@ class ServiceGraph:
                 raise ValueError(
                     f"{node.name}: quorum {node.quorum} exceeds "
                     f"out-degree {degree}"
+                )
+
+    def _check_kinds(self):
+        for node in self.nodes:
+            degree = len(self._successors[node.name])
+            if node.kind == "cache" and degree > 1:
+                # a cache fronts exactly one backing tier (or none —
+                # then a miss synthesizes the value itself)
+                raise ValueError(
+                    f"{node.name}: a cache node needs at most one "
+                    f"successor, has {degree}"
                 )
 
     # -- queries -------------------------------------------------------
@@ -339,6 +434,13 @@ class ServiceSystem:
             monitor.watch_server(name, server)
         for label, group in getattr(self, "groups", {}).items():
             monitor.watch_group(label, group)
+        # cache/storage watches come last: the registration order above
+        # is part of the golden byte contract for existing topologies,
+        # and no existing topology carries either kind
+        for name, cache in getattr(self, "caches", {}).items():
+            monitor.watch_cache(name, cache)
+        for name, store in getattr(self, "storages", {}).items():
+            monitor.watch_storage(name, store)
 
     def drop_counts(self):
         """Display name → packets dropped at that server."""
@@ -404,6 +506,10 @@ class GraphSystem(ServiceSystem):
         self.servers = []
         #: route label -> ReplicaGroup, for every replicated hop
         self.groups = {}
+        #: replica display name -> LruCache, for ``kind="cache"`` nodes
+        self.caches = {}
+        #: replica display name -> WriteBackStore, ``kind="storage"``
+        self.storages = {}
         self.client_group = None
 
     @property
@@ -559,6 +665,84 @@ def default_node_handler(node, successors, rng):
     return handler
 
 
+def cache_node_handler(node, successors, rng):
+    """Servlet for a ``kind="cache"`` node: cache-aside over the
+    backing successor.
+
+    Each request draws a key from the node's ``keyspace`` (uniformly,
+    off the shared app RNG — deterministic per seed), looks it up in the
+    server's attached :class:`~repro.servers.cache.LruCache`, and on a
+    miss fetches from the backing tier and publishes the value.  With
+    ``coalesce=True`` misses are single-flight: one leader fetches, the
+    herd parks on its in-flight event.  A failed backing fetch aborts
+    the key's flight before cascading, so followers retry rather than
+    wedge.
+    """
+    backing = successors[0] if successors else None
+    fetch_op = f"{node.name}.fetch"
+
+    def draw(mean):
+        if mean <= 0:
+            return 0.0
+        if node.stochastic:
+            return rng.expovariate(1.0 / mean)
+        return mean
+
+    def handler(ctx, request):
+        yield Compute(draw(node.pre_work))
+        key = rng.randrange(node.keyspace)
+        hit, value = yield CacheGet(key, coalesce=node.coalesce)
+        if hit:
+            return value
+        if backing is None:
+            value = {"tier": node.name, "key": key}
+        else:
+            try:
+                value = yield Call(backing, fetch_op)
+            except ServletError:
+                yield CacheAbort(key)
+                raise
+        yield CachePut(key, value)
+        return value
+
+    return handler
+
+
+def storage_node_handler(node, successors, rng):
+    """Servlet for a ``kind="storage"`` node: one device command per
+    request against the attached write-back store.
+
+    A ``write_fraction`` coin decides write vs read.  Writes take the
+    write-back fast path (acked at buffer admission); reads complete
+    only at device service, queued behind every buffered write — the
+    bufferbloat coupling under test.
+    """
+
+    def draw(mean):
+        if mean <= 0:
+            return 0.0
+        if node.stochastic:
+            return rng.expovariate(1.0 / mean)
+        return mean
+
+    def handler(ctx, request):
+        yield Compute(draw(node.pre_work))
+        if node.write_fraction and rng.random() < node.write_fraction:
+            yield StorageWrite()
+        else:
+            yield StorageRead()
+        return {"tier": node.name}
+
+    return handler
+
+
+_KIND_HANDLERS = {
+    "service": default_node_handler,
+    "cache": cache_node_handler,
+    "storage": storage_node_handler,
+}
+
+
 # ======================================================================
 # the builder
 # ======================================================================
@@ -592,13 +776,27 @@ def build_graph(graph, sim=None, seed=42, net_latency=0.0002, rto=3.0,
     node_servers = {}
     for node in graph.nodes:
         successors = graph.successors(node.name)
-        factory = node.handler or default_node_handler
+        factory = node.handler or _KIND_HANDLERS[node.kind]
         handler = factory(node, successors, rng)
         replicas = []
         for name in node.replica_names:
             host = Host(sim, cores=max(1, node.vcpus), name=f"{name}-host")
             vm = host.add_vm(f"{name}-vm", vcpus=node.vcpus)
-            if node.sync:
+            if node.admission is not None:
+                # explicit admission override (e.g. CoDel AQM) composes
+                # with either driver through the policy runtime
+                concurrency = (
+                    ConcurrencySpec("threads", threads=node.threads)
+                    if node.sync else
+                    ConcurrencySpec("eventloop", workers=node.workers)
+                )
+                server = policy_server(
+                    sim, fabric, name, vm, handler,
+                    TierPolicy(admission=node.admission,
+                               concurrency=concurrency),
+                    backlog=node.backlog,
+                )
+            elif node.sync:
                 server = SyncServer(
                     sim, fabric, name, vm, handler,
                     threads=node.threads, backlog=node.backlog,
@@ -609,6 +807,19 @@ def build_graph(graph, sim=None, seed=42, net_latency=0.0002, rto=3.0,
                     lite_q_depth=node.lite_q_depth, workers=node.workers,
                     backlog=node.backlog,
                 )
+            if node.kind == "cache":
+                server.cache = LruCache(
+                    sim, node.cache_capacity, default_ttl=node.cache_ttl,
+                    name=f"{name}-cache",
+                )
+                system.caches[name] = server.cache
+            elif node.kind == "storage":
+                server.storage = WriteBackStore(
+                    sim, service_time=node.storage_service_time,
+                    buffer_capacity=node.write_buffer,
+                    name=f"{name}-store",
+                )
+                system.storages[name] = server.storage
             if (node.remediation is not None
                     and node.remediation.kind != "none"):
                 # rebind the outgoing-call invokers after construction:

@@ -157,6 +157,78 @@ def test_diagnose_rejects_bogus_policy_matrix_variant(capsys):
     assert "shed_web" in err
 
 
+def test_diagnose_rejects_bogus_cache_storage_variant(capsys):
+    assert main(["diagnose", "cache_storage", "--variant", "warm"]) == 2
+    err = capsys.readouterr().err
+    assert len(err.strip().splitlines()) == 1
+    assert "warm" in err
+    from repro.experiments import cache_storage
+
+    for variant in cache_storage.VARIANTS:
+        assert variant in err
+
+
+def _beat(sim_time):
+    """The smallest heartbeat dict render_heartbeats accepts."""
+    return {"sim_time": sim_time, "requests": 100, "throughput_rps": 50.0,
+            "drops": 0, "completed": 95, "failed": 0, "retries": 0,
+            "sheds": 0, "hedges": 0}
+
+
+def test_watch_renders_heartbeat_file(tmp_path, capsys):
+    path = tmp_path / "beats.jsonl"
+    path.write_text(json.dumps(_beat(1.0)) + "\n"
+                    + json.dumps(_beat(2.0)) + "\n")
+    assert main(["watch", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1.0" in out
+    assert "2.0" in out
+
+
+def test_watch_tolerates_half_written_trailing_line(tmp_path, capsys):
+    """A live writer may be mid-heartbeat when watch reads the file:
+    the complete prefix must render instead of crashing on the tail."""
+    path = tmp_path / "beats.jsonl"
+    path.write_text(json.dumps(_beat(1.0)) + "\n"
+                    + json.dumps(_beat(2.0)) + "\n"
+                    + '{"sim_time": 3.0, "requ')  # torn mid-write
+    assert main(["watch", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    assert "1.0" in captured.out
+    assert "2.0" in captured.out
+
+
+def test_watch_only_a_torn_line_is_not_an_error(tmp_path, capsys):
+    """Racing the writer to the very first heartbeat: nothing complete
+    yet is a retry-later situation, not a parse failure."""
+    path = tmp_path / "beats.jsonl"
+    path.write_text('{"sim_ti')
+    assert main(["watch", str(path)]) == 0
+    assert "no heartbeats" in capsys.readouterr().out
+
+
+def test_watch_empty_file_is_not_an_error(tmp_path, capsys):
+    path = tmp_path / "beats.jsonl"
+    path.write_text("")
+    assert main(["watch", str(path)]) == 0
+    assert "no heartbeats" in capsys.readouterr().out
+
+
+def test_watch_still_rejects_mid_file_corruption(tmp_path, capsys):
+    """Only the *trailing* line may be torn; garbage earlier in the
+    file means it is not heartbeat JSONL at all."""
+    path = tmp_path / "beats.jsonl"
+    path.write_text("definitely not json\n" + json.dumps(_beat(1.0)) + "\n")
+    assert main(["watch", str(path)]) == 2
+    assert "not heartbeat JSONL" in capsys.readouterr().err
+
+
+def test_watch_missing_file_is_an_error(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "absent.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
 def test_parser_rejects_unknown_experiment():
     parser = build_parser()
     with pytest.raises(SystemExit):

@@ -50,6 +50,13 @@ TINY = {
         params={"clients": 2000, "fanouts": [4, 8],
                 "variants": ["sync", "quorum"]},
     ),
+    # 12 s reaches both bulk invalidations (t=5, t=9) and three flush
+    # bursts; storm + bufferbloat cover both families (cache herd with
+    # invalidation RNG, storage write-back coin flips)
+    "cache_storage": dict(
+        duration=12.0,
+        params={"clients": 2100, "variants": ["storm", "bufferbloat"]},
+    ),
 }
 
 

@@ -1,0 +1,253 @@
+"""Unit tests for the cache/storage experiment (claims + plumbing).
+
+The outcome logic runs against synthetic cells so every hold/fail
+branch is exercised without paying for a simulation; one short real
+``run_one`` cell pins the cell schema those synthetic dicts mimic.
+"""
+
+import pytest
+
+from repro.experiments.cache_storage import (
+    BOUNDED_BUFFER,
+    VARIANTS,
+    build_cache_storage,
+    cache_storage_outcomes,
+    check_claims,
+    report,
+    run,
+    run_one,
+)
+
+CLAIMS = (
+    "warm_cache_hides_backing_tier",
+    "invalidation_storm_mints_vlrt",
+    "storm_attribution_covers",
+    "singleflight_restores_tail",
+    "codel_restores_tail",
+    "write_buffer_bloats_tail",
+    "bounded_buffer_restores_tail",
+)
+
+
+# ----------------------------------------------------------------------
+# synthetic cells
+# ----------------------------------------------------------------------
+def cache_cell(vlrt=0, failed=0, hit_ratio=1.0, db_drops=0, db_sheds=0,
+               coalesced=0, bursts=0, coverage=1.0,
+               kinds=("cache-miss burst",)):
+    return {
+        "family": "cache",
+        "rate": 600.0,
+        "summary": {
+            "vlrt": vlrt,
+            "failed": failed,
+            "drops_by_server": {"db": db_drops} if db_drops else {},
+            "sheds_by_server": {"db": db_sheds} if db_sheds else {},
+            "throughput_rps": 600.0,
+            "p50_ms": 6.0,
+            "p99_ms": 12.0,
+        },
+        "cache": {"hit_ratio": hit_ratio, "coalesced": coalesced},
+        "bursts": list(range(bursts)),
+        "attribution": {
+            "coverage": coverage,
+            "tail": 40,
+            "kinds": {kind: 40 for kind in kinds},
+        },
+    }
+
+
+def storage_cell(p50=2.0, p99=4.0, throughput=500.0, rate=500.0,
+                 buffer_max=2, stalls=0):
+    return {
+        "family": "storage",
+        "rate": rate,
+        "summary": {
+            "vlrt": 0,
+            "failed": 0,
+            "drops_by_server": {},
+            "throughput_rps": throughput,
+            "p50_ms": p50,
+            "p99_ms": p99,
+        },
+        "storage": {"write_buffer_max": buffer_max, "write_stalls": stalls},
+    }
+
+
+def good_cells():
+    """A full grid where every claim holds."""
+    return {
+        "baseline": cache_cell(),
+        "storm": cache_cell(vlrt=200, db_drops=150, bursts=2,
+                            coverage=0.97, hit_ratio=0.9),
+        "storm_singleflight": cache_cell(vlrt=1, coalesced=900,
+                                         hit_ratio=0.9),
+        "storm_codel": cache_cell(vlrt=2, db_sheds=300, hit_ratio=0.9),
+        "bufferbloat": storage_cell(p99=120.0,
+                                    buffer_max=4 * BOUNDED_BUFFER),
+        "bufferbloat_bounded": storage_cell(p99=5.0,
+                                            buffer_max=BOUNDED_BUFFER,
+                                            stalls=40),
+    }
+
+
+# ----------------------------------------------------------------------
+# outcome logic, claim by claim
+# ----------------------------------------------------------------------
+def test_full_good_grid_holds_everywhere():
+    outcomes = cache_storage_outcomes(good_cells())
+    assert tuple(outcomes) == CLAIMS
+    assert all(evidence["holds"] for evidence in outcomes.values())
+    assert check_claims(good_cells()) == []
+
+
+def test_missing_cells_report_none_not_failure():
+    outcomes = cache_storage_outcomes({})
+    assert tuple(outcomes) == CLAIMS
+    assert all(evidence == {"holds": None}
+               for evidence in outcomes.values())
+    # unrun is not broken: check_claims stays green
+    assert check_claims({}) == []
+
+
+def test_partial_grid_mixes_real_and_none():
+    cells = {"baseline": cache_cell(), "storm": good_cells()["storm"]}
+    outcomes = cache_storage_outcomes(cells)
+    assert outcomes["warm_cache_hides_backing_tier"]["holds"] is True
+    assert outcomes["invalidation_storm_mints_vlrt"]["holds"] is True
+    # restored-variant claims need their counterpart cells
+    assert outcomes["singleflight_restores_tail"]["holds"] is None
+    assert outcomes["codel_restores_tail"]["holds"] is None
+    assert outcomes["write_buffer_bloats_tail"]["holds"] is None
+
+
+def test_cold_baseline_fails_the_warm_cache_claim():
+    cells = {"baseline": cache_cell(hit_ratio=0.5)}
+    outcomes = cache_storage_outcomes(cells)
+    assert outcomes["warm_cache_hides_backing_tier"]["holds"] is False
+    assert check_claims(cells) == [
+        "cache/storage outcome warm_cache_hides_backing_tier "
+        "does not hold"
+    ]
+
+
+def test_storm_claim_needs_vlrt_drops_and_a_burst():
+    quiet = {"storm": cache_cell(vlrt=0, db_drops=0, bursts=0)}
+    assert cache_storage_outcomes(quiet)[
+        "invalidation_storm_mints_vlrt"]["holds"] is False
+    no_burst = {"storm": cache_cell(vlrt=100, db_drops=50, bursts=0)}
+    assert cache_storage_outcomes(no_burst)[
+        "invalidation_storm_mints_vlrt"]["holds"] is False
+
+
+def test_attribution_claim_needs_coverage_and_the_burst_kind():
+    low = {"storm": cache_cell(vlrt=100, db_drops=50, bursts=1,
+                               coverage=0.8)}
+    assert cache_storage_outcomes(low)[
+        "storm_attribution_covers"]["holds"] is False
+    wrong_kind = {"storm": cache_cell(vlrt=100, db_drops=50, bursts=1,
+                                      coverage=0.95, kinds=("cpu",))}
+    assert cache_storage_outcomes(wrong_kind)[
+        "storm_attribution_covers"]["holds"] is False
+
+
+def test_singleflight_claim_tolerates_a_sliver_of_vlrt():
+    cells = {"storm": cache_cell(vlrt=200, db_drops=150, bursts=1,
+                                 coverage=0.95)}
+    # budget = max(2, 2 % of 200) = 4
+    cells["storm_singleflight"] = cache_cell(vlrt=4, coalesced=10)
+    assert cache_storage_outcomes(cells)[
+        "singleflight_restores_tail"]["holds"] is True
+    cells["storm_singleflight"] = cache_cell(vlrt=5, coalesced=10)
+    assert cache_storage_outcomes(cells)[
+        "singleflight_restores_tail"]["holds"] is False
+    # a "restored" cell that never coalesced proves nothing
+    cells["storm_singleflight"] = cache_cell(vlrt=0, coalesced=0)
+    assert cache_storage_outcomes(cells)[
+        "singleflight_restores_tail"]["holds"] is False
+
+
+def test_codel_claim_requires_sheds_instead_of_drops():
+    cells = {"storm": cache_cell(vlrt=200, db_drops=150, bursts=1,
+                                 coverage=0.95)}
+    cells["storm_codel"] = cache_cell(vlrt=0, db_sheds=0)
+    assert cache_storage_outcomes(cells)[
+        "codel_restores_tail"]["holds"] is False
+    cells["storm_codel"] = cache_cell(vlrt=0, db_sheds=120, db_drops=3)
+    assert cache_storage_outcomes(cells)[
+        "codel_restores_tail"]["holds"] is False
+    cells["storm_codel"] = cache_cell(vlrt=0, db_sheds=120)
+    assert cache_storage_outcomes(cells)[
+        "codel_restores_tail"]["holds"] is True
+
+
+def test_bloat_claim_needs_inflation_at_held_throughput():
+    # p99 inflated but throughput collapsed: a capacity problem, not
+    # bufferbloat
+    slow = {"bufferbloat": storage_cell(p99=120.0, throughput=200.0,
+                                        buffer_max=4 * BOUNDED_BUFFER)}
+    assert cache_storage_outcomes(slow)[
+        "write_buffer_bloats_tail"]["holds"] is False
+    shallow = {"bufferbloat": storage_cell(p99=120.0, buffer_max=8)}
+    assert cache_storage_outcomes(shallow)[
+        "write_buffer_bloats_tail"]["holds"] is False
+
+
+def test_bounded_claim_needs_stalls_and_a_collapsed_tail():
+    cells = {"bufferbloat": storage_cell(p99=120.0,
+                                         buffer_max=4 * BOUNDED_BUFFER)}
+    cells["bufferbloat_bounded"] = storage_cell(p99=5.0,
+                                                buffer_max=BOUNDED_BUFFER,
+                                                stalls=0)
+    assert cache_storage_outcomes(cells)[
+        "bounded_buffer_restores_tail"]["holds"] is False
+    cells["bufferbloat_bounded"] = storage_cell(p99=100.0,
+                                                buffer_max=BOUNDED_BUFFER,
+                                                stalls=40)
+    assert cache_storage_outcomes(cells)[
+        "bounded_buffer_restores_tail"]["holds"] is False
+
+
+# ----------------------------------------------------------------------
+# plumbing
+# ----------------------------------------------------------------------
+def test_report_renders_both_tables_and_all_marks():
+    text = report(good_cells())
+    assert "cache-miss storms" in text
+    assert "write-back bufferbloat" in text
+    for claim in CLAIMS:
+        assert claim in text
+    assert "FAIL" not in text
+    partial = report({"baseline": cache_cell()})
+    assert "[??]" in partial            # unrun claims render as unknown
+
+
+def test_run_one_rejects_unknown_variant():
+    with pytest.raises(ValueError, match="unknown variant 'warm'"):
+        run_one("warm")
+
+
+def test_run_rejects_unknown_variant_subset():
+    with pytest.raises(ValueError, match="unknown variant 'warm'"):
+        run(variants=["baseline", "warm"])
+
+
+def test_build_exposes_every_variant():
+    for name in VARIANTS:
+        system = build_cache_storage(name, seed=1)
+        assert system.sim is not None
+
+
+def test_run_one_cell_schema_matches_the_synthetic_cells():
+    """A real (tiny) baseline cell carries exactly the keys the
+    synthetic claim cells mimic."""
+    cell = run_one("baseline", clients=700, duration=4.0, warmup=1.0,
+                   seed=7)
+    assert cell["family"] == "cache"
+    for key in ("vlrt", "failed", "drops_by_server", "throughput_rps",
+                "p50_ms", "p99_ms"):
+        assert key in cell["summary"]
+    assert set(cell["cache"]) >= {"hit_ratio", "coalesced"}
+    assert "coverage" in cell["attribution"]
+    assert isinstance(cell["bursts"], list)
+    assert cell["rate"] == pytest.approx(100.0)   # 700 clients / 7 s

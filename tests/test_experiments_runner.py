@@ -38,7 +38,8 @@ def test_registry_covers_every_experiment_module():
     expected = {"fig01", "fig02", "fig03", "fig05", "fig07", "fig08",
                 "fig09", "fig10", "fig11", "fig12", "headline",
                 "deep_chain", "replication", "validation", "cause_variety",
-                "nx_sweep", "policy_matrix", "scaleout", "fanout"}
+                "nx_sweep", "policy_matrix", "scaleout", "fanout",
+                "cache_storage"}
     assert set(REGISTRY) == expected
 
 

@@ -5,6 +5,7 @@ import pytest
 from repro.metrics import TimeSeries
 from repro.metrics.detector import (
     Episode,
+    cache_miss_episodes,
     detect_millibottlenecks,
     overflow_episodes,
     saturation_episodes,
@@ -118,3 +119,78 @@ def test_overflow_episodes_merge_drain_dips():
 def test_overflow_rejects_bad_capacity():
     with pytest.raises(ValueError):
         overflow_episodes(series([0]), capacity=0)
+
+
+# ----------------------------------------------------------------------
+# cache-miss bursts (counter -> rate -> episodes)
+# ----------------------------------------------------------------------
+def counter(values, name="cache_misses:front", interval=0.05):
+    """A cumulative counter sampled every ``interval`` seconds."""
+    return series(values, name=name, interval=interval)
+
+
+def test_cache_miss_burst_from_cumulative_counter():
+    # 2 misses per 50 ms tick (40/s) at rest, then a 50-per-tick storm
+    # (1000/s) for three ticks, then calm again
+    misses = counter([0, 2, 4, 54, 104, 154, 156, 158])
+    episodes = cache_miss_episodes(misses, rate_threshold=500.0,
+                                   min_duration=0.0)
+    assert len(episodes) == 1
+    episode = episodes[0]
+    assert episode.kind == "cache-miss burst"
+    assert episode.resource == "cache_misses:front"
+    # rates attach to the right edge of each counter interval, so the
+    # storm's first rate sample lands one tick after the counter jump
+    assert episode.start == pytest.approx(0.20)
+    assert episode.end == pytest.approx(0.35)   # first calm sample
+    assert episode.peak == pytest.approx(1000.0)
+
+
+def test_cache_miss_rate_threshold_is_strict():
+    # a steady 40/s miss trickle never crosses a 50/s threshold
+    misses = counter([0, 2, 4, 6, 8])
+    assert cache_miss_episodes(misses, rate_threshold=50.0,
+                               min_duration=0.0) == []
+
+
+def test_cache_miss_episodes_merge_across_a_lull():
+    storm = [0, 50, 100, 102, 152, 202]      # one-tick lull mid-storm
+    episodes = cache_miss_episodes(counter(storm), rate_threshold=500.0,
+                                   min_duration=0.0, merge_gap=0.25)
+    assert len(episodes) == 1
+    split = cache_miss_episodes(counter(storm), rate_threshold=500.0,
+                                min_duration=0.0, merge_gap=0.0)
+    assert len(split) == 2
+
+
+def test_cache_miss_min_duration_drops_blips():
+    misses = counter([0, 2, 52, 54, 56])     # a single-tick spike
+    assert cache_miss_episodes(misses, rate_threshold=500.0,
+                               min_duration=0.1) == []
+
+
+def test_cache_miss_name_override_and_attribution_surface():
+    episodes = cache_miss_episodes(counter([0, 50, 100, 0]),
+                                   rate_threshold=500.0, min_duration=0.0,
+                                   name="front")
+    assert episodes[0].resource == "front"
+    # same surface millibottleneck attribution consumes
+    assert episodes[0].overlaps(0.0, 1.0)
+    assert episodes[0].covers(episodes[0].start)
+
+
+def test_cache_miss_rejects_nonpositive_threshold():
+    with pytest.raises(ValueError, match="rate_threshold must be positive"):
+        cache_miss_episodes(counter([0, 1]), rate_threshold=0.0)
+
+
+def test_cache_miss_skips_zero_dt_samples():
+    misses = TimeSeries("cache_misses:front")
+    misses.append(0.05, 0)
+    misses.append(0.05, 100)                 # duplicate timestamp
+    misses.append(0.10, 120)
+    episodes = cache_miss_episodes(misses, rate_threshold=100.0,
+                                   min_duration=0.0)
+    # only the 0.05 -> 0.10 span differentiates: 400/s for one tick
+    assert len(episodes) == 1
+    assert episodes[0].peak == pytest.approx(400.0)

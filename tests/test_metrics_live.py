@@ -219,8 +219,10 @@ def test_watch_subcommand(tmp_path, capsys):
 def test_watch_rejects_missing_or_malformed_files(tmp_path, capsys):
     assert main(["watch", str(tmp_path / "absent.jsonl")]) == 2
     assert "cannot read" in capsys.readouterr().err
+    # mid-file corruption is still an error; a torn *final* line is
+    # tolerated (a live writer may be mid-heartbeat — see test_cli.py)
     bad = tmp_path / "bad.jsonl"
-    bad.write_text("not json\n")
+    bad.write_text('not json\n{"sim_time": 1.0}\n')
     assert main(["watch", str(bad)]) == 2
     assert "not heartbeat JSONL" in capsys.readouterr().err
 

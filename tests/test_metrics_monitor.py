@@ -150,3 +150,50 @@ def test_minimal_server_gets_no_gauges(sim):
     assert "srv" not in monitor.occupancy
     assert "srv" not in monitor.backlog
     assert "srv" not in monitor.headroom
+
+
+def test_cache_counters_sampled(sim):
+    from repro.servers.cache import LruCache
+
+    cache = LruCache(sim, 8, name="front-cache")
+    monitor = (SystemMonitor(sim, interval=0.1)
+               .watch_cache("front", cache).start())
+
+    def traffic():
+        cache.put("k", "v")
+        cache.get("k")                      # hit
+        cache.get("cold")                   # miss
+        yield 0.25
+        cache.get("other")                  # second miss
+
+    sim.process(traffic())
+    sim.run(until=0.5)
+    hits = monitor.cache_hits["front"]
+    misses = monitor.cache_misses["front"]
+    assert hits.name == "cache_hits:front"
+    assert misses.name == "cache_misses:front"
+    # cumulative counters, collectl-style: later samples never decrease
+    assert hits.value_at(0.15) == 1
+    assert misses.value_at(0.15) == 1
+    assert misses.value_at(0.35) == 2
+    assert list(misses.values) == sorted(misses.values)
+
+
+def test_storage_gauges_sampled(sim):
+    from repro.servers.storage import WriteBackStore
+
+    store = WriteBackStore(sim, service_time=0.2, name="db-store")
+    monitor = (SystemMonitor(sim, interval=0.1)
+               .watch_storage("db", store).start())
+    for _ in range(3):
+        store.write()
+    sim.run(until=0.65)
+    depth = monitor.storage_depth["db"]
+    buffer = monitor.write_buffer["db"]
+    assert depth.name == "storage_depth:db"
+    assert buffer.name == "write_buffer:db"
+    # 3 buffered writes at 200 ms each drain one by one
+    assert buffer.value_at(0.15) == 3
+    assert buffer.value_at(0.35) == 2
+    assert buffer.value_at(0.55) == 1
+    assert depth.value_at(0.15) == 3

@@ -180,6 +180,76 @@ def test_summary_all_vlrt(streaming):
 
 
 @pytest.mark.parametrize("streaming", [False, True])
+def test_zero_completed_sketch_accessors(streaming):
+    """Percentile/VLRT accessors on a log whose only requests failed:
+    the completed-only sketch is empty and every latency read must be
+    0.0, never a ZeroDivisionError or a bucket-scan crash."""
+    log = RequestLog(streaming=streaming)
+    log.add(record(1, 0.0, 9.0, failed=True))
+    log.add(record(2, 0.0, 7.0, failed=True))
+    assert log.percentile(50) == 0.0
+    assert log.percentile(99.9) == 0.0
+    assert len(log.vlrt()) == 2          # failures count as VLRT
+    assert log.vlrt_fraction() == 1.0
+    if streaming:
+        assert len(log.stats.sketch_ok) == 0
+        assert log.stats.sketch_ok.mean == 0.0
+        assert log.stats.sketch_ok.max == 0.0
+        assert log.stats.sketch_ok.min == 0.0
+        assert len(log.stats.sketch_all) == 2
+
+
+def test_empty_sketch_quantiles_are_zero():
+    from repro.metrics import LatencySketch
+
+    sketch = LatencySketch()
+    assert len(sketch) == 0
+    for q in (0, 50, 99, 100):
+        assert sketch.quantile(q) == 0.0
+    assert sketch.percentiles() == {q: 0.0 for q in (50, 90, 95, 99, 99.9)}
+    assert sketch.histogram_points() == []
+
+
+def test_sketch_merge_with_empty_sketch_is_identity():
+    from repro.metrics import LatencySketch
+
+    populated = LatencySketch()
+    populated.add_many([0.010, 0.020, 0.500])
+    before = (populated.count, populated.total,
+              populated.min, populated.max, dict(populated.buckets))
+    populated.merge(LatencySketch())
+    after = (populated.count, populated.total,
+             populated.min, populated.max, dict(populated.buckets))
+    assert after == before
+
+    # and the other direction: empty absorbs populated wholesale
+    empty = LatencySketch()
+    empty.merge(populated)
+    assert empty.count == populated.count
+    assert empty.min == populated.min
+    assert empty.max == populated.max
+    assert empty.quantile(50) == populated.quantile(50)
+
+
+def test_streaming_stats_merge_with_empty_stats():
+    from repro.metrics import StreamingStats
+
+    stats = StreamingStats()
+    stats.fold(record(1, 0.0, 0.02))
+    stats.fold(record(2, 0.0, 3.0, failed=True, drops=[(0.1, "db")]))
+    stats.merge(StreamingStats())
+    assert stats.requests == 2
+    assert stats.completed == 1
+    assert stats.failed == 1
+    assert stats.drop_sites == {"db": 1}
+    # empty + populated inherits the populated side's extremes, not the
+    # empty side's +/-inf sentinels
+    merged = StreamingStats().merge(stats)
+    assert merged.sketch_all.max == stats.sketch_all.max
+    assert merged.sketch_all.min == stats.sketch_all.min
+
+
+@pytest.mark.parametrize("streaming", [False, True])
 def test_summary_all_failed(streaming):
     """Latency fields describe completed requests; with none they are
     0.0 while the counters still tell the story."""

@@ -1,0 +1,226 @@
+"""Unit tests for the in-process LRU cache tier (repro.servers.cache).
+
+The boundary semantics pinned here are the ones the cache_storage
+experiment's claims lean on: expiry *exactly at* the TTL is a miss
+(never serve a value at its declared staleness bound), capacity-1
+eviction keeps strict recency order, bulk invalidation resets the
+working set but not the counters, and single-flight leadership always
+settles its followers.
+"""
+
+import pytest
+
+from repro.servers.cache import CacheStats, LruCache
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+# ----------------------------------------------------------------------
+# construction and validation
+# ----------------------------------------------------------------------
+def test_capacity_below_one_rejected(sim):
+    with pytest.raises(ValueError, match="capacity must be >= 1"):
+        LruCache(sim, 0)
+
+
+def test_nonpositive_default_ttl_rejected(sim):
+    with pytest.raises(ValueError, match="default_ttl must be positive"):
+        LruCache(sim, 4, default_ttl=0.0)
+
+
+def test_nonpositive_put_ttl_rejected(sim):
+    cache = LruCache(sim, 4)
+    with pytest.raises(ValueError, match="ttl must be positive"):
+        cache.put("k", 1, ttl=-1.0)
+
+
+# ----------------------------------------------------------------------
+# TTL boundaries
+# ----------------------------------------------------------------------
+def test_entry_is_live_strictly_before_its_ttl(sim):
+    cache = LruCache(sim, 4)
+    cache.put("k", "v", ttl=2.0)
+    sim.run(until=1.999)
+    assert cache.get("k") == (True, "v")
+    assert cache.stats.expirations == 0
+
+
+def test_expiry_exactly_at_the_ttl_boundary_is_a_miss(sim):
+    """now >= expires_at: rereading at exactly t+ttl must miss — the
+    conservative convention (never serve at the staleness bound)."""
+    cache = LruCache(sim, 4)
+    cache.put("k", "v", ttl=2.0)
+    sim.run(until=2.0)
+    assert cache.get("k") == (False, None)
+    assert cache.stats.expirations == 1
+    assert cache.stats.misses == 1
+    assert "k" not in cache
+    assert len(cache) == 0              # the expired entry was removed
+
+
+def test_put_refreshes_the_ttl(sim):
+    cache = LruCache(sim, 4, default_ttl=2.0)
+    cache.put("k", "v1")
+    sim.run(until=1.5)
+    cache.put("k", "v2")                # new ttl window from t=1.5
+    sim.run(until=3.0)
+    assert cache.get("k") == (True, "v2")
+    sim.run(until=3.5)
+    assert cache.get("k") == (False, None)
+
+
+def test_no_ttl_means_never_expires(sim):
+    cache = LruCache(sim, 4)
+    cache.put("k", "v")
+    sim.run(until=1e6)
+    assert cache.get("k") == (True, "v")
+
+
+# ----------------------------------------------------------------------
+# LRU eviction
+# ----------------------------------------------------------------------
+def test_eviction_order_under_capacity_one(sim):
+    cache = LruCache(sim, 1)
+    cache.put("a", 1)
+    cache.put("b", 2)                   # evicts a
+    assert cache.stats.evictions == 1
+    assert cache.get("a") == (False, None)
+    assert cache.get("b") == (True, 2)
+    cache.put("c", 3)                   # evicts b
+    assert cache.stats.evictions == 2
+    assert cache.get("b") == (False, None)
+    assert cache.get("c") == (True, 3)
+    assert len(cache) == 1
+
+
+def test_refreshing_put_does_not_evict_at_capacity_one(sim):
+    cache = LruCache(sim, 1)
+    cache.put("a", 1)
+    cache.put("a", 2)                   # same key: refresh, not insert
+    assert cache.stats.evictions == 0
+    assert cache.get("a") == (True, 2)
+
+
+def test_a_hit_refreshes_recency(sim):
+    cache = LruCache(sim, 2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")                      # a becomes most-recent
+    cache.put("c", 3)                   # evicts b, the LRU entry
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+
+
+# ----------------------------------------------------------------------
+# hit-ratio counters and invalidation
+# ----------------------------------------------------------------------
+def test_untouched_cache_reports_hit_ratio_one():
+    assert CacheStats().hit_ratio() == 1.0
+    assert CacheStats().hit_ratio("browse") == 1.0
+
+
+def test_per_route_hit_ratios_are_independent(sim):
+    cache = LruCache(sim, 8)
+    cache.put("k", "v")
+    cache.get("k", route="browse")          # hit
+    cache.get("k", route="browse")          # hit
+    cache.get("missing", route="browse")    # miss
+    cache.get("missing", route="checkout")  # miss
+    stats = cache.stats
+    assert stats.hit_ratio("browse") == pytest.approx(2 / 3)
+    assert stats.hit_ratio("checkout") == 0.0
+    assert stats.hit_ratio() == pytest.approx(2 / 4)
+    assert stats.lookups == 4
+
+
+def test_hit_ratio_counters_after_invalidation(sim):
+    """invalidate_all drops the entries, not the history: the ratio
+    keeps falling as the post-invalidation misses accumulate."""
+    cache = LruCache(sim, 8)
+    for key in range(4):
+        cache.put(key, key)
+        assert cache.get(key) == (True, key)
+    assert cache.stats.hit_ratio() == 1.0
+    dropped = cache.invalidate_all()
+    assert dropped == 4
+    assert cache.stats.invalidations == 4
+    assert len(cache) == 0
+    for key in range(4):
+        assert cache.get(key) == (False, None)
+    assert cache.stats.hits == 4
+    assert cache.stats.misses == 4
+    assert cache.stats.hit_ratio() == 0.5
+
+
+def test_single_key_invalidation(sim):
+    cache = LruCache(sim, 8)
+    cache.put("k", "v")
+    assert cache.invalidate("k") is True
+    assert cache.invalidate("k") is False
+    assert cache.stats.invalidations == 1
+    assert cache.get("k") == (False, None)
+
+
+def test_stats_snapshot_shape(sim):
+    cache = LruCache(sim, 8)
+    cache.put("k", "v")
+    cache.get("k")
+    snapshot = cache.stats.snapshot()
+    assert snapshot == {"hits": 1, "misses": 0, "evictions": 0,
+                        "expirations": 0, "invalidations": 0,
+                        "coalesced": 0, "hit_ratio": 1.0}
+
+
+# ----------------------------------------------------------------------
+# single-flight miss coalescing
+# ----------------------------------------------------------------------
+def test_first_miss_leads_and_put_settles_followers(sim):
+    cache = LruCache(sim, 8)
+    assert cache.lead_or_follow("k") is None      # leader
+    event = cache.lead_or_follow("k")             # follower parks
+    assert event is not None
+    assert not event.triggered
+    assert cache.stats.coalesced == 1
+    assert cache.inflight_keys() == 1
+    cache.put("k", "v")
+    assert event.triggered
+    assert event.value == (True, "v")
+    assert cache.inflight_keys() == 0
+
+
+def test_abort_settles_followers_with_a_miss(sim):
+    cache = LruCache(sim, 8)
+    assert cache.lead_or_follow("k") is None
+    event = cache.lead_or_follow("k")
+    cache.abort("k")
+    assert event.triggered
+    assert event.value == (False, None)
+    assert cache.inflight_keys() == 0
+    # leadership is reclaimable after the abort
+    assert cache.lead_or_follow("k") is None
+
+
+def test_single_flight_is_per_key(sim):
+    cache = LruCache(sim, 8)
+    assert cache.lead_or_follow("a") is None
+    assert cache.lead_or_follow("b") is None      # different key: leads
+    assert cache.stats.coalesced == 0
+    assert cache.inflight_keys() == 2
+    cache.abort("a")
+    cache.abort("b")
+
+
+def test_invalidate_all_leaves_inflight_fetches_alone(sim):
+    cache = LruCache(sim, 8)
+    assert cache.lead_or_follow("k") is None
+    follower = cache.lead_or_follow("k")
+    cache.invalidate_all()
+    assert cache.inflight_keys() == 1             # the herd still parks
+    cache.put("k", "fresh")
+    assert follower.value == (True, "fresh")
+    assert cache.get("k") == (True, "fresh")

@@ -215,6 +215,131 @@ def test_eager_thread_hybrid_counts_arrivals_at_admission(sim, fabric):
 
 
 # ----------------------------------------------------------------------
+# CoDel (delay-based) admission
+# ----------------------------------------------------------------------
+def test_codel_spec_validation():
+    with pytest.raises(ValueError, match="needs a depth"):
+        AdmissionSpec("codel")
+    with pytest.raises(ValueError, match="positive target and interval"):
+        AdmissionSpec("codel", depth=4, target=0.0)
+    with pytest.raises(ValueError, match="positive target and interval"):
+        AdmissionSpec("codel", depth=4, interval=-1.0)
+    spec = AdmissionSpec("codel", depth=4, target=0.02, interval=0.2)
+    assert (spec.target, spec.interval) == (0.02, 0.2)
+
+
+def test_codel_factory_and_preset():
+    from repro.servers import CoDelAdmission
+
+    built = build_admission(AdmissionSpec("codel", depth=9, target=0.02,
+                                          interval=0.2))
+    assert isinstance(built, CoDelAdmission)
+    assert isinstance(built, SheddingAdmission)  # strictly tightens shed
+    assert (built.depth, built.target, built.interval) == (9, 0.02, 0.2)
+    policy = TierPolicy.codel(depth=9, threads=3, target=0.02, interval=0.2)
+    assert policy.admission.kind == "codel"
+    assert policy.concurrency.threads == 3
+
+
+def test_codel_admission_constructor_validation(sim):
+    from repro.servers import CoDelAdmission
+
+    with pytest.raises(ValueError, match="target must be positive"):
+        CoDelAdmission(4, target=0.0)
+    with pytest.raises(ValueError, match="interval must be positive"):
+        CoDelAdmission(4, interval=0.0)
+
+
+def send_at(sim, fabric, listener, at, operation="op"):
+    outcomes = []
+
+    def client():
+        if at:
+            yield at
+        exchange = fabric.send(listener, Request("K", operation, sim.now))
+        try:
+            outcomes.append((yield exchange.response))
+        except Exception as exc:  # ConnectionTimeout
+            outcomes.append(exc)
+
+    sim.process(client())
+    return outcomes
+
+
+def codel_server(sim, fabric, work, depth=50, threads=1,
+                 target=0.05, interval=0.1):
+    return policy_server(
+        sim, fabric, "srv", make_vm(sim), compute_handler(work),
+        TierPolicy.codel(depth=depth, threads=threads, target=target,
+                         interval=interval),
+        backlog=64,
+    )
+
+
+def test_codel_sheds_on_standing_delay_long_before_depth(sim, fabric):
+    """Five requests against depth=50: pure depth shedding never fires,
+    but the standing queue's sojourn crosses target for a full interval
+    and the control law sheds — the bufferbloat case CoDel exists for."""
+    server = codel_server(sim, fabric, work=10.0)
+    send_at(sim, fabric, server.listener, 0.0, "r0")     # runs forever
+    send_at(sim, fabric, server.listener, 0.06, "r1")    # above target
+    shed1 = send_at(sim, fabric, server.listener, 0.2, "r2")
+    admitted = send_at(sim, fabric, server.listener, 0.25, "r3")
+    shed2 = send_at(sim, fabric, server.listener, 0.35, "r4")
+    sim.run(until=1.0)
+    # r2: sojourn 0.2 s above target since 0.06 -> dropping state entered
+    assert shed1 and not shed1[0].ok
+    assert "codel shed" in shed1[0].error
+    # r3 arrives inside the drop interval: admitted, not shed
+    assert not admitted
+    # r4 lands past drop_next: the ramping control law sheds again
+    assert shed2 and not shed2[0].ok
+    assert server.stats.shed == 2
+    assert server.listener.sheds == 2
+    assert server.listener.drops == 0            # fast 503s, no backlog
+
+
+def test_codel_below_target_never_sheds(sim, fabric):
+    server = codel_server(sim, fabric, work=0.01, threads=2)
+    all_outcomes = [send_at(sim, fabric, server.listener, 0.05 * i, f"r{i}")
+                    for i in range(10)]
+    sim.run()
+    assert all(o[0].ok for o in all_outcomes)
+    assert server.stats.shed == 0
+
+
+def test_codel_exits_dropping_once_the_queue_dissolves(sim, fabric):
+    """One observation below target leaves the dropping state: after the
+    burst drains, a late request is admitted and served normally."""
+    server = codel_server(sim, fabric, work=0.04, target=0.05,
+                          interval=0.1)
+    # arrivals at twice the service rate: the standing queue's sojourn
+    # climbs 20 ms per admitted pair until the control law trips
+    burst = [send_at(sim, fabric, server.listener, 0.02 * i, f"b{i}")
+             for i in range(16)]
+    sim.run(until=3.0)
+    assert server.stats.shed > 0                 # the burst tripped codel
+    late = send_at(sim, fabric, server.listener, None, "late")
+    sim.run()
+    assert late[0].ok
+    served = sum(1 for o in burst if o and o[0].ok)
+    assert served + server.stats.shed == 16
+
+
+def test_codel_hard_depth_bound_still_applies(sim, fabric):
+    """depth stays the hard cap: a same-instant flood overruns the
+    bound before any sojourn exists, and the parent's queue-full 503
+    answers the overflow."""
+    server = codel_server(sim, fabric, work=10.0, depth=2)
+    all_outcomes = [send_at(sim, fabric, server.listener, 0.0, f"r{i}")
+                    for i in range(5)]
+    sim.run(until=0.5)
+    shed = [o[0] for o in all_outcomes if o and not o[0].ok]
+    assert len(shed) == 3
+    assert all("queue full" in response.error for response in shed)
+
+
+# ----------------------------------------------------------------------
 # circuit breaker
 # ----------------------------------------------------------------------
 def test_circuit_breaker_validation(sim):

@@ -1,0 +1,144 @@
+"""Unit tests for the write-back storage device (repro.servers.storage).
+
+The bufferbloat mechanism under test: writes ack at buffer admission
+(instantly when unbounded) while reads complete only at service, behind
+every earlier-admitted command.  A bounded buffer defers write acks
+when full — the backpressure that keeps the device queue, and with it
+read p99, shallow.
+"""
+
+import pytest
+
+from repro.servers.storage import WriteBackStore
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=11)
+
+
+def store(sim, **kwargs):
+    kwargs.setdefault("service_time", 0.01)
+    return WriteBackStore(sim, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_nonpositive_service_time_rejected(sim):
+    with pytest.raises(ValueError, match="service_time must be positive"):
+        WriteBackStore(sim, service_time=0.0)
+
+
+def test_buffer_capacity_below_one_rejected(sim):
+    with pytest.raises(ValueError, match="buffer_capacity must be >= 1"):
+        store(sim, buffer_capacity=0)
+
+
+def test_nonpositive_command_sizes_rejected(sim):
+    st = store(sim)
+    with pytest.raises(ValueError, match="read size must be positive"):
+        st.read(0)
+    with pytest.raises(ValueError, match="write size must be positive"):
+        st.write(-1)
+
+
+# ----------------------------------------------------------------------
+# write-back acks and FIFO read coupling
+# ----------------------------------------------------------------------
+def test_unbounded_write_acks_at_admission(sim):
+    st = store(sim)
+    ack = st.write()
+    assert ack.triggered                    # instant, zero sim time
+    assert st.write_buffer_depth() == 1
+    assert st.depth() == 1                  # admitted, not yet served
+
+
+def test_read_completes_at_service_not_admission(sim):
+    st = store(sim, service_time=0.01)
+    done = st.read()
+    assert not done.triggered
+    sim.run(until=0.02)
+    assert done.triggered
+    assert st.depth() == 0
+    assert st.stats.served_reads == 1
+
+
+def test_read_queues_behind_the_whole_buffered_backlog(sim):
+    """The bufferbloat mechanism itself: 10 buffered writes x 10 ms
+    delay a subsequent read to ~110 ms even though every write acked
+    instantly."""
+    st = store(sim, service_time=0.01)
+    for _ in range(10):
+        assert st.write().triggered
+    done = st.read()
+    sim.run(until=0.105)
+    assert not done.triggered               # still behind the backlog
+    sim.run(until=0.115)
+    assert done.triggered
+    assert st.stats.served_writes == 10
+    assert st.write_buffer_depth() == 0
+
+
+def test_service_time_scales_with_command_size(sim):
+    st = store(sim, service_time=0.01)
+    done = st.read(size=5.0)
+    sim.run(until=0.045)
+    assert not done.triggered
+    sim.run(until=0.055)
+    assert done.triggered
+    assert st.stats.busy_time == pytest.approx(0.05)
+
+
+# ----------------------------------------------------------------------
+# the bounded buffer (backpressure)
+# ----------------------------------------------------------------------
+def test_full_bounded_buffer_defers_the_ack(sim):
+    st = store(sim, service_time=0.01, buffer_capacity=2)
+    assert st.write().triggered
+    assert st.write().triggered
+    stalled = st.write()                    # buffer full: ack deferred
+    assert not stalled.triggered
+    assert st.stats.write_stalls == 1
+    assert st.stalled_writes() == 1
+    assert st.write_buffer_depth() == 2     # bound respected
+    sim.run(until=0.011)                    # first write served
+    assert stalled.triggered                # slot freed -> admitted
+    assert st.stalled_writes() == 0
+    assert st.write_buffer_depth() == 2
+
+
+def test_bounded_buffer_never_exceeds_capacity(sim):
+    st = store(sim, service_time=0.01, buffer_capacity=4)
+    acks = [st.write() for _ in range(20)]
+    peak = st.write_buffer_depth()
+    sim.run(until=1.0)
+    assert peak <= 4
+    assert all(ack.triggered for ack in acks)
+    assert st.stats.write_stalls == 16
+    assert st.stats.served_writes == 20
+    assert st.depth() == 0
+
+
+def test_stalled_writes_admit_in_fifo_order(sim):
+    st = store(sim, service_time=0.01, buffer_capacity=1)
+    st.write()
+    first = st.write()
+    second = st.write()
+    sim.run(until=0.011)
+    assert first.triggered
+    assert not second.triggered
+    sim.run(until=0.021)
+    assert second.triggered
+
+
+def test_drain_restarts_after_idle(sim):
+    st = store(sim, service_time=0.01)
+    st.read()
+    sim.run(until=0.1)
+    assert st.depth() == 0
+    done = st.read()                        # a fresh drain must spawn
+    sim.run(until=0.2)
+    assert done.triggered
+    assert st.stats.served_reads == 2

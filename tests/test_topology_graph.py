@@ -153,6 +153,138 @@ def test_quorum_gather_wastes_the_straggler(sync_root):
     assert len(system.log.completed) <= losers <= totals["gathers"]
 
 
+# ----------------------------------------------------------------------
+# cache and storage node kinds
+# ----------------------------------------------------------------------
+def test_unknown_node_kind_rejected():
+    with pytest.raises(ValueError, match="kind must be one of"):
+        NodeSpec("n", kind="queue")
+
+
+def test_cache_node_requires_capacity():
+    with pytest.raises(ValueError, match="cache_capacity >= 1"):
+        NodeSpec("c", kind="cache")
+    with pytest.raises(ValueError, match="cache_capacity >= 1"):
+        NodeSpec("c", kind="cache", cache_capacity=0)
+    with pytest.raises(ValueError, match="keyspace must be >= 1"):
+        NodeSpec("c", kind="cache", cache_capacity=8, keyspace=0)
+
+
+def test_storage_node_requires_service_time():
+    with pytest.raises(ValueError, match="positive storage_service_time"):
+        NodeSpec("s", kind="storage")
+    with pytest.raises(ValueError, match="write_fraction must be in"):
+        NodeSpec("s", kind="storage", storage_service_time=0.001,
+                 write_fraction=1.5)
+
+
+def test_cache_node_with_two_successors_rejected():
+    with pytest.raises(ValueError, match="at most one successor"):
+        ServiceGraph(
+            [NodeSpec("c", kind="cache", cache_capacity=8),
+             NodeSpec("x"), NodeSpec("y")],
+            [EdgeSpec("c", "x"), EdgeSpec("c", "y")],
+        )
+
+
+def _cache_graph(coalesce=False, keyspace=4, ttl=None, db_work=0.0):
+    return ServiceGraph(
+        [NodeSpec("cache", sync=False, workers=2, kind="cache",
+                  cache_capacity=64, cache_ttl=ttl, keyspace=keyspace,
+                  coalesce=coalesce),
+         NodeSpec("db", threads=4, pre_work=db_work)],
+        [EdgeSpec("cache", "db")],
+        entry="cache",
+    )
+
+
+def test_built_cache_node_registers_and_serves():
+    system = build_graph(_cache_graph(), seed=42)
+    assert list(system.caches) == ["cache"]
+    cache = system.caches["cache"]
+    assert cache.capacity == 64
+    system.open_loop(100.0)
+    system.sim.run(until=5.0)
+    stats = cache.stats
+    # a 4-key space against capacity 64: at most 4 cold misses, then
+    # every lookup hits without touching db
+    assert stats.misses <= 4
+    assert stats.hits > 100
+    assert stats.hit_ratio() > 0.9
+    db = system.server("db")
+    assert db.stats.completed == stats.misses
+
+
+def test_cache_node_coalesce_flag_reaches_the_handler():
+    # a 50 ms backing fetch against 2.5 ms arrivals on a 4-key space:
+    # the cold-start misses overlap, so followers must coalesce
+    system = build_graph(_cache_graph(coalesce=True, db_work=0.05), seed=42)
+    system.open_loop(400.0)
+    system.sim.run(until=2.0)
+    stats = system.caches["cache"].stats
+    assert stats.coalesced > 0
+    # followers count their lookup as a miss before parking, but only
+    # leaders reach the backing tier: db served misses - coalesced
+    assert system.server("db").stats.completed == stats.misses - stats.coalesced
+
+
+def test_cache_ttl_forces_refetches():
+    system = build_graph(_cache_graph(ttl=0.5), seed=42)
+    system.open_loop(100.0)
+    system.sim.run(until=5.0)
+    stats = system.caches["cache"].stats
+    assert stats.expirations > 0
+    assert stats.misses > 4              # cold misses plus TTL refetches
+
+
+def test_built_storage_node_registers_and_serves():
+    graph = ServiceGraph(
+        [NodeSpec("front", sync=False, workers=2),
+         NodeSpec("store", threads=16, kind="storage",
+                  storage_service_time=0.001, write_fraction=0.5,
+                  write_buffer=32)],
+        [EdgeSpec("front", "store")],
+        entry="front",
+    )
+    system = build_graph(graph, seed=42)
+    assert list(system.storages) == ["store"]
+    store = system.storages["store"]
+    assert store.buffer_capacity == 32
+    system.open_loop(200.0)
+    system.sim.run(until=4.0)
+    assert store.stats.reads > 0
+    assert store.stats.writes > 0
+    assert len(system.log.completed) > 0
+
+
+def test_admission_override_builds_a_policy_server():
+    from repro.servers import CoDelAdmission
+    from repro.servers.policies import AdmissionSpec
+    from repro.servers.runtime import PolicyServer
+
+    graph = ServiceGraph(
+        [NodeSpec("front", sync=False, workers=2),
+         NodeSpec("db", threads=4,
+                  admission=AdmissionSpec("codel", depth=16,
+                                          target=0.02, interval=0.1))],
+        [EdgeSpec("front", "db")],
+        entry="front",
+    )
+    system = build_graph(graph, seed=42)
+    db = system.server("db")
+    assert isinstance(db, PolicyServer)
+    assert isinstance(db.admission, CoDelAdmission)
+    assert db.admission.target == 0.02
+    system.open_loop(50.0)
+    system.sim.run(until=2.0)
+    assert len(system.log.completed) > 0
+
+
+def test_admission_must_be_a_spec():
+    with pytest.raises(ValueError, match="admission must be an"):
+        NodeSpec("n", admission="codel")
+
+
 @pytest.mark.parametrize("sync_root", [True, False])
 def test_quorum_leg_outcome_is_deterministic_per_seed(sync_root):
     """Which legs lose the quorum race is replayed exactly from the
